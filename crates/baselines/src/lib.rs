@@ -1,0 +1,39 @@
+//! # looplynx-baselines — comparator models
+//!
+//! The three systems the LoopLynx paper compares against, rebuilt as
+//! analytical executors calibrated to Table I platform constants:
+//!
+//! * [`gpu`] — Nvidia A100 running GPT-2 under torch-int W8A8: per-kernel
+//!   launch overhead dominates serial decode; batched prefill amortizes it.
+//! * [`temporal`] — DFX-like temporal architecture (Hong et al., MICRO'22):
+//!   instruction-driven, fp16 weights, serialized read→compute→write.
+//! * [`spatial`] — the spatial dataflow architecture of Chen et al. (TRETS
+//!   2024): all operators instantiated, but decode cannot form the
+//!   task-level pipeline, leaving most kernels idle.
+//!
+//! Every model exposes per-token latency, per-run energy, and (for the
+//! FPGA baselines) the resource row of the paper's Table II.
+//!
+//! # Example
+//!
+//! ```
+//! use looplynx_baselines::gpu::A100Model;
+//! use looplynx_model::ModelConfig;
+//!
+//! let gpu = A100Model::paper_baseline();
+//! let run = gpu.generation(&ModelConfig::gpt2_medium(), 32, 512);
+//! assert!(run.total_ms > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod gpu;
+pub mod report;
+pub mod spatial;
+pub mod temporal;
+
+pub use gpu::A100Model;
+pub use report::FpgaBaselineReport;
+pub use spatial::SpatialArch;
+pub use temporal::TemporalArch;

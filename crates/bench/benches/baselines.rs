@@ -1,0 +1,68 @@
+//! Fig. 8 / Table II baseline bench: evaluates the comparator models
+//! (A100, DFX-like temporal, spatial) and one Fig. 8 grid cell, printing
+//! the simulated comparison (the paper's series) alongside Criterion's
+//! measurement of the models themselves.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use looplynx_baselines::gpu::A100Model;
+use looplynx_baselines::spatial::SpatialArch;
+use looplynx_baselines::temporal::TemporalArch;
+use looplynx_bench::experiments::fig8_with;
+use looplynx_model::config::ModelConfig;
+
+fn bench_baseline_models(c: &mut Criterion) {
+    let model = ModelConfig::gpt2_medium();
+    let gpu = A100Model::paper_baseline();
+    let dfx = TemporalArch::dfx_u280();
+    let spatial = SpatialArch::u280();
+    eprintln!(
+        "[table2-baselines] DFX {:.2} ms | spatial {:.2} ms | A100 decode {:.2} ms",
+        dfx.token_latency_ms(&model),
+        spatial.decode_token_ms(&model),
+        gpu.decode_token_ms(&model),
+    );
+    let mut group = c.benchmark_group("baseline_models");
+    group.bench_function("a100_generation_32_512", |b| {
+        b.iter(|| gpu.generation(black_box(&model), 32, 512))
+    });
+    group.bench_function("dfx_token_latency", |b| {
+        b.iter(|| dfx.token_latency_ms(black_box(&model)))
+    });
+    group.bench_function("spatial_weighted_latency", |b| {
+        b.iter(|| spatial.weighted_token_ms(black_box(&model), 128, 512))
+    });
+    group.finish();
+}
+
+fn bench_fig8_cell(c: &mut Criterion) {
+    let model = ModelConfig::gpt2_medium();
+    let data = fig8_with(&model, &[(32, 64)]);
+    eprintln!(
+        "[fig8-cell] [32:64] latency 1/2/4-node vs A100: {:.0} / {:.0} / {:.0} / {:.0} ms",
+        data.cells[0].latency_ms[0],
+        data.cells[0].latency_ms[1],
+        data.cells[0].latency_ms[2],
+        data.cells[0].latency_ms[3],
+    );
+    c.bench_function("fig8_cell_32_64", |b| {
+        b.iter(|| fig8_with(black_box(&model), &[(32, 64)]))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_baseline_models, bench_fig8_cell
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Micro-benchmarks of the macro dataflow kernels and the W8A8 substrate:
+//! how fast the *simulator* evaluates the cycle-accurate models, and how
+//! fast the functional integer math runs on the host.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use looplynx_core::config::ArchConfig;
+use looplynx_core::kernels::lnres::{FusedLnResKernel, LnResJob};
+use looplynx_core::kernels::mha::{FusedMhaKernel, MhaJob};
+use looplynx_core::kernels::mp::{FusedMpKernel, MpJob};
+use looplynx_tensor::linear::{gemv_i32, QuantLinear};
+use looplynx_tensor::matrix::Matrix;
+use looplynx_tensor::quant::quantize_vec;
+
+fn bench_mp_timing(c: &mut Criterion) {
+    let cfg = ArchConfig::paper();
+    let kernel = FusedMpKernel::new(&cfg);
+    let mut group = c.benchmark_group("mp_kernel_timing");
+    for (label, rows, cols) in [
+        ("qkv_3072x1024", 1536usize, 1024usize),
+        ("fc1_4096x1024", 2048, 1024),
+        ("fc2_1024x4096", 512, 4096),
+        ("lm_head_50257x1024", 25129, 1024),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                kernel.timing(black_box(&MpJob {
+                    rows,
+                    cols,
+                    sync_bytes: rows,
+                batch: 1,
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mha_timing(c: &mut Criterion) {
+    let cfg = ArchConfig::paper();
+    let kernel = FusedMhaKernel::new(&cfg);
+    let mut group = c.benchmark_group("mha_kernel_timing");
+    for context in [64usize, 256, 512, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(context), &context, |b, &ctx| {
+            b.iter(|| {
+                kernel.timing(black_box(&MhaJob {
+                    heads: 8,
+                    d_head: 64,
+                    context: ctx,
+                    sync_bytes: 512,
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lnres_timing(c: &mut Criterion) {
+    let cfg = ArchConfig::paper();
+    let kernel = FusedLnResKernel::new(&cfg);
+    c.bench_function("lnres_kernel_timing_1024", |b| {
+        b.iter(|| {
+            kernel.timing(black_box(&LnResJob {
+                dim: 1024,
+                with_residual: true,
+            }))
+        })
+    });
+}
+
+fn bench_functional_gemv(c: &mut Criterion) {
+    let w = Matrix::from_fn(1024, 1024, |r, c2| ((r * 31 + c2 * 7) % 255) as i8 - 127);
+    let x: Vec<i8> = (0..1024).map(|i| ((i * 13) % 255) as i8 - 127).collect();
+    c.bench_function("gemv_i8_1024x1024", |b| {
+        b.iter(|| gemv_i32(black_box(&w), black_box(&x)).expect("shapes match"))
+    });
+}
+
+fn bench_quant_linear(c: &mut Criterion) {
+    let w = Matrix::from_fn(1024, 1024, |r, c2| ((r + c2) as f32 * 0.001).sin() * 0.02);
+    let lin = QuantLinear::from_f32(&w, &vec![0.0; 1024]).expect("valid layer");
+    let x = quantize_vec(&(0..1024).map(|i| (i as f32 * 0.01).cos()).collect::<Vec<_>>());
+    c.bench_function("quant_linear_forward_1024", |b| {
+        b.iter(|| lin.forward(black_box(&x)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_mp_timing, bench_mha_timing, bench_lnres_timing,
+              bench_functional_gemv, bench_quant_linear
+}
+criterion_main!(benches);

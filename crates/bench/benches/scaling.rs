@@ -1,0 +1,78 @@
+//! Table III bench: multi-node scaling. Measures the generation simulator
+//! across ring sizes and the ring-network discrete-event simulation,
+//! printing the simulated throughput rows (the paper's metric) alongside.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use looplynx_bench::experiments::{table3, TABLE2_CONTEXT};
+use looplynx_core::config::ArchConfig;
+use looplynx_core::engine::LoopLynx;
+use looplynx_model::config::ModelConfig;
+use looplynx_sim::net::{RingSim, RingSpec};
+use looplynx_sim::time::Frequency;
+
+fn bench_generation_scaling(c: &mut Criterion) {
+    let model = ModelConfig::gpt2_medium();
+    for row in table3(&model) {
+        eprintln!(
+            "[table3] {}-node: {:.1} token/s{}",
+            row.nodes,
+            row.tokens_per_second,
+            row.speedup_vs_previous
+                .map_or(String::new(), |s| format!(" ({s:.2}x)")),
+        );
+    }
+    let mut group = c.benchmark_group("table3_generation");
+    for nodes in [1usize, 2, 4, 8] {
+        let arch = ArchConfig::builder().nodes(nodes).build().expect("valid");
+        let engine = LoopLynx::new(model.clone(), arch).expect("partitions");
+        group.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, _| {
+            b.iter(|| engine.simulate_generation(black_box(16), black_box(16)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_all_gather(c: &mut Criterion) {
+    let clock = Frequency::from_mhz(285.0);
+    let mut group = c.benchmark_group("ring_all_gather_des");
+    for nodes in [2usize, 4, 8] {
+        let spec = RingSpec::paper_ring(nodes, clock);
+        let shards: Vec<Vec<u8>> = (0..nodes).map(|i| vec![i as u8; 4096]).collect();
+        group.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, _| {
+            let sim = RingSim::new(spec.clone());
+            b.iter(|| sim.all_gather(black_box(&shards)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_steady_state_latency_model(c: &mut Criterion) {
+    let model = ModelConfig::gpt2_medium();
+    let mut group = c.benchmark_group("steady_state_decode");
+    for nodes in [1usize, 2, 4] {
+        let arch = ArchConfig::builder().nodes(nodes).build().expect("valid");
+        let engine = LoopLynx::new(model.clone(), arch).expect("partitions");
+        group.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, _| {
+            b.iter(|| engine.steady_state_decode_ms(black_box(TABLE2_CONTEXT)))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_generation_scaling, bench_ring_all_gather, bench_steady_state_latency_model
+}
+criterion_main!(benches);

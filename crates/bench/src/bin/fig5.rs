@@ -1,0 +1,21 @@
+//! Regenerates paper Fig. 5 (latency breakdown + optimization gains).
+use looplynx_bench::{experiments, paper};
+use looplynx_model::ModelConfig;
+
+fn main() {
+    let model = ModelConfig::gpt2_medium();
+    print!("{}", experiments::render_fig5(&model));
+    println!();
+    let levels = experiments::fig5(&model);
+    println!(
+        "paper-vs-measured: baseline linear+MHA {} | cumulative reduction {}",
+        paper::compare(
+            levels[0].linear_mha_fraction,
+            paper::FIG5_LINEAR_MHA_FRACTION
+        ),
+        paper::compare(
+            levels[2].reduction_vs_baseline,
+            paper::FIG5_CUMULATIVE_REDUCTION
+        ),
+    );
+}

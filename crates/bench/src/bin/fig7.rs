@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 7 (resource utilization + FPGA layout).
+fn main() {
+    print!("{}", looplynx_bench::experiments::render_fig7());
+}

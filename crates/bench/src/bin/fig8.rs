@@ -1,0 +1,27 @@
+//! Regenerates paper Fig. 8 (latency + energy efficiency vs A100).
+use looplynx_bench::{experiments, paper};
+use looplynx_model::ModelConfig;
+
+fn main() {
+    let model = ModelConfig::gpt2_medium();
+    print!("{}", experiments::render_fig8(&model));
+    println!();
+    let data = experiments::fig8(&model);
+    println!("paper-vs-measured:");
+    println!(
+        "  2-node speedup {} | 4-node speedup {}",
+        paper::compare(data.mean_speedup[1], paper::FIG8_SPEEDUP_VS_A100[0]),
+        paper::compare(data.mean_speedup[2], paper::FIG8_SPEEDUP_VS_A100[1]),
+    );
+    println!(
+        "  2-node energy fraction {} | 4-node energy fraction {}",
+        paper::compare(data.mean_energy_fraction[1], paper::FIG8_ENERGY_FRACTION[0]),
+        paper::compare(data.mean_energy_fraction[2], paper::FIG8_ENERGY_FRACTION[1]),
+    );
+    println!(
+        "  energy efficiency 1/2/4-node: {} | {} | {}",
+        paper::compare(data.mean_energy_efficiency[0], paper::FIG8_ENERGY_EFF[0]),
+        paper::compare(data.mean_energy_efficiency[1], paper::FIG8_ENERGY_EFF[1]),
+        paper::compare(data.mean_energy_efficiency[2], paper::FIG8_ENERGY_EFF[2]),
+    );
+}

@@ -1,0 +1,20 @@
+//! Prints every table and figure of the paper in one run — the full
+//! reproduction report backing `EXPERIMENTS.md`.
+use looplynx_bench::experiments as ex;
+use looplynx_model::ModelConfig;
+
+fn main() {
+    let model = ModelConfig::gpt2_medium();
+    println!("LoopLynx reproduction report — model: {model}\n");
+    print!("{}", ex::render_table1());
+    println!();
+    print!("{}", ex::render_fig5(&model));
+    println!();
+    print!("{}", ex::render_fig7());
+    println!();
+    print!("{}", ex::render_table2(&model));
+    println!();
+    print!("{}", ex::render_table3(&model));
+    println!();
+    print!("{}", ex::render_fig8(&model));
+}

@@ -1,0 +1,51 @@
+//! Design-space + scaling sweep, CSV output — machine-readable companion
+//! to Table II/III and the `design_space`/`multi_fpga_scaling` examples.
+//!
+//! ```text
+//! cargo run --release -p looplynx-bench --bin sweep > sweep.csv
+//! ```
+
+use looplynx_core::config::ArchConfig;
+use looplynx_core::engine::LoopLynx;
+use looplynx_core::memory::hbm_budget;
+use looplynx_model::config::ModelConfig;
+
+fn main() {
+    let model = ModelConfig::gpt2_medium();
+    let context = 512usize;
+    println!(
+        "nodes,mp_channels,n_group,prefill_batch,ms_per_token,tokens_per_s,\
+         watts,tokens_per_joule,devices,hbm_utilization"
+    );
+    for nodes in [1usize, 2, 4, 8] {
+        for mp_channels in [6usize, 8, 10, 12] {
+            for n_group in [16usize, 32] {
+                for prefill_batch in [1usize, 8] {
+                    let Ok(arch) = ArchConfig::builder()
+                        .nodes(nodes)
+                        .mp_channels(mp_channels)
+                        .n_group(n_group)
+                        .prefill_batch(prefill_batch)
+                        .build()
+                    else {
+                        continue; // over the HBM channel budget
+                    };
+                    let Ok(engine) = LoopLynx::new(model.clone(), arch.clone()) else {
+                        continue;
+                    };
+                    let ms = engine.steady_state_decode_ms(context);
+                    let watts = arch.power_watts(1.0);
+                    let tps = 1e3 / ms;
+                    let budget = hbm_budget(&arch, &model, model.max_seq);
+                    println!(
+                        "{nodes},{mp_channels},{n_group},{prefill_batch},\
+                         {ms:.3},{tps:.1},{watts:.1},{:.3},{},{:.4}",
+                        tps / watts,
+                        arch.devices(),
+                        budget.utilization(),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table I (platform comparison).
+fn main() {
+    print!("{}", looplynx_bench::experiments::render_table1());
+}

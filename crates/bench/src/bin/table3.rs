@@ -1,0 +1,20 @@
+//! Regenerates paper Table III (throughput and scalability).
+use looplynx_bench::{experiments, paper};
+use looplynx_model::ModelConfig;
+
+fn main() {
+    let model = ModelConfig::gpt2_medium();
+    print!("{}", experiments::render_table3(&model));
+    println!();
+    println!("paper-vs-measured (tokens/s):");
+    for (row, paper_tps) in experiments::table3(&model)
+        .iter()
+        .zip(paper::TABLE3_TOKENS_PER_S)
+    {
+        println!(
+            "  {}-node: {}",
+            row.nodes,
+            paper::compare(row.tokens_per_second, paper_tps)
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! # looplynx-bench — experiment harness
+//!
+//! One function per table/figure of the LoopLynx paper, shared between the
+//! `src/bin/*` report binaries and the Criterion benches. Each function
+//! returns structured data (so tests can assert the *shape* of the
+//! results) and offers a `render` that prints rows comparable
+//! one-for-one with the paper.
+//!
+//! | Paper artifact | Function | Binary |
+//! |---|---|---|
+//! | Table I   | [`experiments::table1`] | `table1` |
+//! | Fig. 5    | [`experiments::fig5`]   | `fig5`   |
+//! | Fig. 7    | [`experiments::fig7`]   | `fig7`   |
+//! | Table II  | [`experiments::table2`] | `table2` |
+//! | Fig. 8    | [`experiments::fig8`]   | `fig8`   |
+//! | Table III | [`experiments::table3`] | `table3` |
+
+#![deny(missing_docs)]
+
+pub mod experiments;
+pub mod paper;

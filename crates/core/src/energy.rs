@@ -1,0 +1,100 @@
+//! Per-token energy accounting.
+//!
+//! Combines the resource-proportional FPGA power model with simulated
+//! latency: energy = board power × wall-clock time. The paper's headline
+//! energy claims (2-node uses 37.3 % of the A100's energy, 4-node 48.1 %)
+//! follow from exactly this product; the comparison side lives in
+//! `looplynx-baselines::gpu`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ArchConfig;
+
+/// Energy outcome of a simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Average board power in watts during the run.
+    pub watts: f64,
+    /// Total energy in joules.
+    pub joules: f64,
+    /// Generated tokens per joule (the paper's Fig. 8(b) metric).
+    pub tokens_per_joule: f64,
+}
+
+/// Computes the energy report for a run of `seconds` producing
+/// `generated_tokens`, at the given average activity factor.
+///
+/// The decode phase keeps the DMA/MAC path streaming continuously
+/// (memory-bound), so activity stays near 1.0; idle bubbles between kernel
+/// activations are already inside the latency, not the power.
+///
+/// # Panics
+///
+/// Panics if `seconds` is not positive or `generated_tokens` is zero.
+pub fn fpga_energy(
+    cfg: &ArchConfig,
+    seconds: f64,
+    generated_tokens: usize,
+    activity: f64,
+) -> EnergyReport {
+    assert!(seconds > 0.0 && seconds.is_finite(), "invalid duration");
+    assert!(generated_tokens > 0, "no tokens generated");
+    let watts = cfg.power_watts(activity);
+    let joules = watts * seconds;
+    EnergyReport {
+        watts,
+        joules,
+        tokens_per_joule: generated_tokens as f64 / joules,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(nodes: usize) -> ArchConfig {
+        ArchConfig::builder().nodes(nodes).build().unwrap()
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let r = fpga_energy(&cfg(2), 2.0, 100, 1.0);
+        assert!((r.joules - r.watts * 2.0).abs() < 1e-9);
+        assert!((r.tokens_per_joule - 100.0 / r.joules).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_node_board_power_in_calibrated_band() {
+        let r = fpga_energy(&cfg(2), 1.0, 1, 1.0);
+        assert!(r.watts > 30.0 && r.watts < 45.0, "2-node watts {}", r.watts);
+    }
+
+    #[test]
+    fn four_nodes_draw_roughly_double() {
+        let two = fpga_energy(&cfg(2), 1.0, 1, 1.0).watts;
+        let four = fpga_energy(&cfg(4), 1.0, 1, 1.0).watts;
+        assert!(four / two > 1.8 && four / two < 2.2);
+    }
+
+    #[test]
+    fn efficiency_peaks_at_two_nodes_for_fixed_latency_ratio() {
+        // With the paper's latencies (6.59 / 3.85 / 2.55 ms per token) the
+        // 2-node point should have the best tokens/J — the paper's
+        // "2-node implementation maintains the highest energy efficiency".
+        let per_token_s = [6.59e-3, 3.85e-3, 2.55e-3];
+        let nodes = [1usize, 2, 4];
+        let eff: Vec<f64> = nodes
+            .iter()
+            .zip(per_token_s)
+            .map(|(&n, t)| fpga_energy(&cfg(n), t * 100.0, 100, 1.0).tokens_per_joule)
+            .collect();
+        assert!(eff[1] > eff[0], "2-node should beat 1-node: {eff:?}");
+        assert!(eff[1] > eff[2], "2-node should beat 4-node: {eff:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no tokens")]
+    fn zero_tokens_rejected() {
+        let _ = fpga_energy(&cfg(1), 1.0, 0, 1.0);
+    }
+}

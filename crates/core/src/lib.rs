@@ -1,0 +1,58 @@
+//! # looplynx-core — the LoopLynx architecture
+//!
+//! The paper's primary contribution: a hybrid spatial–temporal dataflow
+//! accelerator for LLM inference, scalable across multiple FPGAs through a
+//! ring network.
+//!
+//! * [`config`] — architecture configuration ([`ArchConfig`]): ring size,
+//!   HBM channel allocation, `n_group`, clock, FIFO depths, and the three
+//!   optimization flags of Section III-C.
+//! * [`datapack`] — the 32-byte datapack unit moved by DMA and routers.
+//! * [`kernels`] — the macro dataflow kernels (fused MP, fused MHA, fused
+//!   LN&Res, quantization unit, DMA engines), each with a cycle-accurate
+//!   timing model and a functional compute path.
+//! * [`scheduler`] — the state machine that *temporally reuses* the fused
+//!   kernels across the stages of every transformer block (the hybrid in
+//!   "hybrid spatial–temporal").
+//! * [`router`] — the simplex ring router with node-id offsets.
+//! * [`parallel`] — Megatron-style output-dimension weight sharding and
+//!   head-wise KV partitioning.
+//! * [`engine`] — the end-to-end engine ([`LoopLynx`]): timing simulation
+//!   of full generations, energy accounting, and functionally-correct
+//!   distributed inference.
+//! * [`latency`] — latency breakdown buckets (paper Fig. 5).
+//! * [`energy`] — per-token energy model.
+//!
+//! # Example
+//!
+//! ```
+//! use looplynx_core::{ArchConfig, LoopLynx};
+//! use looplynx_model::ModelConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let arch = ArchConfig::builder().nodes(2).build()?;
+//! let engine = LoopLynx::new(ModelConfig::gpt2_medium(), arch)?;
+//! let report = engine.simulate_generation(32, 64);
+//! println!("{:.2} ms/token", report.decode_ms_per_token());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod config;
+pub mod datapack;
+pub mod energy;
+pub mod engine;
+pub mod host;
+pub mod kernels;
+pub mod latency;
+pub mod memory;
+pub mod parallel;
+pub mod router;
+pub mod scheduler;
+
+pub use config::{ArchConfig, ArchConfigBuilder, ConfigError, OptimizationFlags};
+pub use engine::{GenerationReport, LoopLynx, TokenPhase};
+pub use latency::LatencyBreakdown;

@@ -1,0 +1,499 @@
+//! The hybrid-architecture scheduler.
+//!
+//! The scheduler is the "temporal" half of the hybrid design: a state
+//! machine that walks the stage sequence of every transformer block and
+//! *reuses* the three macro dataflow kernels — "taking the fused MP kernel
+//! as an example, all linear layer computations can be executed using this
+//! kernel. At this point, the scheduler enters the 6th stage to compute the
+//! projection matrix, thus reusing the Fused MP kernel" (paper
+//! Section III-B, Fig. 3(c.1)).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use looplynx_model::config::ModelConfig;
+use looplynx_sim::time::Cycles;
+use looplynx_sim::trace::{Span, Trace};
+
+use crate::config::ArchConfig;
+use crate::kernels::lnres::{FusedLnResKernel, LnResJob};
+use crate::kernels::mha::{FusedMhaKernel, MhaJob};
+use crate::kernels::mp::{FusedMpKernel, MpJob};
+use crate::latency::LatencyBreakdown;
+
+/// A stage of the per-layer schedule (paper Fig. 3(c.1) numbering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Residual of the previous block fused with the pre-attention LN.
+    LnRes1,
+    /// QKV projection on the fused MP kernel (head-aligned, no sync).
+    QkvProj,
+    /// Multi-head attention on the fused MHA kernel (+ output gather).
+    Mha,
+    /// Attention output projection on the fused MP kernel (+ gather).
+    OutProj,
+    /// Residual fused with the pre-MLP LN.
+    LnRes2,
+    /// MLP up-projection on the fused MP kernel (+ gather of GELU input).
+    Fc1,
+    /// GELU on the element-wise vector unit (node-local slice).
+    Gelu,
+    /// MLP down-projection on the fused MP kernel (+ gather).
+    Fc2,
+}
+
+impl Stage {
+    /// The per-layer stage sequence.
+    pub const SEQUENCE: [Stage; 8] = [
+        Stage::LnRes1,
+        Stage::QkvProj,
+        Stage::Mha,
+        Stage::OutProj,
+        Stage::LnRes2,
+        Stage::Fc1,
+        Stage::Gelu,
+        Stage::Fc2,
+    ];
+
+    /// Which hardware kernel executes this stage.
+    pub fn kernel_lane(self) -> &'static str {
+        match self {
+            Stage::LnRes1 | Stage::LnRes2 | Stage::Gelu => "lnres",
+            Stage::QkvProj | Stage::OutProj | Stage::Fc1 | Stage::Fc2 => "mp",
+            Stage::Mha => "mha",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Stage::LnRes1 => "ln&res1",
+            Stage::QkvProj => "qkv",
+            Stage::Mha => "mha",
+            Stage::OutProj => "proj",
+            Stage::LnRes2 => "ln&res2",
+            Stage::Fc1 => "fc1",
+            Stage::Gelu => "gelu",
+            Stage::Fc2 => "fc2",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Timing of one token through all layers (plus final LN / LM head / host).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenTiming {
+    /// Total exposed cycles for the token.
+    pub total: Cycles,
+    /// Bucketized breakdown.
+    pub breakdown: LatencyBreakdown,
+    /// Kernel-activation trace (one span per stage activation).
+    pub trace: Trace,
+}
+
+impl TokenTiming {
+    /// Milliseconds under the configuration's clock.
+    pub fn total_ms(&self, cfg: &ArchConfig) -> f64 {
+        self.total.to_millis(cfg.freq())
+    }
+}
+
+/// The scheduler: drives kernels through the stage sequence and accumulates
+/// cycle-accurate timing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scheduler {
+    cfg: ArchConfig,
+    model: ModelConfig,
+    mp: FusedMpKernel,
+    mha: FusedMhaKernel,
+    lnres: FusedLnResKernel,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for the given architecture and model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's heads are not divisible by the ring size or
+    /// `d_model` is not divisible by heads (partitioning requirement).
+    pub fn new(cfg: ArchConfig, model: ModelConfig) -> Self {
+        assert_eq!(
+            model.heads % cfg.nodes(),
+            0,
+            "heads {} must divide across {} nodes",
+            model.heads,
+            cfg.nodes()
+        );
+        let _ = model.d_head(); // validates d_model % heads
+        Scheduler {
+            mp: FusedMpKernel::new(&cfg),
+            mha: FusedMhaKernel::new(&cfg),
+            lnres: FusedLnResKernel::new(&cfg),
+            cfg,
+            model,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &ArchConfig {
+        &self.cfg
+    }
+
+    /// The model configuration.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// Builds the MP job for a linear-layer stage at the current ring size.
+    fn mp_job(&self, stage: Stage) -> MpJob {
+        let n = self.cfg.nodes();
+        let d = self.model.d_model;
+        let ff = self.model.d_ff;
+        match stage {
+            // Head-aligned QKV shard: each node computes q, k, v rows of its
+            // own heads — no synchronization afterwards.
+            Stage::QkvProj => MpJob {
+                rows: 3 * d / n,
+                cols: d,
+                sync_bytes: 0,
+                batch: 1,
+            },
+            Stage::OutProj => MpJob {
+                rows: d / n,
+                cols: d,
+                sync_bytes: d / n,
+                batch: 1,
+            },
+            Stage::Fc1 => MpJob {
+                rows: ff / n,
+                cols: d,
+                sync_bytes: ff / n,
+                batch: 1,
+            },
+            Stage::Fc2 => MpJob {
+                rows: d / n,
+                cols: ff,
+                sync_bytes: d / n,
+                batch: 1,
+            },
+            _ => unreachable!("{stage} is not an MP stage"),
+        }
+    }
+
+    /// Times one stage of one layer at the given attention context.
+    fn stage_timing(&self, stage: Stage, context: usize) -> (Cycles, LatencyBreakdown) {
+        let mut b = LatencyBreakdown::zero();
+        let total = match stage {
+            Stage::QkvProj | Stage::OutProj | Stage::Fc1 | Stage::Fc2 => {
+                let t = self.mp.timing(&self.mp_job(stage));
+                b.sync += t.segment("sync");
+                b.critical_path += t.segment("overhead");
+                b.linear += t.total - t.segment("sync") - t.segment("overhead");
+                t.total
+            }
+            Stage::Mha => {
+                let n = self.cfg.nodes();
+                let t = self.mha.timing(&MhaJob {
+                    heads: self.model.heads / n,
+                    d_head: self.model.d_head(),
+                    context,
+                    sync_bytes: self.model.d_model / n,
+                });
+                b.sync += t.segment("sync");
+                b.critical_path += t.segment("overhead");
+                b.mha += t.total - t.segment("sync") - t.segment("overhead");
+                t.total
+            }
+            Stage::LnRes1 | Stage::LnRes2 => {
+                let t = self.lnres.timing(&LnResJob {
+                    dim: self.model.d_model,
+                    with_residual: true,
+                });
+                b.critical_path += t.total;
+                t.total
+            }
+            Stage::Gelu => {
+                // GELU runs on the node-local FC1 slice.
+                let t = self
+                    .lnres
+                    .elementwise_timing(self.model.d_ff / self.cfg.nodes());
+                b.critical_path += t.total;
+                t.total
+            }
+        };
+        (total, b)
+    }
+
+    /// Times one token through every layer.
+    ///
+    /// * `context` — tokens in the KV cache after this token is appended.
+    /// * `with_lm_head` — whether logits are produced (decode tokens and
+    ///   the final prefill token).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context` is zero.
+    pub fn schedule_token(&self, context: usize, with_lm_head: bool) -> TokenTiming {
+        assert!(context > 0, "context must include the current token");
+        let mut cursor = Cycles::ZERO;
+        let mut breakdown = LatencyBreakdown::zero();
+        let mut trace = Trace::new();
+
+        for layer in 0..self.model.layers {
+            for stage in Stage::SEQUENCE {
+                let (dur, b) = self.stage_timing(stage, context);
+                trace.push(Span::new(
+                    stage.kernel_lane(),
+                    format!("L{layer}.{stage}"),
+                    cursor,
+                    cursor + dur,
+                ));
+                cursor += dur;
+                breakdown += b;
+            }
+        }
+
+        // Final layernorm before the LM head.
+        let final_ln = self.lnres.timing(&LnResJob {
+            dim: self.model.d_model,
+            with_residual: true,
+        });
+        trace.push(Span::new(
+            "lnres",
+            "final_ln".to_owned(),
+            cursor,
+            cursor + final_ln.total,
+        ));
+        cursor += final_ln.total;
+        breakdown.critical_path += final_ln.total;
+
+        if with_lm_head {
+            // LM head sharded over vocab rows; the host gathers logits over
+            // PCIe (inside host overhead), so no ring sync.
+            let job = MpJob {
+                rows: self.model.vocab.div_ceil(self.cfg.nodes()),
+                cols: self.model.d_model,
+                sync_bytes: 0,
+                batch: 1,
+            };
+            let t = self.mp.timing(&job);
+            trace.push(Span::new("mp", "lm_head".to_owned(), cursor, cursor + t.total));
+            cursor += t.total;
+            breakdown.critical_path += t.segment("overhead");
+            breakdown.linear += t.total - t.segment("overhead");
+        }
+
+        let host = self.cfg.host_overhead_cycles(&self.model, with_lm_head);
+        breakdown.host += host;
+        cursor += host;
+
+        TokenTiming {
+            total: cursor,
+            breakdown,
+            trace,
+        }
+    }
+
+    /// Times a *batch* of consecutive prefill tokens sharing each weight
+    /// pass — the batched-prefill extension (see
+    /// [`ArchConfig::prefill_batch`]).
+    ///
+    /// MP stages run once per batch with the batch factor; MHA and
+    /// critical-path stages are inherently per-token (each prompt token
+    /// attends over a different, growing context) and are charged per
+    /// token. `first_context` is the cache length after the *first* token
+    /// of the batch is appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first_context` or `batch` is zero.
+    pub fn schedule_prefill_batch(&self, first_context: usize, batch: usize) -> TokenTiming {
+        assert!(first_context > 0, "context must include the current token");
+        assert!(batch > 0, "batch must be at least 1");
+        let mut cursor = Cycles::ZERO;
+        let mut breakdown = LatencyBreakdown::zero();
+        let mut trace = Trace::new();
+
+        for layer in 0..self.model.layers {
+            for stage in Stage::SEQUENCE {
+                let (dur, b) = match stage {
+                    Stage::QkvProj | Stage::OutProj | Stage::Fc1 | Stage::Fc2 => {
+                        let mut job = self.mp_job(stage);
+                        job.batch = batch;
+                        job.sync_bytes *= batch;
+                        let t = self.mp.timing(&job);
+                        let mut b = LatencyBreakdown::zero();
+                        b.sync += t.segment("sync");
+                        b.critical_path += t.segment("overhead");
+                        b.linear += t.total - t.segment("sync") - t.segment("overhead");
+                        (t.total, b)
+                    }
+                    _ => {
+                        // Per-token stages: charge each token of the batch
+                        // at its own (growing) context.
+                        let mut total = Cycles::ZERO;
+                        let mut b = LatencyBreakdown::zero();
+                        for i in 0..batch {
+                            let (d, bi) = self.stage_timing(stage, first_context + i);
+                            total += d;
+                            b += bi;
+                        }
+                        (total, b)
+                    }
+                };
+                trace.push(Span::new(
+                    stage.kernel_lane(),
+                    format!("L{layer}.{stage}x{batch}"),
+                    cursor,
+                    cursor + dur,
+                ));
+                cursor += dur;
+                breakdown += b;
+            }
+        }
+
+        // Final LN + host overhead charged per token; no LM head (batched
+        // prefill never contains the last prompt token — the engine
+        // schedules that one unbatched).
+        let final_ln = self.lnres.timing(&LnResJob {
+            dim: self.model.d_model,
+            with_residual: true,
+        });
+        let host = self.cfg.host_overhead_cycles(&self.model, false);
+        let epilogue = (final_ln.total + host) * batch as u64;
+        breakdown.critical_path += final_ln.total * batch as u64;
+        breakdown.host += host * batch as u64;
+        cursor += epilogue;
+
+        TokenTiming {
+            total: cursor,
+            breakdown,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptimizationFlags;
+
+    fn sched(nodes: usize) -> Scheduler {
+        Scheduler::new(
+            ArchConfig::builder().nodes(nodes).build().unwrap(),
+            ModelConfig::gpt2_medium(),
+        )
+    }
+
+    #[test]
+    fn stage_sequence_covers_all_kernels() {
+        let lanes: std::collections::BTreeSet<&str> =
+            Stage::SEQUENCE.iter().map(|s| s.kernel_lane()).collect();
+        assert_eq!(lanes.len(), 3);
+        assert!(lanes.contains("mp") && lanes.contains("mha") && lanes.contains("lnres"));
+    }
+
+    #[test]
+    fn trace_has_one_span_per_stage_plus_epilogue() {
+        let s = sched(1);
+        let t = s.schedule_token(16, true);
+        // 24 layers × 8 stages + final LN + LM head
+        assert_eq!(t.trace.len(), 24 * 8 + 2);
+        // every span on the right lane; no overlap on a physical kernel
+        assert!(t.trace.find_lane_conflict().is_none());
+    }
+
+    #[test]
+    fn decode_token_near_paper_single_node_latency() {
+        // Table II: 1-node ≈ 6.59 ms/token. Accept ±12 %.
+        let s = sched(1);
+        let t = s.schedule_token(512, true);
+        let ms = t.total_ms(s.config());
+        assert!((5.8..7.4).contains(&ms), "1-node token {ms} ms");
+    }
+
+    #[test]
+    fn two_node_near_paper_latency() {
+        // Table II: 2-node ≈ 3.85 ms/token.
+        let s = sched(2);
+        let ms = s.schedule_token(512, true).total_ms(s.config());
+        assert!((3.4..4.3).contains(&ms), "2-node token {ms} ms");
+    }
+
+    #[test]
+    fn four_node_near_paper_latency() {
+        // Table II: 4-node ≈ 2.55 ms/token.
+        let s = sched(4);
+        let ms = s.schedule_token(512, true).total_ms(s.config());
+        assert!((2.2..2.9).contains(&ms), "4-node token {ms} ms");
+    }
+
+    #[test]
+    fn scaling_is_sublinear() {
+        // Table III: 2-node speedup 1.71x, 4-node (vs 2-node) 1.51x —
+        // sub-linear because critical-path operators do not distribute.
+        let l1 = sched(1).schedule_token(512, true).total.as_f64();
+        let l2 = sched(2).schedule_token(512, true).total.as_f64();
+        let l4 = sched(4).schedule_token(512, true).total.as_f64();
+        let s21 = l1 / l2;
+        let s42 = l2 / l4;
+        assert!(s21 > 1.4 && s21 < 2.0, "2-node speedup {s21}");
+        assert!(s42 > 1.3 && s42 < 1.8, "4-node speedup {s42}");
+        assert!(s42 < s21, "scaling efficiency must fall");
+    }
+
+    #[test]
+    fn unoptimized_breakdown_matches_fig5_shape() {
+        // Fig. 5(a): linear+MHA ≈ 81.5 %, critical path ≈ 18.5 %.
+        let cfg = ArchConfig::builder()
+            .nodes(1)
+            .opts(OptimizationFlags::NONE)
+            .build()
+            .unwrap();
+        let s = Scheduler::new(cfg, ModelConfig::gpt2_medium());
+        let t = s.schedule_token(512, true);
+        let cp = t.breakdown.critical_path_fraction();
+        assert!((0.12..0.27).contains(&cp), "critical-path fraction {cp}");
+    }
+
+    #[test]
+    fn optimizations_never_slow_a_token() {
+        for nodes in [1usize, 2, 4] {
+            let on = sched(nodes).schedule_token(256, true).total;
+            let cfg_off = ArchConfig::builder()
+                .nodes(nodes)
+                .opts(OptimizationFlags::NONE)
+                .build()
+                .unwrap();
+            let off = Scheduler::new(cfg_off, ModelConfig::gpt2_medium())
+                .schedule_token(256, true)
+                .total;
+            assert!(on < off, "optimizations regressed at {nodes} nodes");
+        }
+    }
+
+    #[test]
+    fn prefill_tokens_skip_lm_head() {
+        let s = sched(2);
+        let with = s.schedule_token(128, true).total;
+        let without = s.schedule_token(128, false).total;
+        assert!(without < with);
+    }
+
+    #[test]
+    fn longer_context_costs_more() {
+        let s = sched(2);
+        let short = s.schedule_token(32, true).total;
+        let long = s.schedule_token(512, true).total;
+        assert!(long > short);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_heads_rejected() {
+        let cfg = ArchConfig::builder().nodes(3).build().unwrap();
+        let _ = Scheduler::new(cfg, ModelConfig::gpt2_medium());
+    }
+}

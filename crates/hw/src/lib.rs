@@ -1,0 +1,40 @@
+//! # looplynx-hw — FPGA and GPU platform substrate
+//!
+//! Device, resource, floorplan and power models for the platforms of the
+//! LoopLynx paper (Table I): the Nvidia A100 GPU baseline and the Xilinx
+//! Alveo U50 / U280 FPGAs.
+//!
+//! * [`resources`] — DSP/LUT/FF/BRAM/URAM resource vectors with the
+//!   composition model that reproduces the paper's Table II utilization
+//!   rows and Fig. 7 component breakdown.
+//! * [`device`] — Alveo U50/U280 capacity and SLR geometry.
+//! * [`platform`] — the platform-comparison constants of Table I.
+//! * [`power`] — resource-proportional FPGA power and utilization-based
+//!   GPU power, calibrated to the paper's energy ratios.
+//! * [`floorplan`] — SLR placement/fit checking and the ASCII layout of
+//!   Fig. 7.
+//!
+//! # Example
+//!
+//! ```
+//! use looplynx_hw::device::FpgaDevice;
+//! use looplynx_hw::resources::NodeResourceModel;
+//!
+//! let model = NodeResourceModel::paper();
+//! let two_node = model.device_total(2);
+//! assert!(two_node.fits_within(&FpgaDevice::alveo_u50().resources()));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod device;
+pub mod floorplan;
+pub mod platform;
+pub mod power;
+pub mod resources;
+
+pub use device::FpgaDevice;
+pub use platform::PlatformSpec;
+pub use power::{FpgaPowerModel, GpuPowerModel};
+pub use resources::{NodeResourceModel, ResourceVector};

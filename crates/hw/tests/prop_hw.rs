@@ -1,0 +1,89 @@
+//! Property-based tests for the platform substrate.
+
+use proptest::prelude::*;
+
+use looplynx_hw::device::FpgaDevice;
+use looplynx_hw::floorplan::FloorPlan;
+use looplynx_hw::power::{FpgaPowerModel, GpuPowerModel};
+use looplynx_hw::resources::{NodeResourceModel, ResourceVector};
+
+fn arb_vec() -> impl Strategy<Value = ResourceVector> {
+    (0.0f64..5000.0, 0.0f64..1e6, 0.0f64..2e6, 0.0f64..2000.0, 0.0f64..500.0)
+        .prop_map(|(d, l, f, b, u)| ResourceVector::new(d, l, f, b, u))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Resource addition is commutative and compatible with fits_within.
+    #[test]
+    fn resource_algebra(a in arb_vec(), b in arb_vec()) {
+        let ab = a + b;
+        let ba = b + a;
+        prop_assert_eq!(ab, ba);
+        prop_assert!(a.fits_within(&ab));
+        prop_assert!(b.fits_within(&ab));
+        // scaling by 1 is identity
+        prop_assert_eq!(a * 1.0, a);
+    }
+
+    /// Utilization fractions are consistent with fits_within.
+    #[test]
+    fn utilization_consistent(used in arb_vec(), extra in arb_vec()) {
+        let budget = used + extra + ResourceVector::new(1.0, 1.0, 1.0, 1.0, 1.0);
+        prop_assert!(used.fits_within(&budget));
+        prop_assert!(used.max_utilization_of(&budget) <= 1.0);
+        let over = budget + ResourceVector::new(1.0, 0.0, 0.0, 0.0, 0.0);
+        prop_assert!(!over.fits_within(&budget));
+    }
+
+    /// The ring total is monotone in ring size and per-node resources are
+    /// monotone non-increasing (shared buffer shrinks).
+    #[test]
+    fn ring_total_monotone(n in 1usize..16) {
+        let m = NodeResourceModel::paper();
+        let a = m.ring_total(n);
+        let b = m.ring_total(n + 1);
+        prop_assert!(b.dsp >= a.dsp);
+        prop_assert!(b.lut >= a.lut);
+        prop_assert!(m.per_node(n + 1).bram <= m.per_node(n).bram);
+    }
+
+    /// Any ring of paper nodes places successfully on U50s, one per SLR,
+    /// and uses ceil(n/2) devices.
+    #[test]
+    fn paper_nodes_always_place(n in 1usize..12) {
+        let m = NodeResourceModel::paper();
+        let plan = FloorPlan::place(&FpgaDevice::alveo_u50(), m.per_node(n), n)
+            .expect("paper node fits an SLR");
+        prop_assert_eq!(plan.devices(), n.div_ceil(2));
+        prop_assert_eq!(plan.nodes().len(), n);
+        for node in plan.nodes() {
+            prop_assert!(node.slr_utilization <= 1.0);
+        }
+    }
+
+    /// FPGA power is monotone in activity and node count, and always at
+    /// least the static floor.
+    #[test]
+    fn fpga_power_monotone(activity in 0.0f64..=1.0, nodes in 1usize..8) {
+        let p = FpgaPowerModel::paper();
+        let m = NodeResourceModel::paper();
+        let node = m.per_node(nodes);
+        let devices = nodes.div_ceil(2);
+        let w = p.total_watts(devices, &node, nodes, 14, activity);
+        prop_assert!(w >= devices as f64 * p.static_watts_per_device - 1e-9);
+        let w_more = p.total_watts(devices, &node, nodes, 14, (activity + 0.1).min(1.0));
+        prop_assert!(w_more >= w);
+    }
+
+    /// GPU power interpolates monotonically between idle and peak.
+    #[test]
+    fn gpu_power_monotone(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let g = GpuPowerModel::a100();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(g.watts_at(lo) <= g.watts_at(hi));
+        prop_assert!(g.watts_at(lo) >= g.idle_watts);
+        prop_assert!(g.watts_at(hi) <= g.peak_watts);
+    }
+}

@@ -1,0 +1,215 @@
+//! Causal multi-head attention over the quantized KV cache.
+//!
+//! Mirrors the fused MHA kernel's structure (paper Fig. 6(b)): a first MAC
+//! array computes integer attention scores per head from the key cache, a
+//! mask unit keeps only forward attention, the two-phase softmax produces
+//! weighted scores, and a second MAC array mixes the cached values. Scores
+//! and token mixing run on the int8 path with i32 accumulation; softmax
+//! runs in f32.
+//!
+//! `head_range` selects which *global* heads to compute while
+//! `cache_head_offset` maps them onto the (possibly head-sliced) cache —
+//! a node that owns heads 8‥16 passes the same query slice it produced and
+//! offset 0 into its local cache, and obtains bit-identical results to the
+//! corresponding slice of a full-width computation (per-head quantization
+//! makes the partition boundary exact).
+
+use std::ops::Range;
+
+use looplynx_tensor::activation::{causal_mask, softmax};
+use looplynx_tensor::quant::{quantize_vec, QuantizedVector};
+
+use crate::kv_cache::LayerKvCache;
+
+/// Integer dot product between two int8 slices.
+fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    a.iter().zip(b).map(|(&x, &y)| x as i32 * y as i32).sum()
+}
+
+/// Computes attention for `head_range` of the query `q`.
+///
+/// * `q` — the query slice held by the caller (`q.len()` must equal
+///   `head_range.len() × d_head`; a full-width caller passes the full
+///   query and `0..heads`).
+/// * `cache` — KV cache whose local head 0 corresponds to global head
+///   `cache_head_offset`.
+/// * `valid_len` — cache positions attended (own position + predecessors).
+///
+/// Returns the concatenated per-head outputs.
+///
+/// # Panics
+///
+/// Panics if geometry is inconsistent or `valid_len` exceeds the cache.
+pub fn attend_heads(
+    q: &[f32],
+    cache: &LayerKvCache,
+    head_range: Range<usize>,
+    cache_head_offset: usize,
+    d_head: usize,
+    valid_len: usize,
+) -> Vec<f32> {
+    assert_eq!(
+        q.len(),
+        head_range.len() * d_head,
+        "query length mismatch for head range"
+    );
+    assert!(valid_len <= cache.len(), "valid_len beyond cache");
+    assert!(valid_len > 0, "attention needs at least one cached token");
+    assert!(
+        head_range.start >= cache_head_offset
+            && head_range.end - cache_head_offset <= cache.heads(),
+        "head range outside cache slice"
+    );
+
+    let inv_sqrt = 1.0 / (d_head as f32).sqrt();
+    let mut out = Vec::with_capacity(head_range.len() * d_head);
+
+    for (local_idx, h) in head_range.clone().enumerate() {
+        let cache_h = h - cache_head_offset;
+        // --- first MAC array: integer attention scores from the key cache
+        let q_h: QuantizedVector =
+            quantize_vec(&q[local_idx * d_head..(local_idx + 1) * d_head]);
+        let mut scores: Vec<f32> = (0..valid_len)
+            .map(|t| {
+                let k = cache.key_head(t, cache_h);
+                let acc = dot_i8(q_h.data(), k.data());
+                acc as f32 * q_h.scale() * k.scale() * inv_sqrt
+            })
+            .collect();
+        // --- mask unit: only forward attention survives
+        causal_mask(&mut scores, valid_len);
+        // --- softmax unit (two phases internally)
+        let weights = softmax(&scores);
+        // --- second MAC array: token mixing over the value cache.
+        // Attention weights are requantized to int8 so the mixing MACs stay
+        // on the integer path; each cached head has its own value scale.
+        let wq = quantize_vec(&weights);
+        let mut acc = vec![0.0f32; d_head];
+        for (t, &w8) in wq.data().iter().enumerate().take(valid_len) {
+            if w8 == 0 {
+                continue;
+            }
+            let v = cache.value_head(t, cache_h);
+            let vs = v.scale() * wq.scale() * w8 as f32;
+            for (a, &v8) in acc.iter_mut().zip(v.data()) {
+                *a += v8 as f32 * vs;
+            }
+        }
+        out.extend_from_slice(&acc);
+    }
+    out
+}
+
+/// Full-width attention over all heads of a full cache.
+pub fn attend_all(
+    q: &[f32],
+    cache: &LayerKvCache,
+    heads: usize,
+    d_head: usize,
+    valid_len: usize,
+) -> Vec<f32> {
+    attend_heads(q, cache, 0..heads, 0, d_head, valid_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_with(d_head: usize, tokens: &[(&[f32], &[f32])]) -> LayerKvCache {
+        let mut c = LayerKvCache::new(d_head);
+        for (k, v) in tokens {
+            c.append(k, v);
+        }
+        c
+    }
+
+    #[test]
+    fn single_token_attends_to_itself() {
+        let v = [0.5f32, -0.5, 0.25, 1.0];
+        let cache = cache_with(4, &[(&[1.0, 0.0, 0.0, 0.0], &v)]);
+        let out = attend_all(&[1.0, 0.0, 0.0, 0.0], &cache, 1, 4, 1);
+        // with one token, softmax weight is 1.0: output ≈ value vector
+        for (o, expect) in out.iter().zip(&v) {
+            assert!((o - expect).abs() < 0.05, "{o} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn attention_prefers_matching_key() {
+        let cache = cache_with(
+            2,
+            &[
+                (&[4.0, 0.0], &[1.0, 0.0]),
+                (&[0.0, 4.0], &[0.0, 1.0]),
+            ],
+        );
+        let out = attend_all(&[4.0, 0.0], &cache, 1, 2, 2);
+        assert!(out[0] > 0.8, "weight should concentrate on token 0: {out:?}");
+        assert!(out[1] < 0.2);
+    }
+
+    #[test]
+    fn causal_masking_ignores_future_tokens() {
+        let cache = cache_with(
+            2,
+            &[
+                (&[1.0, 0.0], &[1.0, 1.0]),
+                (&[1.0, 0.0], &[-9.0, -9.0]),
+            ],
+        );
+        // valid_len = 1: the second (future) token must not contribute
+        let out = attend_all(&[1.0, 0.0], &cache, 1, 2, 1);
+        assert!(out[0] > 0.8 && out[1] > 0.8, "future token leaked: {out:?}");
+    }
+
+    #[test]
+    fn head_partition_is_bit_identical_to_full() {
+        let heads = 4;
+        let d_head = 4;
+        let d = heads * d_head;
+        let mk = |t: usize| -> (Vec<f32>, Vec<f32>) {
+            (
+                (0..d).map(|i| ((i + t) as f32 * 0.37).sin()).collect(),
+                (0..d).map(|i| ((i * (t + 1)) as f32 * 0.21).cos()).collect(),
+            )
+        };
+        let mut full = LayerKvCache::new(d_head);
+        let mut lo_cache = LayerKvCache::new(d_head);
+        let mut hi_cache = LayerKvCache::new(d_head);
+        for t in 0..3 {
+            let (k, v) = mk(t);
+            full.append(&k, &v);
+            lo_cache.append(&k[..d / 2], &v[..d / 2]);
+            hi_cache.append(&k[d / 2..], &v[d / 2..]);
+        }
+        let q: Vec<f32> = (0..d).map(|i| (i as f32 * 0.11).sin()).collect();
+        let reference = attend_all(&q, &full, heads, d_head, 3);
+        // node 0 owns heads 0..2 with a local cache; node 1 owns heads 2..4
+        let lo = attend_heads(&q[..d / 2], &lo_cache, 0..2, 0, d_head, 3);
+        let hi = attend_heads(&q[d / 2..], &hi_cache, 2..4, 2, d_head, 3);
+        let stitched: Vec<f32> = lo.into_iter().chain(hi).collect();
+        assert_eq!(reference, stitched, "partitioned attention must be exact");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond cache")]
+    fn valid_len_checked() {
+        let cache = cache_with(2, &[(&[1.0, 0.0], &[1.0, 0.0])]);
+        let _ = attend_all(&[1.0, 0.0], &cache, 1, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "query length mismatch")]
+    fn geometry_checked() {
+        let cache = cache_with(2, &[(&[1.0, 0.0], &[1.0, 0.0])]);
+        let _ = attend_all(&[1.0, 0.0, 3.0], &cache, 1, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside cache slice")]
+    fn head_range_checked_against_cache() {
+        let cache = cache_with(2, &[(&[1.0, 0.0], &[1.0, 0.0])]);
+        // cache has 1 head but we ask for heads 0..2
+        let _ = attend_heads(&[1.0, 0.0, 0.5, 0.5], &cache, 0..2, 0, 2, 1);
+    }
+}

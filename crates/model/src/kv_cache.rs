@@ -1,0 +1,256 @@
+//! Quantized key/value cache with head-wise granularity.
+//!
+//! "During the prefill stage, the LLM processes user input prompts to fill
+//! the KV cache … during decoding, the accumulated KV cache avoids
+//! repeatedly … recalculating previous tokens" (paper Section III). The
+//! cache stores int8 keys/values with one scale per *head* per token —
+//! matching the paper's "head-wise partitioning approach for the KV cache":
+//! because quantization granularity aligns with the partition boundary, a
+//! node holding a subset of heads stores bit-identical data to the
+//! corresponding slice of a single-node cache.
+
+use serde::{Deserialize, Serialize};
+
+use looplynx_tensor::quant::{quantize_vec, QuantizedVector};
+
+/// KV cache of one transformer layer (or one node's head-slice of it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerKvCache {
+    d_head: usize,
+    /// `keys[token][head]`.
+    keys: Vec<Vec<QuantizedVector>>,
+    values: Vec<Vec<QuantizedVector>>,
+}
+
+impl LayerKvCache {
+    /// Creates an empty cache for vectors divisible into `d_head` chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_head` is zero.
+    pub fn new(d_head: usize) -> Self {
+        assert!(d_head > 0, "d_head must be positive");
+        LayerKvCache {
+            d_head,
+            keys: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Head dimension.
+    pub fn d_head(&self) -> usize {
+        self.d_head
+    }
+
+    /// Number of cached tokens.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Heads per cached vector (0 when empty).
+    pub fn heads(&self) -> usize {
+        self.keys.first().map_or(0, Vec::len)
+    }
+
+    /// Quantizes and appends one token's key and value vectors, one scale
+    /// per `d_head` chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k`/`v` lengths differ, are not multiples of `d_head`, or
+    /// change between calls.
+    pub fn append(&mut self, k: &[f32], v: &[f32]) {
+        assert_eq!(k.len(), v.len(), "key/value length mismatch");
+        assert_eq!(k.len() % self.d_head, 0, "vector not divisible by d_head");
+        if let Some(first) = self.keys.first() {
+            assert_eq!(
+                k.len() / self.d_head,
+                first.len(),
+                "head count changed between appends"
+            );
+        }
+        let quantize_heads =
+            |x: &[f32]| x.chunks_exact(self.d_head).map(quantize_vec).collect::<Vec<_>>();
+        self.keys.push(quantize_heads(k));
+        self.values.push(quantize_heads(v));
+    }
+
+    /// Cached key of token `t`, head `h` (local head index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn key_head(&self, t: usize, h: usize) -> &QuantizedVector {
+        &self.keys[t][h]
+    }
+
+    /// Cached value of token `t`, head `h` (local head index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn value_head(&self, t: usize, h: usize) -> &QuantizedVector {
+        &self.values[t][h]
+    }
+
+    /// Int8 bytes held by this layer's cache (keys + values).
+    pub fn byte_len(&self) -> usize {
+        let per_token: usize = self
+            .keys
+            .first()
+            .map_or(0, |heads| heads.iter().map(QuantizedVector::byte_len).sum());
+        2 * per_token * self.keys.len()
+    }
+
+    /// Clears all cached tokens.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.values.clear();
+    }
+}
+
+/// KV caches of every layer of a model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KvCache {
+    layers: Vec<LayerKvCache>,
+}
+
+impl KvCache {
+    /// Creates caches for `layers` layers with the given head dimension.
+    pub fn new(layers: usize, d_head: usize) -> Self {
+        KvCache {
+            layers: (0..layers).map(|_| LayerKvCache::new(d_head)).collect(),
+        }
+    }
+
+    /// Number of layers.
+    pub fn layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Cache of layer `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn layer(&self, l: usize) -> &LayerKvCache {
+        &self.layers[l]
+    }
+
+    /// Mutable cache of layer `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn layer_mut(&mut self, l: usize) -> &mut LayerKvCache {
+        &mut self.layers[l]
+    }
+
+    /// Cached sequence length (tokens in layer 0; all layers stay in step).
+    pub fn seq_len(&self) -> usize {
+        self.layers.first().map_or(0, LayerKvCache::len)
+    }
+
+    /// Total int8 bytes across all layers.
+    pub fn byte_len(&self) -> usize {
+        self.layers.iter().map(LayerKvCache::byte_len).sum()
+    }
+
+    /// Clears every layer.
+    pub fn clear(&mut self) {
+        for l in &mut self.layers {
+            l.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_back_per_head() {
+        let mut c = LayerKvCache::new(2);
+        c.append(&[1.0, -1.0, 10.0, 20.0], &[0.5, 0.25, -4.0, 8.0]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.heads(), 2);
+        let k0 = c.key_head(0, 0).dequantize();
+        assert!((k0[0] - 1.0).abs() < 0.02);
+        let k1 = c.key_head(0, 1).dequantize();
+        assert!((k1[1] - 20.0).abs() < 0.2);
+        let v1 = c.value_head(0, 1).dequantize();
+        assert!((v1[0] + 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn per_head_scales_isolate_outliers() {
+        // A huge head 1 must not destroy head 0's precision.
+        let mut c = LayerKvCache::new(2);
+        c.append(&[0.01, -0.02, 500.0, 250.0], &[0.0; 4]);
+        let k0 = c.key_head(0, 0).dequantize();
+        assert!((k0[1] + 0.02).abs() < 0.001, "head 0 crushed: {k0:?}");
+    }
+
+    #[test]
+    fn head_slice_matches_full_cache() {
+        // The property the paper's head-wise partitioning relies on: a
+        // cache fed only heads 2..4 equals the corresponding slice of the
+        // full cache.
+        let d_head = 4;
+        let full_k: Vec<f32> = (0..16).map(|i| (i as f32 * 0.3).sin()).collect();
+        let full_v: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).cos()).collect();
+        let mut full = LayerKvCache::new(d_head);
+        full.append(&full_k, &full_v);
+        let mut part = LayerKvCache::new(d_head);
+        part.append(&full_k[8..16], &full_v[8..16]);
+        for h in 0..2 {
+            assert_eq!(part.key_head(0, h), full.key_head(0, h + 2));
+            assert_eq!(part.value_head(0, h), full.value_head(0, h + 2));
+        }
+    }
+
+    #[test]
+    fn byte_accounting_is_int8() {
+        let mut c = LayerKvCache::new(8);
+        for _ in 0..5 {
+            c.append(&[0.1; 16], &[0.2; 16]);
+        }
+        // 5 tokens × (16 + 16) bytes
+        assert_eq!(c.byte_len(), 160);
+    }
+
+    #[test]
+    #[should_panic(expected = "head count changed")]
+    fn dimension_change_panics() {
+        let mut c = LayerKvCache::new(4);
+        c.append(&[1.0; 4], &[1.0; 4]);
+        c.append(&[1.0; 8], &[1.0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible by d_head")]
+    fn indivisible_vector_panics() {
+        let mut c = LayerKvCache::new(4);
+        c.append(&[1.0; 6], &[1.0; 6]);
+    }
+
+    #[test]
+    fn model_cache_tracks_layers() {
+        let mut c = KvCache::new(3, 8);
+        assert_eq!(c.layers(), 3);
+        assert_eq!(c.seq_len(), 0);
+        for l in 0..3 {
+            c.layer_mut(l).append(&[0.0; 8], &[0.0; 8]);
+        }
+        assert_eq!(c.seq_len(), 1);
+        assert_eq!(c.byte_len(), 3 * 16);
+        c.clear();
+        assert_eq!(c.seq_len(), 0);
+        assert_eq!(c.byte_len(), 0);
+    }
+}

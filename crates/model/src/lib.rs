@@ -1,0 +1,53 @@
+//! # looplynx-model — functional GPT-2 substrate
+//!
+//! A self-contained, auto-regressive GPT-2 implementation running under the
+//! W8A8 quantization scheme of the LoopLynx paper: int8 weights and
+//! activations with 32-bit accumulation for every linear layer and for the
+//! attention score / token-mixing MACs, f32 for the critical-path operators
+//! (layernorm, residual, softmax) exactly as the accelerator partitions the
+//! work between its integer MAC hardware and its float units.
+//!
+//! The paper evaluates the GPT-2 (345M) model; checkpoints are not
+//! available offline, so weights are *synthetic* (seeded, reproducible —
+//! see [`weights`]). All latency/energy results depend only on tensor
+//! shapes, never on weight values; functional tests use small configs where
+//! the integer pipeline can be compared against an f32 reference.
+//!
+//! * [`config`] — model hyper-parameters and derived byte counts.
+//! * [`weights`] — seeded synthetic weight generation.
+//! * [`kv_cache`] — the quantized key/value cache.
+//! * [`attention`] — causal multi-head attention over the cache.
+//! * [`block`] — one transformer block.
+//! * [`gpt2`] — end-to-end model: prefill, decode, generate.
+//! * [`sampler`] — greedy and top-k sampling.
+//! * [`tokenizer`] — byte-level tokenizer.
+//!
+//! # Example
+//!
+//! ```
+//! use looplynx_model::config::ModelConfig;
+//! use looplynx_model::gpt2::Gpt2Model;
+//! use looplynx_model::sampler::Sampler;
+//!
+//! let cfg = ModelConfig::tiny();
+//! let mut model = Gpt2Model::synthetic(&cfg, 42);
+//! let out = model.generate(&[1, 2, 3], 4, &mut Sampler::greedy());
+//! assert_eq!(out.len(), 4);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod attention;
+pub mod block;
+pub mod config;
+pub mod eval;
+pub mod gpt2;
+pub mod kv_cache;
+pub mod sampler;
+pub mod tokenizer;
+pub mod weights;
+
+pub use config::ModelConfig;
+pub use gpt2::Gpt2Model;
+pub use sampler::Sampler;

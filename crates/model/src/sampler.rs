@@ -1,0 +1,183 @@
+//! Token sampling strategies.
+//!
+//! The paper's host performs sampling after synchronizing model output from
+//! the accelerator; greedy decoding is what its latency measurements imply
+//! (one deterministic token per step). Top-k is provided for the example
+//! applications.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A sampling strategy over next-token logits.
+pub enum Sampler {
+    /// Always pick the arg-max logit (ties break to the lowest id).
+    Greedy,
+    /// Sample among the `k` highest logits with a temperature.
+    TopK {
+        /// Number of candidates kept.
+        k: usize,
+        /// Softmax temperature (> 0).
+        temperature: f32,
+        /// Seeded RNG for reproducibility.
+        rng: StdRng,
+    },
+}
+
+impl fmt::Debug for Sampler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sampler::Greedy => write!(f, "Sampler::Greedy"),
+            Sampler::TopK { k, temperature, .. } => {
+                write!(f, "Sampler::TopK(k={k}, T={temperature})")
+            }
+        }
+    }
+}
+
+impl Sampler {
+    /// Greedy (arg-max) sampler.
+    pub fn greedy() -> Self {
+        Sampler::Greedy
+    }
+
+    /// Top-k sampler with the given temperature and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `temperature <= 0`.
+    pub fn top_k(k: usize, temperature: f32, seed: u64) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(
+            temperature > 0.0 && temperature.is_finite(),
+            "temperature must be positive"
+        );
+        Sampler::TopK {
+            k,
+            temperature,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Picks the next token id from `logits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is empty.
+    pub fn sample(&mut self, logits: &[f32]) -> u32 {
+        assert!(!logits.is_empty(), "cannot sample from empty logits");
+        match self {
+            Sampler::Greedy => argmax(logits) as u32,
+            Sampler::TopK {
+                k,
+                temperature,
+                rng,
+            } => {
+                let mut idx: Vec<usize> = (0..logits.len()).collect();
+                idx.sort_by(|&a, &b| {
+                    logits[b]
+                        .partial_cmp(&logits[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                idx.truncate(*k);
+                let max = logits[idx[0]];
+                let weights: Vec<f32> = idx
+                    .iter()
+                    .map(|&i| ((logits[i] - max) / *temperature).exp())
+                    .collect();
+                let total: f32 = weights.iter().sum();
+                let mut draw = rng.random::<f32>() * total;
+                for (&i, &w) in idx.iter().zip(&weights) {
+                    if draw <= w {
+                        return i as u32;
+                    }
+                    draw -= w;
+                }
+                idx[idx.len() - 1] as u32
+            }
+        }
+    }
+}
+
+/// Index of the largest value (first occurrence wins).
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_picks_argmax() {
+        let mut s = Sampler::greedy();
+        assert_eq!(s.sample(&[0.1, 3.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn greedy_tie_breaks_low() {
+        let mut s = Sampler::greedy();
+        assert_eq!(s.sample(&[5.0, 5.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn top1_equals_greedy() {
+        let logits = [0.5f32, -2.0, 4.0, 1.0];
+        let mut tk = Sampler::top_k(1, 1.0, 123);
+        let mut g = Sampler::greedy();
+        for _ in 0..5 {
+            assert_eq!(tk.sample(&logits), g.sample(&logits));
+        }
+    }
+
+    #[test]
+    fn top_k_stays_within_candidates() {
+        let logits = [10.0f32, 9.0, 8.0, -50.0, -60.0];
+        let mut s = Sampler::top_k(3, 1.0, 7);
+        for _ in 0..50 {
+            let t = s.sample(&logits);
+            assert!(t < 3, "sampled outside top-3: {t}");
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let logits: Vec<f32> = (0..20).map(|i| (i as f32 * 0.7).sin()).collect();
+        let mut a = Sampler::top_k(5, 0.8, 42);
+        let mut b = Sampler::top_k(5, 0.8, 42);
+        let sa: Vec<u32> = (0..10).map(|_| a.sample(&logits)).collect();
+        let sb: Vec<u32> = (0..10).map(|_| b.sample(&logits)).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn high_temperature_spreads_mass() {
+        let logits = [2.0f32, 1.0, 0.0];
+        let mut s = Sampler::top_k(3, 100.0, 3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.sample(&logits) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "high T should visit all: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty logits")]
+    fn empty_logits_panics() {
+        Sampler::greedy().sample(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = Sampler::top_k(0, 1.0, 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Discrete-event execution of a [`PipelineSpec`] — an *independent*
+//! implementation of the pipeline semantics used to cross-validate the
+//! closed-form calculator.
+//!
+//! The calculator in [`crate::pipeline`] evaluates the classic start-time
+//! recurrences; this module instead simulates the same pipeline with
+//! event-driven stage processes and credit-based flow control (a credit is
+//! consumed when a stage *starts* an item — reserving a slot in its output
+//! FIFO — and returned when the downstream stage starts that item, exactly
+//! the `start[s][i] ≥ start[s+1][i−capacity]` rule). The property tests
+//! assert both implementations produce identical makespans for arbitrary
+//! pipelines, which is the strongest internal evidence that the kernel
+//! timing models are simulating what they claim to.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::engine::{Context, Engine, Process, ProcessId};
+use crate::pipeline::PipelineSpec;
+use crate::time::Cycles;
+
+/// Messages exchanged between stage processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Msg {
+    /// An item (by index) arriving at a stage's input queue.
+    Item(usize),
+    /// A downstream stage started an item: one output-FIFO slot freed.
+    Credit,
+    /// Self-scheduled wake-up to retry issuing.
+    Poll,
+}
+
+/// One pipeline stage as a DES process.
+struct StageProc {
+    latency: u64,
+    ii: u64,
+    me: ProcessId,
+    next: Option<ProcessId>,
+    /// Items waiting at the input, FIFO order.
+    queue: std::collections::VecDeque<usize>,
+    /// Output-FIFO slots available (usize::MAX = unbounded).
+    credits: usize,
+    /// Time of the most recent issue, if any.
+    last_start: Option<Cycles>,
+    /// Completion times of items leaving the *last* stage.
+    sink: Option<Rc<RefCell<Vec<Cycles>>>>,
+}
+
+impl StageProc {
+    fn can_start(&self, now: Cycles) -> bool {
+        if self.queue.is_empty() || self.credits == 0 {
+            return false;
+        }
+        match self.last_start {
+            None => true,
+            Some(t) => now.as_u64() >= t.as_u64() + self.ii,
+        }
+    }
+
+    /// Issues the next item if all gates are open; returns whether an
+    /// item was started. Schedules a poll when only the II gate is closed.
+    fn try_start(&mut self, now: Cycles, ctx: &mut Context<Msg>) -> bool {
+        let started = if self.can_start(now) {
+            let item = self.queue.pop_front().expect("checked non-empty");
+            self.last_start = Some(now);
+            if self.credits != usize::MAX {
+                self.credits -= 1;
+            }
+            match self.next {
+                Some(next) => {
+                    // item arrives downstream when it finishes here; the
+                    // downstream start will return our credit
+                    ctx.send_after(Cycles::new(self.latency), next, Msg::Item(item));
+                }
+                None => {
+                    let done = now + Cycles::new(self.latency);
+                    self.sink
+                        .as_ref()
+                        .expect("last stage has a sink")
+                        .borrow_mut()
+                        .push(done);
+                }
+            }
+            true
+        } else {
+            false
+        };
+        // if an item is waiting but the II gate is closed, poll again when
+        // it opens
+        if !self.queue.is_empty() && self.credits > 0 {
+            if let Some(t) = self.last_start {
+                let ready = t + Cycles::new(self.ii);
+                if ready > now {
+                    ctx.send_after(ready - now, self.me, Msg::Poll);
+                }
+            }
+        }
+        started
+    }
+}
+
+/// Wrapper wiring a stage to its predecessor for credit returns.
+struct WiredStage {
+    inner: StageProc,
+    prev: Option<ProcessId>,
+}
+
+impl Process<Msg> for WiredStage {
+    fn on_message(&mut self, now: Cycles, msg: Msg, ctx: &mut Context<Msg>) {
+        if let Msg::Item(i) = msg {
+            self.inner.queue.push_back(i);
+        }
+        if let Msg::Credit = msg {
+            if self.inner.credits != usize::MAX {
+                self.inner.credits += 1;
+            }
+        }
+        // every start frees one slot of the upstream FIFO
+        if self.inner.try_start(now, ctx) {
+            if let Some(prev) = self.prev {
+                ctx.send_now(prev, Msg::Credit);
+            }
+        }
+    }
+}
+
+/// Executes `spec` over `n` items (all arriving at cycle 0) with the
+/// discrete-event engine; returns the makespan.
+///
+/// # Panics
+///
+/// Panics if the simulation livelocks (defensive bound).
+pub fn des_makespan(spec: &PipelineSpec, n: usize) -> Cycles {
+    if n == 0 {
+        return Cycles::ZERO;
+    }
+    let sink: Rc<RefCell<Vec<Cycles>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut engine: Engine<Msg> = Engine::new();
+    let count = spec.stages().len();
+    for (s, stage) in spec.stages().iter().enumerate() {
+        let last = s + 1 == count;
+        engine.add_process(WiredStage {
+            inner: StageProc {
+                latency: stage.latency,
+                ii: stage.ii,
+                me: s,
+                next: (!last).then_some(s + 1),
+                queue: std::collections::VecDeque::new(),
+                credits: if last { usize::MAX } else { stage.out_capacity },
+                last_start: None,
+                sink: last.then(|| Rc::clone(&sink)),
+            },
+            prev: (s > 0).then(|| s - 1),
+        });
+    }
+    for i in 0..n {
+        engine.post(Cycles::ZERO, 0, Msg::Item(i));
+    }
+    engine
+        .run_bounded(10_000_000)
+        .expect("pipeline DES livelocked");
+    let done = sink.borrow();
+    assert_eq!(done.len(), n, "not every item drained");
+    done.iter().copied().fold(Cycles::ZERO, Cycles::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::StageSpec;
+
+    fn spec(stages: &[(u64, u64, usize)]) -> PipelineSpec {
+        PipelineSpec::new(
+            stages
+                .iter()
+                .map(|&(l, ii, cap)| StageSpec::new("s", l, ii).with_out_capacity(cap))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn single_stage_matches_calculator() {
+        let p = spec(&[(5, 3, 4)]);
+        for n in [1usize, 2, 7, 20] {
+            assert_eq!(
+                des_makespan(&p, n),
+                p.evaluate_uniform(n).makespan(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_stage_pipeline_matches_calculator() {
+        let p = spec(&[(2, 2, 8), (3, 3, 8)]);
+        for n in [1usize, 3, 10] {
+            assert_eq!(des_makespan(&p, n), p.evaluate_uniform(n).makespan());
+        }
+    }
+
+    #[test]
+    fn bottleneck_pipeline_matches_calculator() {
+        let p = spec(&[(1, 1, 16), (10, 10, 16), (1, 1, 16)]);
+        assert_eq!(des_makespan(&p, 25), p.evaluate_uniform(25).makespan());
+    }
+
+    #[test]
+    fn tight_fifo_backpressure_matches_calculator() {
+        // fast producer, 1-deep FIFO, slow consumer: heavy backpressure
+        let p = spec(&[(1, 1, 1), (9, 9, 1), (4, 4, 1)]);
+        for n in [1usize, 2, 5, 12] {
+            assert_eq!(
+                des_makespan(&p, n),
+                p.evaluate_uniform(n).makespan(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn mp_kernel_shape_matches_calculator() {
+        // the fused MP kernel's stage shape (dma/mac/pack/quant/send)
+        let p = spec(&[(1163, 1163, 64), (1032, 1024, 64), (4, 1, 64), (24, 1, 64), (12, 12, 64)]);
+        assert_eq!(des_makespan(&p, 12), p.evaluate_uniform(12).makespan());
+    }
+
+    #[test]
+    fn zero_items_is_free() {
+        let p = spec(&[(1, 1, 1)]);
+        assert_eq!(des_makespan(&p, 0), Cycles::ZERO);
+    }
+}

@@ -1,0 +1,234 @@
+//! Bounded FIFO semantics.
+//!
+//! Every unit inside a LoopLynx macro dataflow kernel is "connected via
+//! FIFOs, thus reducing the place and route complexity and enabling the
+//! frequency to reach 285 MHz" (paper Section III-D). This module provides
+//! the functional bounded queue used when real data flows through the
+//! kernels, together with occupancy statistics that feed FIFO-sizing
+//! decisions.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Error returned by [`BoundedFifo::push`] when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoFullError {
+    capacity: usize,
+}
+
+impl fmt::Display for FifoFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fifo full at capacity {}", self.capacity)
+    }
+}
+
+impl std::error::Error for FifoFullError {}
+
+/// A bounded, single-producer single-consumer queue with occupancy stats.
+///
+/// # Example
+///
+/// ```
+/// use looplynx_sim::fifo::BoundedFifo;
+///
+/// let mut f = BoundedFifo::new(2);
+/// f.push(1).unwrap();
+/// f.push(2).unwrap();
+/// assert!(f.push(3).is_err());
+/// assert_eq!(f.pop(), Some(1));
+/// assert_eq!(f.high_water(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedFifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    high_water: usize,
+    pushes: u64,
+    pops: u64,
+    rejected: u64,
+}
+
+impl<T> BoundedFifo<T> {
+    /// Creates a FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be at least 1");
+        BoundedFifo {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            high_water: 0,
+            pushes: 0,
+            pops: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Capacity in items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the FIFO is full.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Enqueues an item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] (with the item lost to the caller —
+    /// use [`BoundedFifo::try_push`] to retain it) when full.
+    pub fn push(&mut self, item: T) -> Result<(), FifoFullError> {
+        self.try_push(item).map_err(|(e, _)| e)
+    }
+
+    /// Enqueues an item, handing it back on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error and the rejected item when full.
+    pub fn try_push(&mut self, item: T) -> Result<(), (FifoFullError, T)> {
+        if self.is_full() {
+            self.rejected += 1;
+            return Err((
+                FifoFullError {
+                    capacity: self.capacity,
+                },
+                item,
+            ));
+        }
+        self.items.push_back(item);
+        self.pushes += 1;
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.items.pop_front();
+        if item.is_some() {
+            self.pops += 1;
+        }
+        item
+    }
+
+    /// Peeks at the oldest item without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Largest occupancy ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total successful pushes.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total successful pops.
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Pushes rejected because the FIFO was full (backpressure events).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Drains all items in FIFO order.
+    pub fn drain_all(&mut self) -> Vec<T> {
+        self.pops += self.items.len() as u64;
+        self.items.drain(..).collect()
+    }
+}
+
+impl<T> Extend<T> for BoundedFifo<T> {
+    /// Extends the FIFO, silently dropping items beyond capacity
+    /// (counted in [`BoundedFifo::rejected`]).
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            let _ = self.try_push(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut f = BoundedFifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        assert_eq!(f.drain_all(), vec![0, 1, 2, 3]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn full_fifo_rejects_and_counts() {
+        let mut f = BoundedFifo::new(1);
+        f.push("a").unwrap();
+        assert!(f.is_full());
+        let (err, item) = f.try_push("b").unwrap_err();
+        assert_eq!(item, "b");
+        assert!(err.to_string().contains("capacity 1"));
+        assert_eq!(f.rejected(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut f = BoundedFifo::new(8);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.push(3).unwrap();
+        f.pop();
+        f.pop();
+        f.push(4).unwrap();
+        assert_eq!(f.high_water(), 3);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.pushes(), 4);
+        assert_eq!(f.pops(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = BoundedFifo::new(2);
+        f.push(42).unwrap();
+        assert_eq!(f.peek(), Some(&42));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.pop(), Some(42));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn extend_drops_overflow() {
+        let mut f = BoundedFifo::new(3);
+        f.extend(0..10);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.rejected(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedFifo::<u8>::new(0);
+    }
+}

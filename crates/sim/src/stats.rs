@@ -1,0 +1,272 @@
+//! Utilization and throughput accounting.
+//!
+//! The paper's central argument is about *peak area utilization*: temporal
+//! architectures serialize functional units, spatial architectures leave
+//! most instantiated kernels idle during decode, and the hybrid design keeps
+//! one large kernel busy at a time at full width. These accumulators let the
+//! scheduler quantify that claim.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Cycles;
+
+/// Busy-time accumulator for one hardware unit.
+///
+/// # Example
+///
+/// ```
+/// use looplynx_sim::stats::Utilization;
+/// use looplynx_sim::time::Cycles;
+///
+/// let mut u = Utilization::new("mp");
+/// u.record_busy(Cycles::new(30));
+/// u.record_busy(Cycles::new(20));
+/// assert!((u.fraction_of(Cycles::new(100)) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Utilization {
+    name: String,
+    busy: Cycles,
+    activations: u64,
+}
+
+impl Utilization {
+    /// Creates an accumulator for the unit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Utilization {
+            name: name.into(),
+            busy: Cycles::ZERO,
+            activations: 0,
+        }
+    }
+
+    /// Unit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds one activation of `busy` cycles.
+    pub fn record_busy(&mut self, busy: Cycles) {
+        self.busy += busy;
+        self.activations += 1;
+    }
+
+    /// Total busy cycles.
+    pub fn busy(&self) -> Cycles {
+        self.busy
+    }
+
+    /// Number of recorded activations.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Busy fraction of the given span (clamped to 1.0; overlapping
+    /// activations can transiently exceed the span in pipelined designs).
+    pub fn fraction_of(&self, span: Cycles) -> f64 {
+        if span == Cycles::ZERO {
+            return 0.0;
+        }
+        (self.busy.as_f64() / span.as_f64()).min(1.0)
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} over {} activations",
+            self.name, self.busy, self.activations
+        )
+    }
+}
+
+/// Streaming mean/min/max accumulator for scalar samples.
+///
+/// # Example
+///
+/// ```
+/// use looplynx_sim::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.add(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn add(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite sample: {x}");
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the samples, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            write!(f, "no samples")
+        } else {
+            write!(
+                f,
+                "n={} mean={:.3} min={:.3} max={:.3}",
+                self.count, self.mean(), self.min, self.max
+            )
+        }
+    }
+}
+
+/// Geometric mean over positive ratios (the conventional way to average
+/// normalized speedups such as Fig. 8's latency ratios).
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any ratio is not strictly positive.
+pub fn geometric_mean(ratios: &[f64]) -> Option<f64> {
+    if ratios.is_empty() {
+        return None;
+    }
+    let log_sum: f64 = ratios
+        .iter()
+        .map(|&r| {
+            assert!(r > 0.0 && r.is_finite(), "invalid ratio {r}");
+            r.ln()
+        })
+        .sum();
+    Some((log_sum / ratios.len() as f64).exp())
+}
+
+/// Arithmetic mean; returns `None` for an empty slice.
+pub fn arithmetic_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_accumulates() {
+        let mut u = Utilization::new("unit");
+        u.record_busy(Cycles::new(10));
+        u.record_busy(Cycles::new(15));
+        assert_eq!(u.busy().as_u64(), 25);
+        assert_eq!(u.activations(), 2);
+        assert!((u.fraction_of(Cycles::new(50)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_fraction_clamps() {
+        let mut u = Utilization::new("unit");
+        u.record_busy(Cycles::new(200));
+        assert_eq!(u.fraction_of(Cycles::new(100)), 1.0);
+        assert_eq!(u.fraction_of(Cycles::ZERO), 0.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.to_string(), "no samples");
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::new();
+        for x in [4.0, -1.0, 7.5] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), Some(-1.0));
+        assert_eq!(s.max(), Some(7.5));
+        assert!((s.mean() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn summary_rejects_nan() {
+        Summary::new().add(f64::NAN);
+    }
+
+    #[test]
+    fn geomean_of_reciprocal_pair_is_one() {
+        let g = geometric_mean(&[2.0, 0.5]).unwrap();
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_empty_is_none() {
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(arithmetic_mean(&[]), None);
+    }
+
+    #[test]
+    fn arithmetic_mean_basic() {
+        assert!((arithmetic_mean(&[1.0, 2.0, 3.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+}

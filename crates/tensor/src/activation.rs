@@ -1,0 +1,152 @@
+//! GELU and two-phase softmax.
+//!
+//! The softmax decomposition mirrors the hardware: "the calculation of
+//! softmax requires obtaining the global sum of exponent values (softmax.1)
+//! before generating the weighted score (softmax.2)" (paper Section III-C).
+//! Keeping the two phases as separate functions lets the MHA kernel model
+//! account for them individually and lets the head-wise pipeline hide phase
+//! boundaries between heads.
+
+use serde::{Deserialize, Serialize};
+
+/// GELU activation (tanh approximation, as used by GPT-2).
+pub fn gelu(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Applies GELU elementwise.
+pub fn gelu_vec(xs: &[f32]) -> Vec<f32> {
+    xs.iter().map(|&x| gelu(x)).collect()
+}
+
+/// Intermediate state after softmax phase 1: shifted exponentials and their
+/// global sum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoftmaxPhase1 {
+    exps: Vec<f32>,
+    sum: f32,
+}
+
+impl SoftmaxPhase1 {
+    /// The global exponent sum that phase 2 blocks on.
+    pub fn sum(&self) -> f32 {
+        self.sum
+    }
+
+    /// Number of scores.
+    pub fn len(&self) -> usize {
+        self.exps.len()
+    }
+
+    /// Whether there were no scores.
+    pub fn is_empty(&self) -> bool {
+        self.exps.is_empty()
+    }
+}
+
+/// Softmax phase 1: numerically-stable exponentials and their global sum.
+pub fn softmax_phase1(scores: &[f32]) -> SoftmaxPhase1 {
+    let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = if scores.is_empty() {
+        Vec::new()
+    } else {
+        scores.iter().map(|&s| (s - max).exp()).collect()
+    };
+    let sum = exps.iter().sum();
+    SoftmaxPhase1 { exps, sum }
+}
+
+/// Softmax phase 2: divides by the global sum to produce weights.
+pub fn softmax_phase2(phase1: &SoftmaxPhase1) -> Vec<f32> {
+    if phase1.exps.is_empty() {
+        return Vec::new();
+    }
+    let inv = 1.0 / phase1.sum;
+    phase1.exps.iter().map(|&e| e * inv).collect()
+}
+
+/// Complete softmax (both phases).
+pub fn softmax(scores: &[f32]) -> Vec<f32> {
+    softmax_phase2(&softmax_phase1(scores))
+}
+
+/// Causal mask: positions after `valid_len` are forced to `-inf` so the
+/// subsequent softmax assigns them zero weight — "the mask unit ensures
+/// that only forward attention is kept" (paper Section III-D).
+pub fn causal_mask(scores: &mut [f32], valid_len: usize) {
+    for s in scores.iter_mut().skip(valid_len) {
+        *s = f32::NEG_INFINITY;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gelu_known_points() {
+        assert_eq!(gelu(0.0), 0.0);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu(-1.0) + 0.1588).abs() < 1e-3);
+        // large positive ≈ identity; large negative ≈ 0
+        assert!((gelu(10.0) - 10.0).abs() < 1e-3);
+        assert!(gelu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let w = softmax(&[1.0, 2.0, 3.0, 4.0]);
+        let sum: f32 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(w.windows(2).all(|p| p[0] < p[1]), "monotone in scores");
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_survives_large_scores() {
+        let w = softmax(&[1000.0, 999.0]);
+        assert!(w.iter().all(|v| v.is_finite()));
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phases_compose_to_softmax() {
+        let scores = [0.5f32, -1.0, 2.0];
+        let p1 = softmax_phase1(&scores);
+        assert_eq!(p1.len(), 3);
+        let direct = softmax(&scores);
+        let phased = softmax_phase2(&p1);
+        assert_eq!(direct, phased);
+    }
+
+    #[test]
+    fn empty_softmax_is_empty() {
+        assert!(softmax(&[]).is_empty());
+        assert!(softmax_phase1(&[]).is_empty());
+    }
+
+    #[test]
+    fn causal_mask_zeroes_future() {
+        let mut scores = vec![1.0f32; 5];
+        causal_mask(&mut scores, 3);
+        let w = softmax(&scores);
+        assert!(w[3] == 0.0 && w[4] == 0.0);
+        assert!((w[..3].iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_mask_keeps_everything() {
+        let mut scores = vec![1.0f32, 2.0];
+        causal_mask(&mut scores, 2);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+}

@@ -1,0 +1,55 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Error returned when matrix/vector shapes are incompatible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    expected: (usize, usize),
+    actual: (usize, usize),
+    context: &'static str,
+}
+
+impl ShapeError {
+    /// Creates a shape error; `expected`/`actual` are `(rows, cols)` pairs
+    /// (use `1` for vector dimensions).
+    pub fn new(context: &'static str, expected: (usize, usize), actual: (usize, usize)) -> Self {
+        ShapeError {
+            expected,
+            actual,
+            context,
+        }
+    }
+
+    /// The operation that failed.
+    pub fn context(&self) -> &'static str {
+        self.context
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: expected {}x{}, got {}x{}",
+            self.context, self.expected.0, self.expected.1, self.actual.0, self.actual.1
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_operation() {
+        let e = ShapeError::new("gemv", (4, 8), (4, 7));
+        let s = e.to_string();
+        assert!(s.contains("gemv"));
+        assert!(s.contains("4x8"));
+        assert!(s.contains("4x7"));
+        assert_eq!(e.context(), "gemv");
+    }
+}

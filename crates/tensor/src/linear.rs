@@ -1,0 +1,377 @@
+//! Integer GEMV/GEMM and the quantized linear layer.
+//!
+//! The accelerator's matrix processing unit is "accumulator-multiplier based
+//! MAC hardware": each MAC consumes one int8 weight and one int8 activation
+//! per cycle and accumulates in 32-bit. After a row's `l_embed` MACs, the
+//! quantization unit "performs bias addition and quantization" (paper
+//! Section III-D). [`QuantLinear::forward`] reproduces exactly that
+//! sequence: `i8 × i8 → i32` accumulate, dequantize with
+//! `x_scale · w_scale[row]`, add the bias, and optionally requantize for
+//! the next kernel.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ShapeError;
+use crate::matrix::Matrix;
+use crate::quant::{
+    quantize_matrix_per_row, quantize_vec_with_scale, QuantizedMatrix, QuantizedVector,
+};
+
+/// Integer matrix-vector product: `y[r] = Σ_c w[r,c] · x[c]` in i32.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `x.len() != w.cols()`.
+pub fn gemv_i32(w: &Matrix<i8>, x: &[i8]) -> Result<Vec<i32>, ShapeError> {
+    if x.len() != w.cols() {
+        return Err(ShapeError::new("gemv", (w.rows(), w.cols()), (1, x.len())));
+    }
+    Ok(w.iter_rows()
+        .map(|row| {
+            row.iter()
+                .zip(x)
+                .map(|(&a, &b)| a as i32 * b as i32)
+                .sum::<i32>()
+        })
+        .collect())
+}
+
+/// Integer matrix-matrix product `W · Xᵀ` where `X` holds one activation
+/// vector per row: `y[r][t] = Σ_c w[r,c] · x[t,c]`.
+///
+/// This is the prefill-stage shape: `t` indexes prompt tokens.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `x.cols() != w.cols()`.
+pub fn gemm_i32(w: &Matrix<i8>, x: &Matrix<i8>) -> Result<Matrix<i32>, ShapeError> {
+    if x.cols() != w.cols() {
+        return Err(ShapeError::new(
+            "gemm",
+            (w.rows(), w.cols()),
+            (x.rows(), x.cols()),
+        ));
+    }
+    let mut out = Matrix::<i32>::zeros(x.rows(), w.rows());
+    for (t, xrow) in x.iter_rows().enumerate() {
+        for (r, wrow) in w.iter_rows().enumerate() {
+            let acc: i32 = wrow.iter().zip(xrow).map(|(&a, &b)| a as i32 * b as i32).sum();
+            out.set(t, r, acc);
+        }
+    }
+    Ok(out)
+}
+
+/// A W8A8 linear layer: int8 weights with per-row scales and an f32 bias.
+///
+/// # Example
+///
+/// ```
+/// use looplynx_tensor::matrix::Matrix;
+/// use looplynx_tensor::linear::QuantLinear;
+/// use looplynx_tensor::quant::quantize_vec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let w = Matrix::from_fn(2, 4, |r, c| if r == 0 { 0.5 } else { (c as f32) * 0.1 });
+/// let lin = QuantLinear::from_f32(&w, &[1.0, -1.0])?;
+/// let y = lin.forward(&quantize_vec(&[1.0, 1.0, 1.0, 1.0]));
+/// assert!((y[0] - 3.0).abs() < 0.1); // 4*0.5 + 1.0
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantLinear {
+    weight: QuantizedMatrix,
+    bias: Vec<f32>,
+}
+
+impl QuantLinear {
+    /// Quantizes an f32 weight matrix (per-row scales) and wraps the bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `bias.len() != w.rows()`.
+    pub fn from_f32(w: &Matrix<f32>, bias: &[f32]) -> Result<Self, ShapeError> {
+        if bias.len() != w.rows() {
+            return Err(ShapeError::new(
+                "linear bias",
+                (w.rows(), 1),
+                (bias.len(), 1),
+            ));
+        }
+        Ok(QuantLinear {
+            weight: quantize_matrix_per_row(w),
+            bias: bias.to_vec(),
+        })
+    }
+
+    /// Wraps pre-quantized weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `bias.len() != weight.shape().0`.
+    pub fn new(weight: QuantizedMatrix, bias: Vec<f32>) -> Result<Self, ShapeError> {
+        if bias.len() != weight.shape().0 {
+            return Err(ShapeError::new(
+                "linear bias",
+                (weight.shape().0, 1),
+                (bias.len(), 1),
+            ));
+        }
+        Ok(QuantLinear { weight, bias })
+    }
+
+    /// Output features (rows of the weight matrix).
+    pub fn out_features(&self) -> usize {
+        self.weight.shape().0
+    }
+
+    /// Input features (columns of the weight matrix).
+    pub fn in_features(&self) -> usize {
+        self.weight.shape().1
+    }
+
+    /// The quantized weights.
+    pub fn weight(&self) -> &QuantizedMatrix {
+        &self.weight
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Weight bytes streamed from HBM per activation of this layer.
+    pub fn weight_bytes(&self) -> usize {
+        self.weight.byte_len()
+    }
+
+    /// Forward pass for one token: int accumulate, dequantize, add bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_features()` (shape errors on the hot path
+    /// indicate a programming bug, not recoverable input).
+    pub fn forward(&self, x: &QuantizedVector) -> Vec<f32> {
+        let acc = gemv_i32(self.weight.data(), x.data()).expect("gemv shape");
+        acc.iter()
+            .zip(self.weight.row_scales())
+            .zip(&self.bias)
+            .map(|((&a, &ws), &b)| a as f32 * ws * x.scale() + b)
+            .collect()
+    }
+
+    /// Forward pass followed by requantization at the given output scale —
+    /// the complete MP-kernel epilogue (bias + quantization in the
+    /// quantization unit).
+    pub fn forward_requantized(&self, x: &QuantizedVector, out_scale: f32) -> QuantizedVector {
+        let y = self.forward(x);
+        quantize_vec_with_scale(&y, out_scale)
+    }
+
+    /// Batched forward for prefill: one row of `x` per token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_features()`.
+    pub fn forward_batch(&self, x: &Matrix<i8>, x_scale: f32) -> Matrix<f32> {
+        let acc = gemm_i32(self.weight.data(), x).expect("gemm shape");
+        Matrix::from_fn(acc.rows(), acc.cols(), |t, r| {
+            acc.get(t, r) as f32 * self.weight.row_scales()[r] * x_scale + self.bias[r]
+        })
+    }
+
+    /// Batched forward where each token row of `x` carries its own
+    /// activation scale — the exact batched counterpart of calling
+    /// [`QuantLinear::forward`] per token (bit-identical results), used by
+    /// the weight-sharing batched-prefill path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_features()` or
+    /// `x_scales.len() != x.rows()`.
+    pub fn forward_batch_scaled(&self, x: &Matrix<i8>, x_scales: &[f32]) -> Matrix<f32> {
+        assert_eq!(x_scales.len(), x.rows(), "one scale per token row");
+        let acc = gemm_i32(self.weight.data(), x).expect("gemm shape");
+        Matrix::from_fn(acc.rows(), acc.cols(), |t, r| {
+            acc.get(t, r) as f32 * self.weight.row_scales()[r] * x_scales[t] + self.bias[r]
+        })
+    }
+
+    /// Splits this layer by output rows into `parts` equal shards — the
+    /// column-parallel partition used for multi-node execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_features` is not divisible by `parts`.
+    pub fn shard_rows(&self, parts: usize) -> Vec<QuantLinear> {
+        assert!(parts > 0, "parts must be positive");
+        assert_eq!(
+            self.out_features() % parts,
+            0,
+            "out_features {} not divisible by {parts}",
+            self.out_features()
+        );
+        let chunk = self.out_features() / parts;
+        (0..parts)
+            .map(|p| QuantLinear {
+                weight: self.weight.slice_rows(p * chunk, (p + 1) * chunk),
+                bias: self.bias[p * chunk..(p + 1) * chunk].to_vec(),
+            })
+            .collect()
+    }
+}
+
+/// Reference f32 GEMV for accuracy comparisons.
+pub fn gemv_f32(w: &Matrix<f32>, x: &[f32]) -> Result<Vec<f32>, ShapeError> {
+    if x.len() != w.cols() {
+        return Err(ShapeError::new(
+            "gemv_f32",
+            (w.rows(), w.cols()),
+            (1, x.len()),
+        ));
+    }
+    Ok(w.iter_rows()
+        .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::quantize_vec;
+
+    #[test]
+    fn gemv_small_known_answer() {
+        let w = Matrix::from_vec(2, 3, vec![1i8, 2, 3, -1, 0, 1]).unwrap();
+        let y = gemv_i32(&w, &[1, 1, 1]).unwrap();
+        assert_eq!(y, vec![6, 0]);
+    }
+
+    #[test]
+    fn gemv_shape_error() {
+        let w = Matrix::<i8>::zeros(2, 3);
+        assert!(gemv_i32(&w, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn gemm_matches_repeated_gemv() {
+        let w = Matrix::from_fn(3, 4, |r, c| ((r * 4 + c) % 7) as i8 - 3);
+        let x = Matrix::from_fn(2, 4, |t, c| (t as i8 + 1) * (c as i8 - 1));
+        let full = gemm_i32(&w, &x).unwrap();
+        for t in 0..2 {
+            let single = gemv_i32(&w, x.row(t)).unwrap();
+            for r in 0..3 {
+                assert_eq!(full.get(t, r), single[r]);
+            }
+        }
+    }
+
+    #[test]
+    fn quant_linear_approximates_f32() {
+        let w = Matrix::from_fn(8, 16, |r, c| ((r as f32 - 4.0) * 0.1 + c as f32 * 0.01).sin());
+        let bias: Vec<f32> = (0..8).map(|i| i as f32 * 0.1).collect();
+        let lin = QuantLinear::from_f32(&w, &bias).unwrap();
+        let x: Vec<f32> = (0..16).map(|i| ((i as f32) * 0.3).cos()).collect();
+        let qy = lin.forward(&quantize_vec(&x));
+        let fy: Vec<f32> = gemv_f32(&w, &x)
+            .unwrap()
+            .iter()
+            .zip(&bias)
+            .map(|(a, b)| a + b)
+            .collect();
+        for (a, b) in qy.iter().zip(&fy) {
+            assert!((a - b).abs() < 0.05, "quantized {a} vs reference {b}");
+        }
+    }
+
+    #[test]
+    fn requantized_output_has_requested_scale() {
+        let w = Matrix::from_fn(4, 4, |_, _| 0.5);
+        let lin = QuantLinear::from_f32(&w, &[0.0; 4]).unwrap();
+        let out = lin.forward_requantized(&quantize_vec(&[1.0; 4]), 0.05);
+        assert_eq!(out.scale(), 0.05);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn sharding_tiles_the_output_exactly() {
+        let w = Matrix::from_fn(8, 4, |r, c| (r * 4 + c) as f32 * 0.01);
+        let bias: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let lin = QuantLinear::from_f32(&w, &bias).unwrap();
+        let x = quantize_vec(&[0.5, -0.5, 0.25, 1.0]);
+        let full = lin.forward(&x);
+        let shards = lin.shard_rows(4);
+        let stitched: Vec<f32> = shards.iter().flat_map(|s| s.forward(&x)).collect();
+        assert_eq!(full.len(), stitched.len());
+        for (a, b) in full.iter().zip(&stitched) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn sharding_requires_divisibility() {
+        let w = Matrix::from_fn(6, 2, |_, _| 1.0);
+        let lin = QuantLinear::from_f32(&w, &[0.0; 6]).unwrap();
+        let _ = lin.shard_rows(4);
+    }
+
+    #[test]
+    fn batch_forward_matches_single() {
+        let w = Matrix::from_fn(3, 5, |r, c| (r as f32 + 1.0) * 0.1 - c as f32 * 0.02);
+        let lin = QuantLinear::from_f32(&w, &[0.1, 0.2, 0.3]).unwrap();
+        let x0 = quantize_vec(&[0.4, -0.2, 0.1, 0.9, -0.6]);
+        let batch = Matrix::from_vec(1, 5, x0.data().to_vec()).unwrap();
+        let yb = lin.forward_batch(&batch, x0.scale());
+        let ys = lin.forward(&x0);
+        for r in 0..3 {
+            assert!((yb.get(0, r) - ys[r]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn scaled_batch_matches_per_token_forward() {
+        let w = Matrix::from_fn(4, 6, |r, c| ((r * 6 + c) as f32 * 0.013).sin() * 0.1);
+        let lin = QuantLinear::from_f32(&w, &[0.1, -0.2, 0.3, 0.0]).unwrap();
+        let tokens: Vec<Vec<f32>> = (0..3)
+            .map(|t| (0..6).map(|i| ((t * 6 + i) as f32 * 0.21).cos()).collect())
+            .collect();
+        let quantized: Vec<_> = tokens.iter().map(|t| quantize_vec(t)).collect();
+        let data: Vec<i8> = quantized.iter().flat_map(|q| q.data().to_vec()).collect();
+        let scales: Vec<f32> = quantized.iter().map(|q| q.scale()).collect();
+        let x = Matrix::from_vec(3, 6, data).unwrap();
+        let batch = lin.forward_batch_scaled(&x, &scales);
+        for (t, q) in quantized.iter().enumerate() {
+            let single = lin.forward(q);
+            for r in 0..4 {
+                assert_eq!(batch.get(t, r), single[r], "token {t} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one scale per token row")]
+    fn scaled_batch_validates_scales() {
+        let w = Matrix::from_fn(2, 2, |_, _| 1.0f32);
+        let lin = QuantLinear::from_f32(&w, &[0.0; 2]).unwrap();
+        let x = Matrix::<i8>::zeros(2, 2);
+        let _ = lin.forward_batch_scaled(&x, &[1.0]);
+    }
+
+    #[test]
+    fn bias_length_validated() {
+        let w = Matrix::from_fn(3, 2, |_, _| 1.0f32);
+        assert!(QuantLinear::from_f32(&w, &[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn accessors_report_dimensions() {
+        let w = Matrix::from_fn(3, 7, |_, _| 1.0f32);
+        let lin = QuantLinear::from_f32(&w, &[0.0; 3]).unwrap();
+        assert_eq!(lin.out_features(), 3);
+        assert_eq!(lin.in_features(), 7);
+        assert_eq!(lin.weight_bytes(), 21);
+        assert_eq!(lin.bias().len(), 3);
+    }
+}

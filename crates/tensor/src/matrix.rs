@@ -1,0 +1,329 @@
+//! Row-major dense matrices.
+//!
+//! Weights in the accelerator are stored row-major in HBM so that one output
+//! channel's dot product is a contiguous burst — [`Matrix::row`] is therefore
+//! the natural unit both for the functional math and for DMA byte
+//! accounting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ShapeError;
+
+/// A dense row-major `rows × cols` matrix.
+///
+/// # Example
+///
+/// ```
+/// use looplynx_tensor::matrix::Matrix;
+///
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as i32);
+/// assert_eq!(m.row(1), &[3, 4, 5]);
+/// assert_eq!(m.get(0, 2), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Matrix<T> {
+    /// Creates a zero-initialized (default-initialized) matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new("from_vec", (rows, cols), (1, data.len())));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[T]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Copies rows `[start, end)` into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or reversed.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix<T> {
+        assert!(start <= end && end <= self.rows, "bad row range {start}..{end}");
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Underlying row-major buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Vertically stacks `self` on top of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if column counts differ.
+    pub fn vstack(&self, other: &Matrix<T>) -> Result<Matrix<T>, ShapeError> {
+        if self.cols != other.cols {
+            return Err(ShapeError::new(
+                "vstack",
+                (self.rows, self.cols),
+                (other.rows, other.cols),
+            ));
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+}
+
+impl Matrix<f32> {
+    /// Largest absolute value per row (used for per-output-channel scales).
+    pub fn row_absmax(&self) -> Vec<f32> {
+        self.iter_rows()
+            .map(|r| r.iter().fold(0.0f32, |m, &x| m.max(x.abs())))
+            .collect()
+    }
+
+    /// Largest absolute value per column (used by SmoothQuant migration).
+    pub fn col_absmax(&self) -> Vec<f32> {
+        let mut maxes = vec![0.0f32; self.cols];
+        for row in self.iter_rows() {
+            for (m, &x) in maxes.iter_mut().zip(row) {
+                *m = m.max(x.abs());
+            }
+        }
+        maxes
+    }
+
+    /// Multiplies column `c` by `factors[c]` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors.len() != cols`.
+    pub fn scale_cols(&mut self, factors: &[f32]) {
+        assert_eq!(factors.len(), self.cols, "one factor per column");
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (x, &f) in row.iter_mut().zip(factors) {
+                *x *= f;
+            }
+        }
+    }
+}
+
+impl<T: fmt::Display + Copy + Default> fmt::Display for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}x{}]", self.rows, self.cols)?;
+        let show = self.rows.min(4);
+        for r in 0..show {
+            let row = self.row(r);
+            let cells: Vec<String> = row.iter().take(8).map(|x| format!("{x}")).collect();
+            writeln!(
+                f,
+                "  [{}{}]",
+                cells.join(", "),
+                if self.cols > 8 { ", ..." } else { "" }
+            )?;
+        }
+        if self.rows > show {
+            writeln!(f, "  ...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r * 10 + c) as i32);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.get(2, 3), 23);
+        assert_eq!(m.row(1), &[10, 11, 12, 13]);
+        assert_eq!(m.len(), 12);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1, 2, 3]).is_err());
+        let m = Matrix::from_vec(2, 2, vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(m.get(1, 1), 4);
+    }
+
+    #[test]
+    fn set_and_row_mut() {
+        let mut m = Matrix::<i32>::zeros(2, 2);
+        m.set(0, 1, 7);
+        m.row_mut(1)[0] = 9;
+        assert_eq!(m.as_slice(), &[0, 7, 9, 0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as i32);
+        let t = m.transposed();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), m.get(1, 2));
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn slice_rows_copies_range() {
+        let m = Matrix::from_fn(4, 2, |r, _| r as i32);
+        let s = m.slice_rows(1, 3);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.row(0), &[1, 1]);
+        assert_eq!(s.row(1), &[2, 2]);
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let a = Matrix::from_fn(1, 2, |_, c| c as i32);
+        let b = Matrix::from_fn(2, 2, |r, _| r as i32 + 10);
+        let s = a.vstack(&b).unwrap();
+        assert_eq!(s.shape(), (3, 2));
+        assert_eq!(s.row(0), &[0, 1]);
+        assert_eq!(s.row(2), &[11, 11]);
+        let bad = Matrix::<i32>::zeros(1, 3);
+        assert!(a.vstack(&bad).is_err());
+    }
+
+    #[test]
+    fn absmax_helpers() {
+        let m = Matrix::from_vec(2, 2, vec![1.0f32, -4.0, 3.0, 2.0]).unwrap();
+        assert_eq!(m.row_absmax(), vec![4.0, 3.0]);
+        assert_eq!(m.col_absmax(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn scale_cols_applies_per_column() {
+        let mut m = Matrix::from_vec(2, 2, vec![1.0f32, 2.0, 3.0, 4.0]).unwrap();
+        m.scale_cols(&[2.0, 0.5]);
+        assert_eq!(m.as_slice(), &[2.0, 1.0, 6.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = Matrix::<i32>::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let m = Matrix::<i32>::zeros(10, 10);
+        let s = m.to_string();
+        assert!(s.contains("[10x10]"));
+        assert!(s.contains("..."));
+    }
+}

@@ -1,0 +1,155 @@
+//! Layer normalization and residual connections.
+//!
+//! These are the paper's "critical path operators — those between each
+//! linear layer computation and MHA computation" (Section III-C). They are
+//! computed in f32 (the accelerator dedicates a fused LN&Res kernel to
+//! them); quantization happens after, when results re-enter an int8 kernel.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ShapeError;
+
+/// Learned layer-norm parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerNormParams {
+    /// Per-element scale γ.
+    pub gamma: Vec<f32>,
+    /// Per-element shift β.
+    pub beta: Vec<f32>,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl LayerNormParams {
+    /// Identity normalization (γ=1, β=0) over `dim` elements.
+    pub fn identity(dim: usize) -> Self {
+        LayerNormParams {
+            gamma: vec![1.0; dim],
+            beta: vec![0.0; dim],
+            eps: 1e-5,
+        }
+    }
+
+    /// Creates parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `gamma` and `beta` lengths differ.
+    pub fn new(gamma: Vec<f32>, beta: Vec<f32>, eps: f32) -> Result<Self, ShapeError> {
+        if gamma.len() != beta.len() {
+            return Err(ShapeError::new(
+                "layernorm params",
+                (gamma.len(), 1),
+                (beta.len(), 1),
+            ));
+        }
+        Ok(LayerNormParams { gamma, beta, eps })
+    }
+
+    /// Normalized dimension.
+    pub fn dim(&self) -> usize {
+        self.gamma.len()
+    }
+}
+
+/// Applies layer normalization:
+/// `y = γ · (x − mean) / sqrt(var + eps) + β`.
+///
+/// The three sequential passes (mean, variance, normalize) are what make the
+/// un-parallelized operator expensive on the critical path — the fused
+/// LN&Res kernel's job is to widen and overlap them.
+///
+/// # Panics
+///
+/// Panics if `x.len() != params.dim()`.
+pub fn layernorm(x: &[f32], params: &LayerNormParams) -> Vec<f32> {
+    assert_eq!(x.len(), params.dim(), "layernorm dimension mismatch");
+    let n = x.len() as f32;
+    let mean = x.iter().sum::<f32>() / n;
+    let var = x.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let inv = 1.0 / (var + params.eps).sqrt();
+    x.iter()
+        .zip(params.gamma.iter().zip(&params.beta))
+        .map(|(&v, (&g, &b))| g * (v - mean) * inv + b)
+        .collect()
+}
+
+/// Residual connection `y = x + r`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn residual_add(x: &[f32], r: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), r.len(), "residual length mismatch");
+    x.iter().zip(r).map(|(a, b)| a + b).collect()
+}
+
+/// Fused residual + layernorm (`layernorm(x + r)`), the combined operation
+/// the Fused LN&Res kernel performs with overlapped execution.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn residual_layernorm(x: &[f32], r: &[f32], params: &LayerNormParams) -> Vec<f32> {
+    layernorm(&residual_add(x, r), params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let x = vec![1.0f32, 2.0, 3.0, 4.0];
+        let y = layernorm(&x, &LayerNormParams::identity(4));
+        let mean: f32 = y.iter().sum::<f32>() / 4.0;
+        let var: f32 = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layernorm_applies_affine() {
+        let params = LayerNormParams::new(vec![2.0, 2.0], vec![1.0, 1.0], 1e-5).unwrap();
+        let y = layernorm(&[-1.0, 1.0], &params);
+        // normalized to ±1, then *2 + 1
+        assert!((y[0] + 1.0).abs() < 1e-3);
+        assert!((y[1] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layernorm_constant_input_maps_to_beta() {
+        let params = LayerNormParams::new(vec![1.0; 3], vec![0.5; 3], 1e-5).unwrap();
+        let y = layernorm(&[7.0, 7.0, 7.0], &params);
+        for v in y {
+            assert!((v - 0.5).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn residual_is_elementwise_sum() {
+        assert_eq!(residual_add(&[1.0, 2.0], &[0.5, -2.0]), vec![1.5, 0.0]);
+    }
+
+    #[test]
+    fn fused_equals_sequential() {
+        let params = LayerNormParams::identity(4);
+        let x = [0.1f32, 0.4, -0.3, 0.9];
+        let r = [1.0f32, -1.0, 0.5, 0.25];
+        let fused = residual_layernorm(&x, &r, &params);
+        let seq = layernorm(&residual_add(&x, &r), &params);
+        assert_eq!(fused, seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let _ = layernorm(&[1.0], &LayerNormParams::identity(2));
+    }
+
+    #[test]
+    fn params_validate_lengths() {
+        assert!(LayerNormParams::new(vec![1.0], vec![0.0, 0.0], 1e-5).is_err());
+        assert_eq!(LayerNormParams::identity(8).dim(), 8);
+    }
+}

@@ -1,0 +1,328 @@
+//! Symmetric 8-bit quantization and SmoothQuant migration.
+//!
+//! The paper runs both the accelerator and the A100 baseline under the
+//! SmoothQuant W8A8 scheme (Xiao et al., ICML 2023): symmetric int8 weights
+//! and activations. SmoothQuant's key trick is migrating quantization
+//! difficulty from activations (which have outlier channels) to weights by
+//! a per-channel factor `s_j = max|X_j|^α / max|W_j|^(1−α)`; activations are
+//! divided by `s_j` and weight columns multiplied by it, keeping the product
+//! mathematically unchanged while making both operands int8-friendly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// Quantized range limit for symmetric int8 (±127; −128 is unused so the
+/// representable range is symmetric, matching common W8A8 practice).
+pub const QMAX: f32 = 127.0;
+
+/// Returns the largest absolute value of the slice (0.0 when empty).
+pub fn absmax(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+/// Computes the symmetric scale mapping `[-absmax, absmax]` onto ±127.
+/// Degenerate all-zero inputs get scale 1.0 so that dequantization is a
+/// no-op rather than a division by zero.
+pub fn scale_for(absmax: f32) -> f32 {
+    if absmax <= f32::MIN_POSITIVE {
+        1.0
+    } else {
+        absmax / QMAX
+    }
+}
+
+/// Quantizes one value under `scale` with round-to-nearest-even and
+/// saturation — the rounding mode of the accelerator's quantization unit.
+pub fn quantize_value(x: f32, scale: f32) -> i8 {
+    let q = (x / scale).round_ties_even();
+    q.clamp(-QMAX, QMAX) as i8
+}
+
+/// A quantized activation vector with its per-tensor scale.
+///
+/// # Example
+///
+/// ```
+/// use looplynx_tensor::quant::quantize_vec;
+///
+/// let q = quantize_vec(&[0.5, -1.0, 0.25]);
+/// let back = q.dequantize();
+/// assert!((back[1] + 1.0).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedVector {
+    data: Vec<i8>,
+    scale: f32,
+}
+
+impl QuantizedVector {
+    /// Wraps pre-quantized data.
+    pub fn new(data: Vec<i8>, scale: f32) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        QuantizedVector { data, scale }
+    }
+
+    /// The int8 payload.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// The per-tensor scale (`real = q * scale`).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reconstructs the real-valued vector.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.data.iter().map(|&q| q as f32 * self.scale).collect()
+    }
+
+    /// Bytes occupied by the payload (1 byte/element — what the DMA moves).
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Quantizes a vector with a per-tensor symmetric scale.
+pub fn quantize_vec(xs: &[f32]) -> QuantizedVector {
+    let scale = scale_for(absmax(xs));
+    QuantizedVector {
+        data: xs.iter().map(|&x| quantize_value(x, scale)).collect(),
+        scale,
+    }
+}
+
+/// Quantizes a vector reusing a caller-provided (e.g. calibrated) scale.
+pub fn quantize_vec_with_scale(xs: &[f32], scale: f32) -> QuantizedVector {
+    assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+    QuantizedVector {
+        data: xs.iter().map(|&x| quantize_value(x, scale)).collect(),
+        scale,
+    }
+}
+
+/// A weight matrix quantized with one symmetric scale per row
+/// (per output channel).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMatrix {
+    data: Matrix<i8>,
+    row_scales: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Wraps pre-quantized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_scales.len() != data.rows()` or any scale is
+    /// non-positive.
+    pub fn new(data: Matrix<i8>, row_scales: Vec<f32>) -> Self {
+        assert_eq!(row_scales.len(), data.rows(), "one scale per row");
+        assert!(
+            row_scales.iter().all(|&s| s > 0.0 && s.is_finite()),
+            "scales must be positive"
+        );
+        QuantizedMatrix { data, row_scales }
+    }
+
+    /// The int8 weights.
+    pub fn data(&self) -> &Matrix<i8> {
+        &self.data
+    }
+
+    /// Per-row scales.
+    pub fn row_scales(&self) -> &[f32] {
+        &self.row_scales
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.data.shape()
+    }
+
+    /// Bytes occupied by the int8 payload — the per-token HBM traffic this
+    /// matrix induces when streamed.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reconstructs the real-valued matrix.
+    pub fn dequantize(&self) -> Matrix<f32> {
+        Matrix::from_fn(self.data.rows(), self.data.cols(), |r, c| {
+            self.data.get(r, c) as f32 * self.row_scales[r]
+        })
+    }
+
+    /// Copies rows `[start, end)` with their scales — how weights are
+    /// sharded across nodes (column-parallel split of the output dim).
+    pub fn slice_rows(&self, start: usize, end: usize) -> QuantizedMatrix {
+        QuantizedMatrix {
+            data: self.data.slice_rows(start, end),
+            row_scales: self.row_scales[start..end].to_vec(),
+        }
+    }
+}
+
+/// Quantizes a real matrix with per-row symmetric scales.
+pub fn quantize_matrix_per_row(w: &Matrix<f32>) -> QuantizedMatrix {
+    let scales: Vec<f32> = w.row_absmax().into_iter().map(scale_for).collect();
+    let data = Matrix::from_fn(w.rows(), w.cols(), |r, c| {
+        quantize_value(w.get(r, c), scales[r])
+    });
+    QuantizedMatrix {
+        data,
+        row_scales: scales,
+    }
+}
+
+/// Computes SmoothQuant per-channel migration factors
+/// `s_j = max|X_j|^α / max|W_j|^(1−α)`.
+///
+/// Channels where either statistic is zero get factor 1.0.
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length or `alpha ∉ [0, 1]`.
+pub fn smoothquant_factors(act_absmax: &[f32], weight_col_absmax: &[f32], alpha: f32) -> Vec<f32> {
+    assert_eq!(
+        act_absmax.len(),
+        weight_col_absmax.len(),
+        "statistics must cover the same channels"
+    );
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+    act_absmax
+        .iter()
+        .zip(weight_col_absmax)
+        .map(|(&a, &w)| {
+            if a <= f32::MIN_POSITIVE || w <= f32::MIN_POSITIVE {
+                1.0
+            } else {
+                a.powf(alpha) / w.powf(1.0 - alpha)
+            }
+        })
+        .collect()
+}
+
+/// Applies SmoothQuant: weight columns are multiplied by the factors and a
+/// matching per-channel divisor is returned for the activation side.
+///
+/// Returns the divisors (`activations[j] /= divisors[j]` before
+/// quantization).
+pub fn smooth_weights_in_place(w: &mut Matrix<f32>, factors: &[f32]) -> Vec<f32> {
+    w.scale_cols(factors);
+    factors.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_is_bounded_by_half_step() {
+        let xs: Vec<f32> = (-50..=50).map(|i| i as f32 * 0.037).collect();
+        let q = quantize_vec(&xs);
+        let back = q.dequantize();
+        let half_step = q.scale() / 2.0 + 1e-6;
+        for (x, y) in xs.iter().zip(&back) {
+            assert!((x - y).abs() <= half_step, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_to_qmax() {
+        assert_eq!(quantize_value(1e9, 1.0), 127);
+        assert_eq!(quantize_value(-1e9, 1.0), -127);
+    }
+
+    #[test]
+    fn zero_vector_has_unit_scale() {
+        let q = quantize_vec(&[0.0; 8]);
+        assert_eq!(q.scale(), 1.0);
+        assert!(q.dequantize().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn per_row_scales_isolate_outlier_rows() {
+        // Row 0 is tiny, row 1 has a huge outlier. Per-row scales keep row 0
+        // precise even though row 1 needs a coarse scale.
+        let w = Matrix::from_vec(2, 2, vec![0.01f32, -0.02, 100.0, 50.0]).unwrap();
+        let q = quantize_matrix_per_row(&w);
+        let back = q.dequantize();
+        assert!((back.get(0, 1) + 0.02).abs() < 0.001);
+        assert!((back.get(1, 0) - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn matrix_slice_preserves_scales() {
+        let w = Matrix::from_fn(4, 2, |r, _| (r + 1) as f32);
+        let q = quantize_matrix_per_row(&w);
+        let s = q.slice_rows(2, 4);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.row_scales(), &q.row_scales()[2..4]);
+    }
+
+    #[test]
+    fn smoothquant_balances_magnitudes() {
+        // alpha=0.5: s_j = sqrt(a_j / w_j); after migration both sides have
+        // effective max sqrt(a_j * w_j).
+        let factors = smoothquant_factors(&[16.0, 4.0], &[1.0, 1.0], 0.5);
+        assert!((factors[0] - 4.0).abs() < 1e-5);
+        assert!((factors[1] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn smoothquant_identity_at_degenerate_channels() {
+        let factors = smoothquant_factors(&[0.0, 2.0], &[1.0, 0.0], 0.5);
+        assert_eq!(factors, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn smoothing_preserves_the_matvec_product() {
+        // (W * diag(s)) @ (x / s) == W @ x
+        let mut w = Matrix::from_vec(2, 3, vec![1.0f32, 2.0, 3.0, -1.0, 0.5, 4.0]).unwrap();
+        let x = [2.0f32, 8.0, 1.0];
+        let reference: Vec<f32> = (0..2)
+            .map(|r| w.row(r).iter().zip(&x).map(|(a, b)| a * b).sum())
+            .collect();
+        let factors = smoothquant_factors(&[2.0, 8.0, 1.0], &w.col_absmax(), 0.5);
+        let divisors = smooth_weights_in_place(&mut w, &factors);
+        let x_smooth: Vec<f32> = x.iter().zip(&divisors).map(|(a, d)| a / d).collect();
+        let smoothed: Vec<f32> = (0..2)
+            .map(|r| w.row(r).iter().zip(&x_smooth).map(|(a, b)| a * b).sum())
+            .collect();
+        for (a, b) in reference.iter().zip(&smoothed) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantize_with_calibrated_scale() {
+        let q = quantize_vec_with_scale(&[1.0, 2.0], 0.1);
+        assert_eq!(q.data(), &[10, 20]);
+        assert_eq!(q.byte_len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one scale per row")]
+    fn scale_count_mismatch_panics() {
+        let _ = QuantizedMatrix::new(Matrix::zeros(2, 2), vec![1.0]);
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        // 0.5 / 1.0 = 0.5 rounds to 0 (even), 1.5 rounds to 2
+        assert_eq!(quantize_value(0.5, 1.0), 0);
+        assert_eq!(quantize_value(1.5, 1.0), 2);
+    }
+}

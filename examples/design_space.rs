@@ -1,0 +1,63 @@
+//! Design-space exploration: sweeps the architecture knobs DESIGN.md calls
+//! out (MP channel count, `n_group`, DMA burst length) under the U50's
+//! 32-HBM-channel budget, reporting decode latency and the binding
+//! constraint — the kind of study that justifies the paper's
+//! `n_group = 32`, 285 MHz design point.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use looplynx::core::{ArchConfig, LoopLynx};
+use looplynx::model::ModelConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelConfig::gpt2_medium();
+    let context = 512usize;
+
+    println!("— MP channels per node (2 nodes/device, 4 KV channels fixed) —");
+    println!("{:>9} {:>14} {:>12}", "channels", "ms/token", "HBM ch/device");
+    for mp in [4usize, 6, 8, 10, 12] {
+        let arch = ArchConfig::builder().nodes(2).mp_channels(mp).build()?;
+        let engine = LoopLynx::new(model.clone(), arch)?;
+        println!(
+            "{:>9} {:>14.2} {:>12}",
+            mp,
+            engine.steady_state_decode_ms(context),
+            engine.arch().channels_per_node() * 2,
+        );
+    }
+
+    println!("\n— n_group (MACs per slice = datapack bytes) —");
+    println!("{:>9} {:>14}", "n_group", "ms/token");
+    for ng in [8usize, 16, 32, 64] {
+        let arch = ArchConfig::builder().nodes(2).n_group(ng).build()?;
+        let engine = LoopLynx::new(model.clone(), arch)?;
+        println!("{:>9} {:>14.2}", ng, engine.steady_state_decode_ms(context));
+    }
+
+    println!("\n— DMA burst length —");
+    println!("{:>9} {:>14}", "burst B", "ms/token");
+    for burst in [256usize, 1024, 4096] {
+        let arch = ArchConfig::builder().nodes(2).burst_bytes(burst).build()?;
+        let engine = LoopLynx::new(model.clone(), arch)?;
+        println!(
+            "{:>9} {:>14.2}",
+            burst,
+            engine.steady_state_decode_ms(context)
+        );
+    }
+
+    println!(
+        "\nDecode is HBM-bound: latency tracks channel count almost linearly\n\
+         until the channel budget runs out, n_group barely matters once the\n\
+         burst is large enough to amortize protocol overhead, and short DMA\n\
+         bursts forfeit bandwidth exactly as the paper's 'sufficient burst\n\
+         size' remark implies."
+    );
+
+    // Invalid points are rejected, not silently mis-simulated.
+    assert!(ArchConfig::builder().nodes(2).mp_channels(20).build().is_err());
+    println!("\nover-budget configurations are rejected by validation ✓");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Distributed functional inference: runs the same prompt through 1-, 2-
+//! and 4-node partitioned W8A8 pipelines and verifies the model-parallel
+//! algebra (paper Fig. 2(c)) — head-aligned QKV shards, node-local
+//! attention over head-sliced KV caches, ring all-gathers between sharded
+//! linears.
+//!
+//! ```text
+//! cargo run --example distributed_inference
+//! ```
+
+use looplynx::core::engine::DistributedGpt2;
+use looplynx::core::router::RingMode;
+use looplynx::model::gpt2::Gpt2Model;
+use looplynx::model::tokenizer::ByteTokenizer;
+use looplynx::model::{ModelConfig, Sampler};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ModelConfig::tiny();
+    let reference = Gpt2Model::synthetic(&cfg, 2024);
+    let tok = ByteTokenizer::new();
+    let prompt = tok.encode("the quick brown fox");
+    let n = 16;
+
+    let mut single = reference.clone();
+    let expected = single.generate(&prompt, n, &mut Sampler::greedy());
+    println!("reference (single node): {:?}", tok.decode(&expected));
+
+    println!("\nexact ring payloads (f32 sub-vectors):");
+    for nodes in [1usize, 2, 4] {
+        let mut dist = DistributedGpt2::new(&reference, nodes, RingMode::Exact)?;
+        let got = dist.generate(&prompt, n, &mut Sampler::greedy());
+        let status = if got == expected { "bit-identical ✓" } else { "MISMATCH ✗" };
+        println!(
+            "  {nodes}-node: {status}   per-node KV bytes after run: {}",
+            dist.node_kv_bytes(0)
+        );
+        assert_eq!(got, expected);
+    }
+
+    println!("\nquantized ring payloads (int8 datapacks, per-shard scales):");
+    for nodes in [2usize, 4] {
+        let mut dist = DistributedGpt2::new(&reference, nodes, RingMode::Quantized)?;
+        let got = dist.generate(&prompt, n, &mut Sampler::greedy());
+        let agree = got
+            .iter()
+            .zip(&expected)
+            .take_while(|(a, b)| a == b)
+            .count();
+        println!(
+            "  {nodes}-node: first {agree}/{n} tokens agree with the reference \
+             (int8 ring payloads perturb logits slightly)"
+        );
+        assert!(agree >= 1, "int8 gather should not diverge immediately");
+    }
+
+    println!(
+        "\nhead-wise KV partitioning: a node in an N-node ring stores 1/N of\n\
+         the cache — the paper's 'minimize the memory footprint' claim."
+    );
+    Ok(())
+}

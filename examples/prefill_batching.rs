@@ -1,0 +1,60 @@
+//! Prefill-batching extension study.
+//!
+//! The paper concedes the prefill-heavy `[128:32]` setting to the A100
+//! ("GPUs are more powerful in batched processing during the prefill
+//! stage") because LoopLynx streams all weights once *per prompt token*.
+//! This reproduction adds the natural fix the paper's scalability analysis
+//! hints at: batch the prompt so each streamed weight block serves several
+//! tokens, with weight-shared int8 DSP packing executing two of the
+//! batched MACs per DSP per cycle.
+//!
+//! ```text
+//! cargo run --release --example prefill_batching
+//! ```
+
+use looplynx::baselines::gpu::A100Model;
+use looplynx::core::{ArchConfig, LoopLynx};
+use looplynx::model::ModelConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelConfig::gpt2_medium();
+    let gpu = A100Model::paper_baseline();
+
+    println!("— prefill cost per prompt token vs batch (2-node ring) —");
+    println!("{:>7} {:>16} {:>12}", "batch", "prefill ms/tok", "speedup");
+    let mut base = None;
+    for batch in [1usize, 2, 4, 8, 16, 32] {
+        let arch = ArchConfig::builder().nodes(2).prefill_batch(batch).build()?;
+        let engine = LoopLynx::new(model.clone(), arch)?;
+        let per_token = engine.simulate_generation(128, 2).prefill_ms / 128.0;
+        let b = *base.get_or_insert(per_token);
+        println!("{batch:>7} {per_token:>16.3} {:>11.2}x", b / per_token);
+    }
+
+    println!("\n— does batching close the [128:32] gap against the A100? —");
+    let g = gpu.generation(&model, 128, 32);
+    println!("{:<28} {:>10.0} ms", "Nvidia A100", g.total_ms);
+    for (label, batch) in [("LoopLynx 2-node (paper)", 1usize), ("LoopLynx 2-node (batch 16)", 16)] {
+        let arch = ArchConfig::builder().nodes(2).prefill_batch(batch).build()?;
+        let engine = LoopLynx::new(model.clone(), arch)?;
+        let r = engine.simulate_generation(128, 32);
+        let vs = g.total_ms / r.total_ms();
+        println!(
+            "{label:<28} {:>10.0} ms   ({})",
+            r.total_ms(),
+            if vs >= 1.0 {
+                format!("FPGA wins {vs:.2}x")
+            } else {
+                format!("A100 wins {:.2}x", 1.0 / vs)
+            }
+        );
+    }
+
+    println!(
+        "\nBatching amortizes the HBM stream until the MAC array becomes the\n\
+         bottleneck (two weight-shared int8 MACs per DSP per cycle), roughly\n\
+         halving the memory-bound prefill cost and pulling the prefill-heavy\n\
+         corner of Fig. 8 close to parity."
+    );
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! # LoopLynx — facade crate
+//!
+//! Reproduction of *"LoopLynx: A Scalable Dataflow Architecture for
+//! Efficient LLM Inference"* (DATE 2025). This crate re-exports the
+//! workspace's public surface so downstream users can depend on a single
+//! crate:
+//!
+//! * [`sim`] — cycle-accurate dataflow simulation substrate.
+//! * [`tensor`] — W8A8 quantized tensor math.
+//! * [`model`] — functional GPT-2 with KV cache.
+//! * [`hw`] — FPGA/GPU platform, resource and power models.
+//! * [`core`] — the LoopLynx architecture itself (macro dataflow kernels,
+//!   scheduler, ring router, model parallelism, inference engine).
+//! * [`baselines`] — DFX-like temporal, spatial, and A100 comparators.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```
+//! use looplynx::core::{ArchConfig, LoopLynx};
+//! use looplynx::model::ModelConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let arch = ArchConfig::builder().nodes(2).build()?;
+//! let engine = LoopLynx::new(ModelConfig::gpt2_medium(), arch)?;
+//! let report = engine.simulate_generation(32, 32);
+//! assert!(report.decode_ms_per_token() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use looplynx_baselines as baselines;
+pub use looplynx_core as core;
+pub use looplynx_hw as hw;
+pub use looplynx_model as model;
+pub use looplynx_sim as sim;
+pub use looplynx_tensor as tensor;

@@ -1,0 +1,107 @@
+//! Cross-crate functional integration tests: the distributed W8A8 pipeline
+//! against the single-node reference, end-to-end through tokenizer, model,
+//! partitioning and ring router.
+
+use looplynx::core::engine::DistributedGpt2;
+use looplynx::core::router::RingMode;
+use looplynx::model::gpt2::Gpt2Model;
+use looplynx::model::tokenizer::ByteTokenizer;
+use looplynx::model::{ModelConfig, Sampler};
+
+fn reference() -> Gpt2Model {
+    Gpt2Model::synthetic(&ModelConfig::tiny(), 0xC0FFEE)
+}
+
+#[test]
+fn distributed_exact_generation_matches_reference_for_all_ring_sizes() {
+    let model = reference();
+    let prompt = [1u32, 2, 3, 4, 5, 6, 7, 8];
+    let mut single = model.clone();
+    let expected = single.generate(&prompt, 12, &mut Sampler::greedy());
+    for nodes in [1usize, 2, 4] {
+        let mut dist = DistributedGpt2::new(&model, nodes, RingMode::Exact)
+            .expect("tiny model partitions");
+        let got = dist.generate(&prompt, 12, &mut Sampler::greedy());
+        assert_eq!(got, expected, "{nodes}-node generation diverged");
+    }
+}
+
+#[test]
+fn distributed_exact_logits_are_bit_identical() {
+    let model = reference();
+    let mut single = model.clone();
+    let mut dist = DistributedGpt2::new(&model, 4, RingMode::Exact).expect("partitions");
+    let prompt = [10u32, 20, 30];
+    let a = single.prefill(&prompt);
+    let b = dist.prefill(&prompt);
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a, b, "partitioned prefill logits must be exact");
+    assert_eq!(single.decode_step(40), dist.decode_step(40));
+}
+
+#[test]
+fn quantized_ring_stays_numerically_close() {
+    let model = reference();
+    let mut single = model.clone();
+    let mut dist = DistributedGpt2::new(&model, 2, RingMode::Quantized).expect("partitions");
+    let prompt = [9u32, 8, 7, 6];
+    let a = single.prefill(&prompt);
+    let b = dist.prefill(&prompt);
+    // int8 ring payloads perturb activations; logits must stay close in
+    // scale relative to the logit spread
+    let spread = a
+        .iter()
+        .fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+        - a.iter().fold(f32::INFINITY, |m, &x| m.min(x));
+    for (x, y) in a.iter().zip(&b) {
+        assert!(
+            (x - y).abs() < 0.35 * spread.max(1e-3),
+            "quantized gather drifted: {x} vs {y} (spread {spread})"
+        );
+    }
+}
+
+#[test]
+fn tokenizer_round_trips_through_generation() {
+    let tok = ByteTokenizer::new();
+    let mut model = reference();
+    let prompt = tok.encode("Earth is the");
+    assert!(prompt.iter().all(|&t| (t as usize) < model.config().vocab));
+    let out = model.generate(&prompt, 6, &mut Sampler::greedy());
+    assert_eq!(out.len(), 6);
+    // decode must never panic, whatever bytes the model picked
+    let _ = tok.decode(&out);
+}
+
+#[test]
+fn kv_footprint_scales_inversely_with_ring_size() {
+    let model = reference();
+    let prompt = [1u32, 2, 3, 4];
+    let mut sizes = Vec::new();
+    for nodes in [1usize, 2, 4] {
+        let mut dist = DistributedGpt2::new(&model, nodes, RingMode::Exact).expect("partitions");
+        dist.prefill(&prompt);
+        sizes.push(dist.node_kv_bytes(0));
+    }
+    assert_eq!(sizes[0], 2 * sizes[1], "2-node halves the footprint");
+    assert_eq!(sizes[0], 4 * sizes[2], "4-node quarters the footprint");
+}
+
+#[test]
+fn distributed_engine_rejects_bad_partitions() {
+    let model = reference(); // 4 heads
+    assert!(DistributedGpt2::new(&model, 3, RingMode::Exact).is_err());
+    assert!(DistributedGpt2::new(&model, 8, RingMode::Exact).is_err());
+}
+
+#[test]
+fn prefill_decode_boundary_is_seamless_distributed() {
+    // prefill(p) + decode(q) must equal prefill(p ++ [q]) in exact mode
+    let model = reference();
+    let mut a = DistributedGpt2::new(&model, 2, RingMode::Exact).expect("partitions");
+    let mut b = DistributedGpt2::new(&model, 2, RingMode::Exact).expect("partitions");
+    a.prefill(&[1, 2, 3]);
+    let logits_a = a.decode_step(4);
+    let logits_b = b.prefill(&[1, 2, 3, 4]);
+    assert_eq!(logits_a, logits_b);
+}

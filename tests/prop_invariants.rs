@@ -1,0 +1,131 @@
+//! Cross-crate property-based tests (proptest) on the invariants the
+//! architecture depends on.
+
+use proptest::prelude::*;
+
+use looplynx::core::config::{ArchConfig, OptimizationFlags};
+use looplynx::core::engine::{LoopLynx, TokenPhase};
+use looplynx::core::parallel::split_range;
+use looplynx::core::router::{RingMode, Router};
+use looplynx::model::ModelConfig;
+use looplynx::sim::net::{functional_all_gather, RingSim, RingSpec};
+use looplynx::sim::time::{Cycles, Frequency};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// split_range always tiles [0, total) exactly, in order, for any
+    /// (total, parts) combination.
+    #[test]
+    fn split_range_tiles(total in 0usize..10_000, parts in 1usize..64) {
+        let mut covered = 0usize;
+        for i in 0..parts {
+            let r = split_range(total, parts, i);
+            prop_assert_eq!(r.start, covered);
+            covered = r.end;
+            // near-equal: sizes differ by at most one
+            prop_assert!(r.len() >= total / parts);
+            prop_assert!(r.len() <= total / parts + 1);
+        }
+        prop_assert_eq!(covered, total);
+    }
+
+    /// The exact-mode ring gather is concatenation in node order for any
+    /// shard contents.
+    #[test]
+    fn exact_gather_is_concat(
+        nodes in 1usize..6,
+        shard_len in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let shards: Vec<Vec<f32>> = (0..nodes)
+            .map(|n| {
+                (0..shard_len)
+                    .map(|i| ((seed ^ (n as u64 * 31 + i as u64)) % 1000) as f32 / 500.0 - 1.0)
+                    .collect()
+            })
+            .collect();
+        let full = Router::new(nodes, RingMode::Exact).all_gather(&shards);
+        prop_assert_eq!(full, shards.concat());
+    }
+
+    /// The ring DES agrees with the closed-form all-gather cycle count for
+    /// any ring size and shard size, and all router buffers converge.
+    #[test]
+    fn ring_des_matches_closed_form(nodes in 2usize..8, shard_kb in 1usize..16) {
+        let spec = RingSpec::paper_ring(nodes, Frequency::from_mhz(285.0));
+        let shards: Vec<Vec<u8>> = (0..nodes)
+            .map(|i| vec![(i * 37 % 251) as u8; shard_kb * 1024])
+            .collect();
+        let outcome = RingSim::new(spec.clone()).all_gather(&shards);
+        prop_assert_eq!(outcome.end_time, spec.all_gather_cycles(shard_kb * 1024));
+        prop_assert!(outcome.buffers_consistent());
+        prop_assert_eq!(outcome.buffers[0].clone(), shards.concat());
+        // and the pure-functional gather agrees with the DES contents
+        prop_assert_eq!(functional_all_gather(&shards)[0].clone(), outcome.buffers[0].clone());
+    }
+
+    /// Token latency is monotone in context length for any ring size.
+    #[test]
+    fn latency_monotone_in_context(
+        nodes in prop::sample::select(vec![1usize, 2, 4]),
+        ctx_a in 1usize..512,
+        delta in 1usize..256,
+    ) {
+        let arch = ArchConfig::builder().nodes(nodes).build().expect("valid");
+        let engine = LoopLynx::new(ModelConfig::gpt2_medium(), arch).expect("partitions");
+        let a = engine.simulate_token(ctx_a, TokenPhase::Decode, false).total;
+        let b = engine.simulate_token(ctx_a + delta, TokenPhase::Decode, false).total;
+        prop_assert!(b >= a, "context {} -> {}: {} vs {}", ctx_a, ctx_a + delta, a, b);
+    }
+
+    /// Every optimization flag is individually non-regressive at any ring
+    /// size and context.
+    #[test]
+    fn each_flag_is_non_regressive(
+        nodes in prop::sample::select(vec![1usize, 2, 4]),
+        ctx in 1usize..640,
+        fuse in any::<bool>(),
+        headwise in any::<bool>(),
+        hide in any::<bool>(),
+    ) {
+        let base = OptimizationFlags {
+            fuse_ln_res: fuse,
+            headwise_pipeline: headwise,
+            hide_transmission: hide,
+        };
+        let all_on = OptimizationFlags::ALL;
+        let model = ModelConfig::gpt2_medium();
+        let t_base = LoopLynx::new(
+            model.clone(),
+            ArchConfig::builder().nodes(nodes).opts(base).build().expect("valid"),
+        )
+        .expect("partitions")
+        .simulate_token(ctx, TokenPhase::Decode, true)
+        .total;
+        let t_on = LoopLynx::new(
+            model,
+            ArchConfig::builder().nodes(nodes).opts(all_on).build().expect("valid"),
+        )
+        .expect("partitions")
+        .simulate_token(ctx, TokenPhase::Decode, true)
+        .total;
+        prop_assert!(t_on <= t_base, "flags {base:?}: all-on {t_on} vs {t_base}");
+    }
+
+    /// More nodes never slow a decode token down (with all optimizations).
+    #[test]
+    fn more_nodes_never_hurt(ctx in 1usize..768) {
+        let model = ModelConfig::gpt2_medium();
+        let mut prev = Cycles::new(u64::MAX);
+        for nodes in [1usize, 2, 4, 8] {
+            let arch = ArchConfig::builder().nodes(nodes).build().expect("valid");
+            let t = LoopLynx::new(model.clone(), arch)
+                .expect("partitions")
+                .simulate_token(ctx, TokenPhase::Decode, true)
+                .total;
+            prop_assert!(t <= prev, "{nodes} nodes regressed: {t} vs {prev}");
+            prev = t;
+        }
+    }
+}

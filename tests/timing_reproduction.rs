@@ -1,0 +1,241 @@
+//! Integration tests asserting the *shape* of every quantitative claim in
+//! the paper's evaluation: who wins, by roughly what factor, and where the
+//! crossovers fall.
+
+use looplynx::baselines::gpu::A100Model;
+use looplynx::baselines::spatial::SpatialArch;
+use looplynx::baselines::temporal::TemporalArch;
+use looplynx::core::config::OptimizationFlags;
+use looplynx::core::{ArchConfig, LoopLynx};
+use looplynx::model::ModelConfig;
+use looplynx_bench::experiments::{self, TABLE2_CONTEXT};
+use looplynx_bench::paper;
+
+fn engine(nodes: usize) -> LoopLynx {
+    LoopLynx::new(
+        ModelConfig::gpt2_medium(),
+        ArchConfig::builder().nodes(nodes).build().expect("valid"),
+    )
+    .expect("partitions")
+}
+
+#[test]
+fn table2_latencies_within_10_percent_of_paper() {
+    for (nodes, paper_ms) in [1usize, 2, 4].iter().zip(paper::TABLE2_LOOPLYNX_MS) {
+        let ms = engine(*nodes).steady_state_decode_ms(TABLE2_CONTEXT);
+        assert!(
+            paper::deviation(ms, paper_ms).abs() < 0.10,
+            "{nodes}-node: {ms:.2} ms vs paper {paper_ms}"
+        );
+    }
+}
+
+#[test]
+fn table2_full_ordering_matches_paper() {
+    let ll1 = engine(1).steady_state_decode_ms(TABLE2_CONTEXT);
+    let ll2 = engine(2).steady_state_decode_ms(TABLE2_CONTEXT);
+    let ll4 = engine(4).steady_state_decode_ms(TABLE2_CONTEXT);
+    let model = ModelConfig::gpt2_medium();
+    let dfx = TemporalArch::dfx_u280().token_latency_ms(&model);
+    let spatial = SpatialArch::u280().decode_token_ms(&model);
+    // Paper Table II: 2.55 < 3.85 < 4.17 < 5.37 < 6.59
+    assert!(ll4 < ll2, "4-node beats 2-node");
+    assert!(ll2 < spatial, "2-node beats the spatial architecture (1.08x)");
+    assert!(spatial < dfx, "spatial beats DFX");
+    assert!(dfx < ll1, "1-node is the slowest FPGA configuration");
+    // Speedup factors from the paper's abstract: 2.11x over DFX, 1.64x
+    // over spatial for the 4-node configuration (±15 %).
+    assert!((paper::deviation(dfx / ll4, 2.11)).abs() < 0.15, "{}", dfx / ll4);
+    assert!(
+        (paper::deviation(spatial / ll4, 1.64)).abs() < 0.15,
+        "{}",
+        spatial / ll4
+    );
+}
+
+#[test]
+fn table3_throughput_and_speedups() {
+    let rows = experiments::table3(&ModelConfig::gpt2_medium());
+    for (row, paper_tps) in rows.iter().zip(paper::TABLE3_TOKENS_PER_S) {
+        assert!(
+            paper::deviation(row.tokens_per_second, paper_tps).abs() < 0.10,
+            "{}-node: {:.1} tok/s vs paper {paper_tps}",
+            row.nodes,
+            row.tokens_per_second
+        );
+    }
+    let s21 = rows[1].speedup_vs_previous.expect("2-node row");
+    let s42 = rows[2].speedup_vs_previous.expect("4-node row");
+    assert!((s21 - paper::TABLE3_SPEEDUPS[0]).abs() < 0.12);
+    assert!((s42 - paper::TABLE3_SPEEDUPS[1]).abs() < 0.12);
+    assert!(s42 < s21, "scaling efficiency must decrease");
+}
+
+#[test]
+fn fig5_breakdown_and_optimization_gains() {
+    let levels = experiments::fig5(&ModelConfig::gpt2_medium());
+    // (a) baseline split near 81.5 / 18.5
+    assert!(
+        (levels[0].linear_mha_fraction - paper::FIG5_LINEAR_MHA_FRACTION).abs() < 0.06,
+        "baseline linear+MHA {}",
+        levels[0].linear_mha_fraction
+    );
+    // (b) fused LN&Res saves ≈11 %
+    assert!(
+        (levels[1].reduction_vs_baseline - paper::FIG5_FUSION_REDUCTION).abs() < 0.04,
+        "fusion saves {}",
+        levels[1].reduction_vs_baseline
+    );
+    // (c) cumulative ≈15 %
+    assert!(
+        (levels[2].reduction_vs_baseline - paper::FIG5_CUMULATIVE_REDUCTION).abs() < 0.04,
+        "cumulative {}",
+        levels[2].reduction_vs_baseline
+    );
+}
+
+#[test]
+fn fig8_average_speedups_and_energy() {
+    let data = experiments::fig8(&ModelConfig::gpt2_medium());
+    // 2-node ≈1.67x, 4-node ≈2.52x vs A100 (±0.25)
+    assert!(
+        (data.mean_speedup[1] - paper::FIG8_SPEEDUP_VS_A100[0]).abs() < 0.25,
+        "2-node speedup {}",
+        data.mean_speedup[1]
+    );
+    assert!(
+        (data.mean_speedup[2] - paper::FIG8_SPEEDUP_VS_A100[1]).abs() < 0.3,
+        "4-node speedup {}",
+        data.mean_speedup[2]
+    );
+    // energy fractions ≈37.3 % / 48.1 % (±10 points)
+    assert!(
+        (data.mean_energy_fraction[1] - paper::FIG8_ENERGY_FRACTION[0]).abs() < 0.10,
+        "2-node energy fraction {}",
+        data.mean_energy_fraction[1]
+    );
+    assert!(
+        (data.mean_energy_fraction[2] - paper::FIG8_ENERGY_FRACTION[1]).abs() < 0.10,
+        "4-node energy fraction {}",
+        data.mean_energy_fraction[2]
+    );
+    // 2-node is the most energy-efficient configuration
+    assert!(data.mean_energy_efficiency[1] > data.mean_energy_efficiency[0]);
+    assert!(data.mean_energy_efficiency[1] > data.mean_energy_efficiency[2]);
+    // and every LoopLynx configuration beats the A100 on tokens/J
+    for eff in data.mean_energy_efficiency {
+        assert!(eff > 1.0, "efficiency {eff}");
+    }
+}
+
+#[test]
+fn fig8_crossover_a100_wins_prefill_heavy_only() {
+    let model = ModelConfig::gpt2_medium();
+    let gpu = A100Model::paper_baseline();
+    let two = engine(2);
+    // prefill-heavy [128:32]: A100 wins (paper: "A100 performs better")
+    let f = two.simulate_generation(128, 32);
+    let g = gpu.generation(&model, 128, 32);
+    assert!(
+        g.total_ms < f.total_ms(),
+        "A100 should win [128:32]: {} vs {}",
+        g.total_ms,
+        f.total_ms()
+    );
+    // decode-heavy [32:512]: LoopLynx wins
+    let f2 = two.simulate_generation(32, 512);
+    let g2 = gpu.generation(&model, 32, 512);
+    assert!(
+        f2.total_ms() < g2.total_ms,
+        "LoopLynx should win [32:512]: {} vs {}",
+        f2.total_ms(),
+        g2.total_ms
+    );
+}
+
+#[test]
+fn optimizations_help_at_every_ring_size() {
+    for nodes in [1usize, 2, 4] {
+        let on = engine(nodes).steady_state_decode_ms(TABLE2_CONTEXT);
+        let arch_off = ArchConfig::builder()
+            .nodes(nodes)
+            .opts(OptimizationFlags::NONE)
+            .build()
+            .expect("valid");
+        let off = LoopLynx::new(ModelConfig::gpt2_medium(), arch_off)
+            .expect("partitions")
+            .steady_state_decode_ms(TABLE2_CONTEXT);
+        assert!(on < off, "{nodes}-node: optimized {on} vs unoptimized {off}");
+    }
+}
+
+#[test]
+fn transmission_hiding_matters_more_with_more_nodes() {
+    let model = ModelConfig::gpt2_medium();
+    let mut gains = Vec::new();
+    for nodes in [2usize, 4] {
+        let hidden = engine(nodes).steady_state_decode_ms(TABLE2_CONTEXT);
+        let arch = ArchConfig::builder()
+            .nodes(nodes)
+            .opts(OptimizationFlags {
+                hide_transmission: false,
+                ..OptimizationFlags::ALL
+            })
+            .build()
+            .expect("valid");
+        let exposed = LoopLynx::new(model.clone(), arch)
+            .expect("partitions")
+            .steady_state_decode_ms(TABLE2_CONTEXT);
+        gains.push(exposed - hidden);
+        assert!(exposed > hidden, "{nodes}-node hiding must help");
+    }
+    assert!(
+        gains[1] > gains[0],
+        "more nodes expose more sync: {gains:?}"
+    );
+}
+
+#[test]
+fn resource_rows_match_table2() {
+    let rows = experiments::table2(&ModelConfig::gpt2_medium());
+    // LoopLynx rows in 4/2/1 order; check DSP and BRAM against the paper
+    let expect = [
+        (2264.0, 1609.0),
+        (1132.0, 924.5),
+        (568.0, 641.0),
+    ];
+    for (row, (dsp, bram)) in rows[..3].iter().zip(expect) {
+        assert!(
+            (row.resources.dsp - dsp).abs() / dsp < 0.01,
+            "{}: DSP {} vs {}",
+            row.nodes_desc,
+            row.resources.dsp,
+            dsp
+        );
+        assert!(
+            (row.resources.bram - bram).abs() / bram < 0.01,
+            "{}: BRAM {} vs {}",
+            row.nodes_desc,
+            row.resources.bram,
+            bram
+        );
+    }
+    // baseline rows carry the paper's constants
+    assert_eq!(rows[3].resources.dsp, 3533.0);
+    assert_eq!(rows[4].resources.dsp, 1780.0);
+}
+
+#[test]
+fn energy_per_token_ordering_across_all_five_systems() {
+    // J/token during long-form decode: LoopLynx 2-node best, A100 worst.
+    let model = ModelConfig::gpt2_medium();
+    let ll2 = engine(2).simulate_generation(32, 256);
+    let ll2_jpt = ll2.energy.joules / 256.0;
+    let gpu = A100Model::paper_baseline().generation(&model, 32, 256);
+    let gpu_jpt = gpu.energy_joules / 256.0;
+    let dfx_jpt = TemporalArch::dfx_u280().energy_per_token_j(&model);
+    let spatial_jpt = SpatialArch::u280().energy_per_token_j(&model);
+    assert!(ll2_jpt < spatial_jpt, "{ll2_jpt} vs spatial {spatial_jpt}");
+    assert!(spatial_jpt < dfx_jpt);
+    assert!(ll2_jpt < gpu_jpt, "{ll2_jpt} vs gpu {gpu_jpt}");
+}
