@@ -143,8 +143,8 @@ mod tests {
     fn ordering_between_baselines_matches_paper() {
         // Table II ordering: spatial (4.17) beats DFX (5.37) on decode.
         let spatial = SpatialArch::u280().decode_token_ms(&ModelConfig::gpt2_medium());
-        let dfx = crate::temporal::TemporalArch::dfx_u280()
-            .token_latency_ms(&ModelConfig::gpt2_medium());
+        let dfx =
+            crate::temporal::TemporalArch::dfx_u280().token_latency_ms(&ModelConfig::gpt2_medium());
         assert!(spatial < dfx, "spatial {spatial} vs DFX {dfx}");
     }
 

@@ -115,7 +115,10 @@ mod tests {
         let m = ModelConfig::gpt2_medium();
         let weights = m.weights_bytes_total() as f64;
         let mem_ms = weights * 2.0 / (a.hbm_gbps * a.hbm_efficiency) / 1e6;
-        assert!(mem_ms / a.token_latency_ms(&m) > 0.6, "fp16 traffic should dominate");
+        assert!(
+            mem_ms / a.token_latency_ms(&m) > 0.6,
+            "fp16 traffic should dominate"
+        );
     }
 
     #[test]

@@ -51,9 +51,7 @@ fn bench_optimization_levels(c: &mut Criterion) {
             .expect("valid");
         let engine = LoopLynx::new(model.clone(), arch).expect("partitions");
         group.bench_function(label, |b| {
-            b.iter(|| {
-                engine.simulate_token(black_box(TABLE2_CONTEXT), TokenPhase::Decode, false)
-            })
+            b.iter(|| engine.simulate_token(black_box(TABLE2_CONTEXT), TokenPhase::Decode, false))
         });
     }
     group.finish();
@@ -76,9 +74,7 @@ fn bench_transmission_hiding(c: &mut Criterion) {
         let ms = engine.steady_state_decode_ms(TABLE2_CONTEXT);
         eprintln!("[transmission] 4-node sync {label}: {ms:.3} ms/token");
         group.bench_function(label, |b| {
-            b.iter(|| {
-                engine.simulate_token(black_box(TABLE2_CONTEXT), TokenPhase::Decode, false)
-            })
+            b.iter(|| engine.simulate_token(black_box(TABLE2_CONTEXT), TokenPhase::Decode, false))
         });
     }
     group.finish();

@@ -31,7 +31,7 @@ fn bench_mp_timing(c: &mut Criterion) {
                     rows,
                     cols,
                     sync_bytes: rows,
-                batch: 1,
+                    batch: 1,
                 }))
             })
         });
@@ -82,7 +82,11 @@ fn bench_functional_gemv(c: &mut Criterion) {
 fn bench_quant_linear(c: &mut Criterion) {
     let w = Matrix::from_fn(1024, 1024, |r, c2| ((r + c2) as f32 * 0.001).sin() * 0.02);
     let lin = QuantLinear::from_f32(&w, &vec![0.0; 1024]).expect("valid layer");
-    let x = quantize_vec(&(0..1024).map(|i| (i as f32 * 0.01).cos()).collect::<Vec<_>>());
+    let x = quantize_vec(
+        &(0..1024)
+            .map(|i| (i as f32 * 0.01).cos())
+            .collect::<Vec<_>>(),
+    );
     c.bench_function("quant_linear_forward_1024", |b| {
         b.iter(|| lin.forward(black_box(&x)))
     });

@@ -23,9 +23,7 @@ fn bench_token_simulation(c: &mut Criterion) {
         let simulated_ms = engine.steady_state_decode_ms(TABLE2_CONTEXT);
         eprintln!("[table2] {nodes}-node simulated token latency: {simulated_ms:.2} ms");
         group.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, _| {
-            b.iter(|| {
-                engine.simulate_token(black_box(TABLE2_CONTEXT), TokenPhase::Decode, false)
-            })
+            b.iter(|| engine.simulate_token(black_box(TABLE2_CONTEXT), TokenPhase::Decode, false))
         });
     }
     group.finish();

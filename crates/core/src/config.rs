@@ -102,7 +102,9 @@ impl ArchConfig {
     /// 4 KV channels per node (14 of the U50's 32 channels per node; a
     /// dual-node device uses 28), all optimizations on.
     pub fn paper() -> Self {
-        ArchConfig::builder().build().expect("paper config is valid")
+        ArchConfig::builder()
+            .build()
+            .expect("paper config is valid")
     }
 
     /// Starts building a configuration from the paper's defaults.
@@ -220,7 +222,10 @@ impl ArchConfig {
 
     /// Returns a copy with different optimization flags (for ablations).
     pub fn with_opts(&self, opts: OptimizationFlags) -> ArchConfig {
-        ArchConfig { opts, ..self.clone() }
+        ArchConfig {
+            opts,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with a different ring size.
@@ -447,7 +452,7 @@ impl ArchConfigBuilder {
         if self.mp_channels == 0 {
             return Err(ConfigError::new("MP kernel needs at least one channel"));
         }
-        if self.kv_channels == 0 || self.kv_channels % 2 != 0 {
+        if self.kv_channels == 0 || !self.kv_channels.is_multiple_of(2) {
             return Err(ConfigError::new(
                 "KV channels must be positive and even (split between K and V)",
             ));
@@ -535,7 +540,10 @@ mod tests {
         let c = ArchConfig::paper();
         let eff = c.channel_bytes_per_cycle();
         let peak = c.hbm_channel().peak_bytes_per_cycle();
-        assert!(eff > 0.9 * peak, "burst efficiency too low: {eff} vs {peak}");
+        assert!(
+            eff > 0.9 * peak,
+            "burst efficiency too low: {eff} vs {peak}"
+        );
     }
 
     #[test]
@@ -547,7 +555,10 @@ mod tests {
         assert!(ArchConfig::builder().freq_mhz(10.0).build().is_err());
         assert!(ArchConfig::builder().burst_bytes(0).build().is_err());
         assert!(ArchConfig::builder().fifo_depth(0).build().is_err());
-        assert!(ArchConfig::builder().host_overhead_us(-1.0).build().is_err());
+        assert!(ArchConfig::builder()
+            .host_overhead_us(-1.0)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -580,9 +591,21 @@ mod tests {
 
     #[test]
     fn power_scales_with_nodes() {
-        let p1 = ArchConfig::builder().nodes(1).build().unwrap().power_watts(1.0);
-        let p2 = ArchConfig::builder().nodes(2).build().unwrap().power_watts(1.0);
-        let p4 = ArchConfig::builder().nodes(4).build().unwrap().power_watts(1.0);
+        let p1 = ArchConfig::builder()
+            .nodes(1)
+            .build()
+            .unwrap()
+            .power_watts(1.0);
+        let p2 = ArchConfig::builder()
+            .nodes(2)
+            .build()
+            .unwrap()
+            .power_watts(1.0);
+        let p4 = ArchConfig::builder()
+            .nodes(4)
+            .build()
+            .unwrap()
+            .power_watts(1.0);
         assert!(p1 < p2 && p2 < p4);
         // 4 nodes = 2 boards: roughly double the 2-node board power
         assert!(p4 > 1.8 * p2 && p4 < 2.2 * p2);

@@ -54,7 +54,10 @@ impl DataPack {
     ///
     /// Panics if the packs carry fewer than `len` bytes.
     pub fn unpack_stream(packs: &[DataPack], len: usize) -> Vec<i8> {
-        let mut out: Vec<i8> = packs.iter().flat_map(|p| p.payload.iter().copied()).collect();
+        let mut out: Vec<i8> = packs
+            .iter()
+            .flat_map(|p| p.payload.iter().copied())
+            .collect();
         assert!(out.len() >= len, "stream shorter than requested length");
         out.truncate(len);
         out

@@ -125,7 +125,12 @@ impl LoopLynx {
     }
 
     /// Cycle-accurate timing of one token at the given cache context.
-    pub fn simulate_token(&self, context: usize, phase: TokenPhase, is_last_prefill: bool) -> TokenTiming {
+    pub fn simulate_token(
+        &self,
+        context: usize,
+        phase: TokenPhase,
+        is_last_prefill: bool,
+    ) -> TokenTiming {
         let with_lm_head = match phase {
             TokenPhase::Decode => true,
             TokenPhase::Prefill => is_last_prefill,
@@ -164,9 +169,7 @@ impl LoopLynx {
         while t + 1 < prefill {
             let this_batch = batch.min(prefill - 1 - t);
             if this_batch > 1 {
-                let timing = self
-                    .scheduler
-                    .schedule_prefill_batch(t + 1, this_batch);
+                let timing = self.scheduler.schedule_prefill_batch(t + 1, this_batch);
                 prefill_cycles += timing.total.as_u64();
                 breakdown += timing.breakdown;
             } else {
@@ -259,7 +262,11 @@ impl DistributedGpt2 {
     /// Per-node int8 KV bytes currently cached (shows the head-wise
     /// footprint reduction).
     pub fn node_kv_bytes(&self, node: usize) -> usize {
-        self.nodes[node].caches.iter().map(LayerKvCache::byte_len).sum()
+        self.nodes[node]
+            .caches
+            .iter()
+            .map(LayerKvCache::byte_len)
+            .sum()
     }
 
     /// Resets all node caches.
@@ -519,7 +526,10 @@ mod tests {
             let prompt = [3u32, 14, 15, 9, 2];
             let a = single.prefill(&prompt);
             let b = dist.prefill(&prompt);
-            assert_eq!(a, b, "exact-mode logits must be bit-identical ({nodes} nodes)");
+            assert_eq!(
+                a, b,
+                "exact-mode logits must be bit-identical ({nodes} nodes)"
+            );
             let a2 = single.decode_step(7);
             let b2 = dist.decode_step(7);
             assert_eq!(a2, b2, "decode logits must match ({nodes} nodes)");

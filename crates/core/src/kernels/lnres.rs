@@ -93,7 +93,12 @@ impl FusedLnResKernel {
     }
 
     /// Functional path: fused residual + layernorm.
-    pub fn forward(&self, x: &[f32], residual: Option<&[f32]>, params: &LayerNormParams) -> Vec<f32> {
+    pub fn forward(
+        &self,
+        x: &[f32],
+        residual: Option<&[f32]>,
+        params: &LayerNormParams,
+    ) -> Vec<f32> {
         match residual {
             Some(r) => residual_layernorm(x, r, params),
             None => looplynx_tensor::norm::layernorm(x, params),

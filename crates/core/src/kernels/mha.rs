@@ -61,8 +61,9 @@ impl FusedMhaKernel {
     fn score_cycles(&self, job: &MhaJob) -> u64 {
         let k_channels = (self.cfg.kv_channels() / 2).max(1);
         let bytes = job.d_head * job.context;
+        let fill = 16; // mask unit + score fifo fill
         (bytes as f64 / (k_channels as f64 * self.cfg.channel_bytes_per_cycle())).ceil() as u64
-            + 16 // mask unit + score fifo fill
+            + fill
     }
 
     /// Cycles of one head's token-mixing MACs (value-cache streaming bound).
@@ -112,8 +113,7 @@ impl FusedMhaKernel {
                 StageSpec::new("score", score, score).with_out_capacity(2),
                 StageSpec::new("mix", mix, mix),
             ]);
-            spec.evaluate_uniform(job.heads).makespan()
-                + Cycles::new(job.heads as u64 * softmax)
+            spec.evaluate_uniform(job.heads).makespan() + Cycles::new(job.heads as u64 * softmax)
         };
 
         // All-gather of this node's attention output. Head-wise hiding also

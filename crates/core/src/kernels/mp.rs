@@ -104,6 +104,7 @@ impl FusedMpKernel {
         // int8 DSP packing executes two of those per DSP per cycle.
         let mac_ii = job.cols as u64 * (job.batch as u64).div_ceil(2);
         let mac_latency = mac_ii + 8; // accumulator drain
+
         // Packer emits one datapack per slice per block per batched token.
         let pack_ii = job.batch as u64;
         // Quant unit: one datapack/cycle; pipeline depth from config.
@@ -111,8 +112,7 @@ impl FusedMpKernel {
         let quant_latency = cfg.quant_latency().as_u64().max(1);
         // Router ingest: `mp_channels` datapacks per block per batched
         // token at link rate.
-        let send_ii =
-            ((cfg.mp_channels() * n_group * job.batch) as f64 / bpc).ceil() as u64;
+        let send_ii = ((cfg.mp_channels() * n_group * job.batch) as f64 / bpc).ceil() as u64;
 
         let spec = PipelineSpec::new(vec![
             StageSpec::new("dma", dma_ii, dma_ii).with_out_capacity(cfg.fifo_depth()),
@@ -175,14 +175,17 @@ mod tests {
             rows: 4096,
             cols: 1024,
             sync_bytes: 0,
-                batch: 1,
+            batch: 1,
         };
         let t = k.timing(&job).total.as_f64();
         let cfg = ArchConfig::builder().nodes(1).build().unwrap();
-        let ideal = job.weight_bytes() as f64
-            / (cfg.mp_channels() as f64 * cfg.channel_bytes_per_cycle());
+        let ideal =
+            job.weight_bytes() as f64 / (cfg.mp_channels() as f64 * cfg.channel_bytes_per_cycle());
         assert!(t > ideal, "cannot beat the memory bound");
-        assert!(t < 1.25 * ideal + 3000.0, "too far off the bound: {t} vs {ideal}");
+        assert!(
+            t < 1.25 * ideal + 3000.0,
+            "too far off the bound: {t} vs {ideal}"
+        );
     }
 
     #[test]
@@ -232,7 +235,7 @@ mod tests {
             rows: 1024,
             cols: 1024,
             sync_bytes: 256,
-                batch: 1,
+            batch: 1,
         };
         let t_hidden = hidden.timing(&job);
         let t_exposed = exposed.timing(&job);
@@ -247,7 +250,7 @@ mod tests {
             rows: 512,
             cols: 512,
             sync_bytes: 512,
-                batch: 1,
+            batch: 1,
         });
         assert_eq!(t.segment("sync"), Cycles::ZERO);
     }
@@ -259,7 +262,7 @@ mod tests {
             rows: 512,
             cols: 512,
             sync_bytes: 256,
-                batch: 1,
+            batch: 1,
         });
         for label in ["dma", "mac", "quant", "sync", "overhead"] {
             assert!(
@@ -276,7 +279,7 @@ mod tests {
             rows: 0,
             cols: 4,
             sync_bytes: 0,
-                batch: 1,
+            batch: 1,
         });
     }
 }

@@ -48,12 +48,12 @@ pub fn validate_partition(model: &ModelConfig, nodes: usize) -> Result<(), Parti
             message: "ring needs at least one node".into(),
         });
     }
-    if model.heads % nodes != 0 {
+    if !model.heads.is_multiple_of(nodes) {
         return Err(PartitionError {
             message: format!("{} heads not divisible by {} nodes", model.heads, nodes),
         });
     }
-    if model.d_model % model.heads != 0 {
+    if !model.d_model.is_multiple_of(model.heads) {
         return Err(PartitionError {
             message: format!(
                 "d_model {} not divisible by {} heads",
@@ -61,7 +61,7 @@ pub fn validate_partition(model: &ModelConfig, nodes: usize) -> Result<(), Parti
             ),
         });
     }
-    if model.d_ff % nodes != 0 {
+    if !model.d_ff.is_multiple_of(nodes) {
         return Err(PartitionError {
             message: format!("d_ff {} not divisible by {} nodes", model.d_ff, nodes),
         });
@@ -156,17 +156,15 @@ impl NodeWeights {
     }
 }
 
-fn shard_block(
-    block: &BlockWeights,
-    model: &ModelConfig,
-    node: usize,
-    nodes: usize,
-) -> LayerShard {
+fn shard_block(block: &BlockWeights, model: &ModelConfig, node: usize, nodes: usize) -> LayerShard {
     let d = model.d_model;
     let slice = split_range(d, nodes, node);
     // Head-aligned QKV: this node's Q rows, K rows, V rows.
     let q = block.qkv.weight().slice_rows(slice.start, slice.end);
-    let k = block.qkv.weight().slice_rows(d + slice.start, d + slice.end);
+    let k = block
+        .qkv
+        .weight()
+        .slice_rows(d + slice.start, d + slice.end);
     let v = block
         .qkv
         .weight()
@@ -339,6 +337,9 @@ mod tests {
         let (cfg, w) = setup();
         let one = shard_weights(&w, &cfg, 1).unwrap()[0].weight_bytes();
         let four = shard_weights(&w, &cfg, 4).unwrap()[0].weight_bytes();
-        assert!(four * 3 < one, "4-way shard should be ~1/4: {four} vs {one}");
+        assert!(
+            four * 3 < one,
+            "4-way shard should be ~1/4: {four} vs {one}"
+        );
     }
 }

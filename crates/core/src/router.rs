@@ -138,7 +138,11 @@ mod tests {
         let small = vec![0.01f32, -0.02];
         let big = vec![100.0f32, -50.0];
         let full = r.all_gather(&[small, big]);
-        assert!((full[0] - 0.01).abs() < 0.001, "small shard crushed: {}", full[0]);
+        assert!(
+            (full[0] - 0.01).abs() < 0.001,
+            "small shard crushed: {}",
+            full[0]
+        );
         assert!((full[2] - 100.0).abs() < 1.0);
     }
 
@@ -146,7 +150,7 @@ mod tests {
     fn single_node_gather_is_identity() {
         let r = Router::new(1, RingMode::Exact);
         let v = vec![1.0f32, 2.0, 3.0];
-        assert_eq!(r.all_gather(&[v.clone()]), v);
+        assert_eq!(r.all_gather(std::slice::from_ref(&v)), v);
     }
 
     #[test]

@@ -279,7 +279,12 @@ impl Scheduler {
                 batch: 1,
             };
             let t = self.mp.timing(&job);
-            trace.push(Span::new("mp", "lm_head".to_owned(), cursor, cursor + t.total));
+            trace.push(Span::new(
+                "mp",
+                "lm_head".to_owned(),
+                cursor,
+                cursor + t.total,
+            ));
             cursor += t.total;
             breakdown.critical_path += t.segment("overhead");
             breakdown.linear += t.total - t.segment("overhead");

@@ -108,12 +108,12 @@ impl FloorPlan {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for dev in 0..self.devices() {
-            out.push_str(&format!("┌── {} #{dev} ──────────────┐\n", self.device_name));
+            out.push_str(&format!(
+                "┌── {} #{dev} ──────────────┐\n",
+                self.device_name
+            ));
             for slr in (0..self.slrs_per_device).rev() {
-                let occupant = self
-                    .nodes
-                    .iter()
-                    .find(|n| n.device == dev && n.slr == slr);
+                let occupant = self.nodes.iter().find(|n| n.device == dev && n.slr == slr);
                 match occupant {
                     Some(n) => out.push_str(&format!(
                         "│ SLR{slr}: node {} ({:>4.1}% busy) │\n",

@@ -90,9 +90,7 @@ impl ResourceVector {
 
     /// The largest utilization fraction — the binding constraint.
     pub fn max_utilization_of(&self, budget: &ResourceVector) -> f64 {
-        self.utilization_of(budget)
-            .into_iter()
-            .fold(0.0, f64::max)
+        self.utilization_of(budget).into_iter().fold(0.0, f64::max)
     }
 }
 
@@ -367,10 +365,20 @@ mod tests {
             .map(|c| c.resources)
             .sum();
         let total = m.device_total(2);
-        assert!(close(parts.dsp, total.dsp, 0.01), "{} vs {}", parts.dsp, total.dsp);
+        assert!(
+            close(parts.dsp, total.dsp, 0.01),
+            "{} vs {}",
+            parts.dsp,
+            total.dsp
+        );
         assert!(close(parts.lut, total.lut, 0.01));
         assert!(close(parts.ff, total.ff, 0.01));
-        assert!(close(parts.bram, total.bram, 0.01), "{} vs {}", parts.bram, total.bram);
+        assert!(
+            close(parts.bram, total.bram, 0.01),
+            "{} vs {}",
+            parts.bram,
+            total.bram
+        );
     }
 
     #[test]
@@ -381,7 +389,11 @@ mod tests {
         assert!(close(mp.resources.dsp, 522.0, 0.01));
         assert!(close(mp.resources.lut, 34_000.0, 0.01));
         let ln = parts.iter().find(|c| c.name.contains("LN")).unwrap();
-        assert!(close(ln.resources.bram, 240.0, 0.01), "{}", ln.resources.bram);
+        assert!(
+            close(ln.resources.bram, 240.0, 0.01),
+            "{}",
+            ln.resources.bram
+        );
         let mha = parts.iter().find(|c| c.name.contains("MHA")).unwrap();
         assert!(close(mha.resources.dsp, 382.0, 0.01));
     }

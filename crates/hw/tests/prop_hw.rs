@@ -8,7 +8,13 @@ use looplynx_hw::power::{FpgaPowerModel, GpuPowerModel};
 use looplynx_hw::resources::{NodeResourceModel, ResourceVector};
 
 fn arb_vec() -> impl Strategy<Value = ResourceVector> {
-    (0.0f64..5000.0, 0.0f64..1e6, 0.0f64..2e6, 0.0f64..2000.0, 0.0f64..500.0)
+    (
+        0.0f64..5000.0,
+        0.0f64..1e6,
+        0.0f64..2e6,
+        0.0f64..2000.0,
+        0.0f64..500.0,
+    )
         .prop_map(|(d, l, f, b, u)| ResourceVector::new(d, l, f, b, u))
 }
 

@@ -67,8 +67,7 @@ pub fn attend_heads(
     for (local_idx, h) in head_range.clone().enumerate() {
         let cache_h = h - cache_head_offset;
         // --- first MAC array: integer attention scores from the key cache
-        let q_h: QuantizedVector =
-            quantize_vec(&q[local_idx * d_head..(local_idx + 1) * d_head]);
+        let q_h: QuantizedVector = quantize_vec(&q[local_idx * d_head..(local_idx + 1) * d_head]);
         let mut scores: Vec<f32> = (0..valid_len)
             .map(|t| {
                 let k = cache.key_head(t, cache_h);
@@ -136,15 +135,12 @@ mod tests {
 
     #[test]
     fn attention_prefers_matching_key() {
-        let cache = cache_with(
-            2,
-            &[
-                (&[4.0, 0.0], &[1.0, 0.0]),
-                (&[0.0, 4.0], &[0.0, 1.0]),
-            ],
-        );
+        let cache = cache_with(2, &[(&[4.0, 0.0], &[1.0, 0.0]), (&[0.0, 4.0], &[0.0, 1.0])]);
         let out = attend_all(&[4.0, 0.0], &cache, 1, 2, 2);
-        assert!(out[0] > 0.8, "weight should concentrate on token 0: {out:?}");
+        assert!(
+            out[0] > 0.8,
+            "weight should concentrate on token 0: {out:?}"
+        );
         assert!(out[1] < 0.2);
     }
 
@@ -152,10 +148,7 @@ mod tests {
     fn causal_masking_ignores_future_tokens() {
         let cache = cache_with(
             2,
-            &[
-                (&[1.0, 0.0], &[1.0, 1.0]),
-                (&[1.0, 0.0], &[-9.0, -9.0]),
-            ],
+            &[(&[1.0, 0.0], &[1.0, 1.0]), (&[1.0, 0.0], &[-9.0, -9.0])],
         );
         // valid_len = 1: the second (future) token must not contribute
         let out = attend_all(&[1.0, 0.0], &cache, 1, 2, 1);
@@ -170,7 +163,9 @@ mod tests {
         let mk = |t: usize| -> (Vec<f32>, Vec<f32>) {
             (
                 (0..d).map(|i| ((i + t) as f32 * 0.37).sin()).collect(),
-                (0..d).map(|i| ((i * (t + 1)) as f32 * 0.21).cos()).collect(),
+                (0..d)
+                    .map(|i| ((i * (t + 1)) as f32 * 0.21).cos())
+                    .collect(),
             )
         };
         let mut full = LayerKvCache::new(d_head);

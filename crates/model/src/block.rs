@@ -86,7 +86,10 @@ pub fn block_forward_batch(
     pos: usize,
 ) -> Vec<Vec<f32>> {
     assert!(!xs.is_empty(), "batch must not be empty");
-    assert!(xs.iter().all(|x| x.len() == cfg.d_model), "block input dimension");
+    assert!(
+        xs.iter().all(|x| x.len() == cfg.d_model),
+        "block input dimension"
+    );
     assert_eq!(cache.len(), pos, "cache out of step with position");
     let d = cfg.d_model;
     let b = xs.len();

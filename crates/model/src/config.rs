@@ -236,6 +236,8 @@ mod tests {
 
     #[test]
     fn display_mentions_name() {
-        assert!(ModelConfig::gpt2_medium().to_string().contains("gpt2-medium"));
+        assert!(ModelConfig::gpt2_medium()
+            .to_string()
+            .contains("gpt2-medium"));
     }
 }

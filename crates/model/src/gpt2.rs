@@ -77,7 +77,10 @@ impl Gpt2Model {
     ///
     /// Panics if `token` is out of vocabulary or `pos` exceeds `max_seq`.
     pub fn embed(&self, token: u32, pos: usize) -> Vec<f32> {
-        assert!((token as usize) < self.cfg.vocab, "token {token} out of vocab");
+        assert!(
+            (token as usize) < self.cfg.vocab,
+            "token {token} out of vocab"
+        );
         assert!(pos < self.cfg.max_seq, "position {pos} beyond max_seq");
         self.weights
             .wte

@@ -74,8 +74,11 @@ impl LayerKvCache {
                 "head count changed between appends"
             );
         }
-        let quantize_heads =
-            |x: &[f32]| x.chunks_exact(self.d_head).map(quantize_vec).collect::<Vec<_>>();
+        let quantize_heads = |x: &[f32]| {
+            x.chunks_exact(self.d_head)
+                .map(quantize_vec)
+                .collect::<Vec<_>>()
+        };
         self.keys.push(quantize_heads(k));
         self.values.push(quantize_heads(v));
     }

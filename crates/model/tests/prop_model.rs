@@ -11,7 +11,9 @@ use looplynx_model::tokenizer::ByteTokenizer;
 
 fn arb_vec(d: usize, seed: u64) -> Vec<f32> {
     (0..d)
-        .map(|i| (((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % 200) as f32 / 50.0 - 2.0)
+        .map(|i| {
+            (((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % 200) as f32 / 50.0 - 2.0
+        })
         .collect()
 }
 

@@ -220,7 +220,13 @@ mod tests {
     #[test]
     fn mp_kernel_shape_matches_calculator() {
         // the fused MP kernel's stage shape (dma/mac/pack/quant/send)
-        let p = spec(&[(1163, 1163, 64), (1032, 1024, 64), (4, 1, 64), (24, 1, 64), (12, 12, 64)]);
+        let p = spec(&[
+            (1163, 1163, 64),
+            (1032, 1024, 64),
+            (4, 1, 64),
+            (24, 1, 64),
+            (12, 12, 64),
+        ]);
         assert_eq!(des_makespan(&p, 12), p.evaluate_uniform(12).makespan());
     }
 

@@ -303,9 +303,7 @@ mod tests {
         for nodes in [2usize, 3, 4, 8] {
             let spec = RingSpec::paper_ring(nodes, clock());
             let shard_len = 4096usize;
-            let shards: Vec<Vec<u8>> = (0..nodes)
-                .map(|i| vec![i as u8 + 1; shard_len])
-                .collect();
+            let shards: Vec<Vec<u8>> = (0..nodes).map(|i| vec![i as u8 + 1; shard_len]).collect();
             let outcome = RingSim::new(spec.clone()).all_gather(&shards);
             assert_eq!(
                 outcome.end_time,

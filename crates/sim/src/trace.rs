@@ -202,7 +202,12 @@ impl Trace {
 
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace with {} spans ending at {}", self.len(), self.end())
+        write!(
+            f,
+            "trace with {} spans ending at {}",
+            self.len(),
+            self.end()
+        )
     }
 }
 

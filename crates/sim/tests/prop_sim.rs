@@ -11,9 +11,8 @@ use looplynx_sim::time::{Cycles, Frequency};
 
 fn arb_stages() -> impl Strategy<Value = Vec<StageSpec>> {
     prop::collection::vec(
-        (1u64..64, 1u64..64, 1usize..16).prop_map(|(lat, ii, cap)| {
-            StageSpec::new("s", lat, ii).with_out_capacity(cap)
-        }),
+        (1u64..64, 1u64..64, 1usize..16)
+            .prop_map(|(lat, ii, cap)| StageSpec::new("s", lat, ii).with_out_capacity(cap)),
         1..6,
     )
 }

@@ -55,7 +55,11 @@ pub fn gemm_i32(w: &Matrix<i8>, x: &Matrix<i8>) -> Result<Matrix<i32>, ShapeErro
     let mut out = Matrix::<i32>::zeros(x.rows(), w.rows());
     for (t, xrow) in x.iter_rows().enumerate() {
         for (r, wrow) in w.iter_rows().enumerate() {
-            let acc: i32 = wrow.iter().zip(xrow).map(|(&a, &b)| a as i32 * b as i32).sum();
+            let acc: i32 = wrow
+                .iter()
+                .zip(xrow)
+                .map(|(&a, &b)| a as i32 * b as i32)
+                .sum();
             out.set(t, r, acc);
         }
     }
@@ -261,15 +265,17 @@ mod tests {
         let full = gemm_i32(&w, &x).unwrap();
         for t in 0..2 {
             let single = gemv_i32(&w, x.row(t)).unwrap();
-            for r in 0..3 {
-                assert_eq!(full.get(t, r), single[r]);
+            for (r, &s) in single.iter().enumerate() {
+                assert_eq!(full.get(t, r), s);
             }
         }
     }
 
     #[test]
     fn quant_linear_approximates_f32() {
-        let w = Matrix::from_fn(8, 16, |r, c| ((r as f32 - 4.0) * 0.1 + c as f32 * 0.01).sin());
+        let w = Matrix::from_fn(8, 16, |r, c| {
+            ((r as f32 - 4.0) * 0.1 + c as f32 * 0.01).sin()
+        });
         let bias: Vec<f32> = (0..8).map(|i| i as f32 * 0.1).collect();
         let lin = QuantLinear::from_f32(&w, &bias).unwrap();
         let x: Vec<f32> = (0..16).map(|i| ((i as f32) * 0.3).cos()).collect();
@@ -325,8 +331,8 @@ mod tests {
         let batch = Matrix::from_vec(1, 5, x0.data().to_vec()).unwrap();
         let yb = lin.forward_batch(&batch, x0.scale());
         let ys = lin.forward(&x0);
-        for r in 0..3 {
-            assert!((yb.get(0, r) - ys[r]).abs() < 1e-6);
+        for (r, &y) in ys.iter().enumerate() {
+            assert!((yb.get(0, r) - y).abs() < 1e-6);
         }
     }
 
@@ -344,8 +350,8 @@ mod tests {
         let batch = lin.forward_batch_scaled(&x, &scales);
         for (t, q) in quantized.iter().enumerate() {
             let single = lin.forward(q);
-            for r in 0..4 {
-                assert_eq!(batch.get(t, r), single[r], "token {t} row {r}");
+            for (r, &s) in single.iter().enumerate() {
+                assert_eq!(batch.get(t, r), s, "token {t} row {r}");
             }
         }
     }

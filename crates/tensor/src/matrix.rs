@@ -93,7 +93,10 @@ impl<T: Copy + Default> Matrix<T> {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, r: usize, c: usize) -> T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -103,7 +106,10 @@ impl<T: Copy + Default> Matrix<T> {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: T) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -138,7 +144,10 @@ impl<T: Copy + Default> Matrix<T> {
     ///
     /// Panics if the range is out of bounds or reversed.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix<T> {
-        assert!(start <= end && end <= self.rows, "bad row range {start}..{end}");
+        assert!(
+            start <= end && end <= self.rows,
+            "bad row range {start}..{end}"
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let context = 512usize;
 
     println!("— MP channels per node (2 nodes/device, 4 KV channels fixed) —");
-    println!("{:>9} {:>14} {:>12}", "channels", "ms/token", "HBM ch/device");
+    println!(
+        "{:>9} {:>14} {:>12}",
+        "channels", "ms/token", "HBM ch/device"
+    );
     for mp in [4usize, 6, 8, 10, 12] {
         let arch = ArchConfig::builder().nodes(2).mp_channels(mp).build()?;
         let engine = LoopLynx::new(model.clone(), arch)?;
@@ -57,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Invalid points are rejected, not silently mis-simulated.
-    assert!(ArchConfig::builder().nodes(2).mp_channels(20).build().is_err());
+    assert!(ArchConfig::builder()
+        .nodes(2)
+        .mp_channels(20)
+        .build()
+        .is_err());
     println!("\nover-budget configurations are rejected by validation ✓");
     Ok(())
 }

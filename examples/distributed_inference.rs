@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for nodes in [1usize, 2, 4] {
         let mut dist = DistributedGpt2::new(&reference, nodes, RingMode::Exact)?;
         let got = dist.generate(&prompt, n, &mut Sampler::greedy());
-        let status = if got == expected { "bit-identical ✓" } else { "MISMATCH ✗" };
+        let status = if got == expected {
+            "bit-identical ✓"
+        } else {
+            "MISMATCH ✗"
+        };
         println!(
             "  {nodes}-node: {status}   per-node KV bytes after run: {}",
             dist.node_kv_bytes(0)

@@ -18,8 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ModelConfig::gpt2_xl(),
     ];
     println!(
-        "{:<14} {:>7} {:>9} {:>8} | {}",
-        "model", "params", "weights", "heads", "decode ms/token per legal ring size"
+        "{:<14} {:>7} {:>9} {:>8} | decode ms/token per legal ring size",
+        "model", "params", "weights", "heads"
     );
     for model in &family {
         let mut cells = Vec::new();

@@ -14,9 +14,7 @@ use looplynx::model::ModelConfig;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ModelConfig::gpt2_medium();
     let context = 512usize;
-    println!(
-        "scaling GPT-2 (345M) decode across ring sizes (context {context}):\n"
-    );
+    println!("scaling GPT-2 (345M) decode across ring sizes (context {context}):\n");
     println!(
         "{:>6} {:>8} {:>12} {:>12} {:>11} {:>12} {:>10}",
         "nodes", "U50s", "ms/token", "token/s", "speedup", "efficiency", "watts"

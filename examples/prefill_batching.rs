@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:>7} {:>16} {:>12}", "batch", "prefill ms/tok", "speedup");
     let mut base = None;
     for batch in [1usize, 2, 4, 8, 16, 32] {
-        let arch = ArchConfig::builder().nodes(2).prefill_batch(batch).build()?;
+        let arch = ArchConfig::builder()
+            .nodes(2)
+            .prefill_batch(batch)
+            .build()?;
         let engine = LoopLynx::new(model.clone(), arch)?;
         let per_token = engine.simulate_generation(128, 2).prefill_ms / 128.0;
         let b = *base.get_or_insert(per_token);
@@ -34,8 +37,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n— does batching close the [128:32] gap against the A100? —");
     let g = gpu.generation(&model, 128, 32);
     println!("{:<28} {:>10.0} ms", "Nvidia A100", g.total_ms);
-    for (label, batch) in [("LoopLynx 2-node (paper)", 1usize), ("LoopLynx 2-node (batch 16)", 16)] {
-        let arch = ArchConfig::builder().nodes(2).prefill_batch(batch).build()?;
+    for (label, batch) in [
+        ("LoopLynx 2-node (paper)", 1usize),
+        ("LoopLynx 2-node (batch 16)", 16),
+    ] {
+        let arch = ArchConfig::builder()
+            .nodes(2)
+            .prefill_batch(batch)
+            .build()?;
         let engine = LoopLynx::new(model.clone(), arch)?;
         let r = engine.simulate_generation(128, 32);
         let vs = g.total_ms / r.total_ms();

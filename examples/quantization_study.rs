@@ -77,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut exact = Ring(DistributedGpt2::new(&reference, 4, RingMode::Exact)?);
     let e = score(&mut exact, &tokens);
-    println!("4-node ring, exact payloads    ppl = {e:.3}  (Δ {:+.2e})", e - base);
+    println!(
+        "4-node ring, exact payloads    ppl = {e:.3}  (Δ {:+.2e})",
+        e - base
+    );
     assert_eq!(e, base, "exact ring must be bit-identical");
 
     let mut quant = Ring(DistributedGpt2::new(&reference, 4, RingMode::Quantized)?);
@@ -88,7 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let b = score(&mut BatchedPrefill(reference.clone()), &tokens);
-    println!("batched prefill (GEMM path)    ppl = {b:.3}  (Δ {:+.2e})", b - base);
+    println!(
+        "batched prefill (GEMM path)    ppl = {b:.3}  (Δ {:+.2e})",
+        b - base
+    );
     assert_eq!(b, base, "batched prefill must be bit-identical");
 
     // a sanity anchor: a confident hand-built distribution
@@ -97,7 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\n(log-prob sanity: certain prediction = {:.4} nats, uniform-8 = {:.4})",
         log_prob(&sharp, 3),
-        log_prob(&vec![0.0; 8], 0)
+        log_prob(&[0.0; 8], 0)
     );
     println!(
         "\nThe ring's int8 datapacks and the batched GEMM prefill preserve\n\

@@ -55,8 +55,14 @@ fn functional_batched_prefill_equals_sequential_everywhere() {
     for seed in [3u64, 17, 99] {
         let mut seq = Gpt2Model::synthetic(&cfg, seed);
         let mut bat = Gpt2Model::synthetic(&cfg, seed);
-        let prompt: Vec<u32> = (0..10).map(|i| (i * 29 + seed as usize) as u32 % 256).collect();
-        assert_eq!(seq.prefill(&prompt), bat.prefill_batched(&prompt), "seed {seed}");
+        let prompt: Vec<u32> = (0..10)
+            .map(|i| (i * 29 + seed as usize) as u32 % 256)
+            .collect();
+        assert_eq!(
+            seq.prefill(&prompt),
+            bat.prefill_batched(&prompt),
+            "seed {seed}"
+        );
     }
 }
 

@@ -19,8 +19,8 @@ fn distributed_exact_generation_matches_reference_for_all_ring_sizes() {
     let mut single = model.clone();
     let expected = single.generate(&prompt, 12, &mut Sampler::greedy());
     for nodes in [1usize, 2, 4] {
-        let mut dist = DistributedGpt2::new(&model, nodes, RingMode::Exact)
-            .expect("tiny model partitions");
+        let mut dist =
+            DistributedGpt2::new(&model, nodes, RingMode::Exact).expect("tiny model partitions");
         let got = dist.generate(&prompt, 12, &mut Sampler::greedy());
         assert_eq!(got, expected, "{nodes}-node generation diverged");
     }
@@ -49,9 +49,7 @@ fn quantized_ring_stays_numerically_close() {
     let b = dist.prefill(&prompt);
     // int8 ring payloads perturb activations; logits must stay close in
     // scale relative to the logit spread
-    let spread = a
-        .iter()
-        .fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+    let spread = a.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))
         - a.iter().fold(f32::INFINITY, |m, &x| m.min(x));
     for (x, y) in a.iter().zip(&b) {
         assert!(

@@ -40,12 +40,19 @@ fn table2_full_ordering_matches_paper() {
     let spatial = SpatialArch::u280().decode_token_ms(&model);
     // Paper Table II: 2.55 < 3.85 < 4.17 < 5.37 < 6.59
     assert!(ll4 < ll2, "4-node beats 2-node");
-    assert!(ll2 < spatial, "2-node beats the spatial architecture (1.08x)");
+    assert!(
+        ll2 < spatial,
+        "2-node beats the spatial architecture (1.08x)"
+    );
     assert!(spatial < dfx, "spatial beats DFX");
     assert!(dfx < ll1, "1-node is the slowest FPGA configuration");
     // Speedup factors from the paper's abstract: 2.11x over DFX, 1.64x
     // over spatial for the 4-node configuration (±15 %).
-    assert!((paper::deviation(dfx / ll4, 2.11)).abs() < 0.15, "{}", dfx / ll4);
+    assert!(
+        (paper::deviation(dfx / ll4, 2.11)).abs() < 0.15,
+        "{}",
+        dfx / ll4
+    );
     assert!(
         (paper::deviation(spatial / ll4, 1.64)).abs() < 0.15,
         "{}",
@@ -165,7 +172,10 @@ fn optimizations_help_at_every_ring_size() {
         let off = LoopLynx::new(ModelConfig::gpt2_medium(), arch_off)
             .expect("partitions")
             .steady_state_decode_ms(TABLE2_CONTEXT);
-        assert!(on < off, "{nodes}-node: optimized {on} vs unoptimized {off}");
+        assert!(
+            on < off,
+            "{nodes}-node: optimized {on} vs unoptimized {off}"
+        );
     }
 }
 
@@ -199,11 +209,7 @@ fn transmission_hiding_matters_more_with_more_nodes() {
 fn resource_rows_match_table2() {
     let rows = experiments::table2(&ModelConfig::gpt2_medium());
     // LoopLynx rows in 4/2/1 order; check DSP and BRAM against the paper
-    let expect = [
-        (2264.0, 1609.0),
-        (1132.0, 924.5),
-        (568.0, 641.0),
-    ];
+    let expect = [(2264.0, 1609.0), (1132.0, 924.5), (568.0, 641.0)];
     for (row, (dsp, bram)) in rows[..3].iter().zip(expect) {
         assert!(
             (row.resources.dsp - dsp).abs() / dsp < 0.01,

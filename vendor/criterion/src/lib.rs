@@ -1,0 +1,264 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Provides the API subset the workspace's benches use: [`Criterion`]
+//! with `bench_function` / `benchmark_group`, [`Bencher::iter`],
+//! [`BenchmarkId`], the [`criterion_group!`] / [`criterion_main!`]
+//! macros, and [`black_box`]. Measurement is a plain time-boxed loop
+//! printing mean iteration time — no statistics, no HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before measuring (builder style).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window per benchmark (builder style).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for CLI compatibility with the real crate; no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().0, self, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (stand-in for
+/// `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().0);
+        run_one(&id, self.criterion, f);
+        self
+    }
+
+    /// Runs one benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into().0);
+        run_one(&id, self.criterion, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a single benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`-style id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Id from the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` over this sample's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, config: &Criterion, mut f: F) {
+    // Warm-up: calibrate how many iterations fit one sample so the
+    // whole benchmark stays within measurement_time.
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_up_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_up_start.elapsed() < config.warm_up_time {
+        f(&mut bencher);
+        per_iter = Duration::from_nanos(
+            (bencher.elapsed.as_nanos() / bencher.iterations as u128).max(1) as u64,
+        );
+        // Grow the batch until one call is ~1/4 of the warm-up budget.
+        if bencher.elapsed * 4 < config.warm_up_time {
+            bencher.iterations = bencher.iterations.saturating_mul(2);
+        }
+    }
+
+    let budget = config.measurement_time / config.sample_size as u32;
+    let iters_per_sample =
+        (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    for _ in 0..config.sample_size {
+        bencher.iterations = iters_per_sample;
+        f(&mut bencher);
+        total += bencher.elapsed;
+        iters += bencher.iterations;
+    }
+    let mean = total.as_secs_f64() / iters.max(1) as f64;
+    println!(
+        "bench: {id:<50} {:>12.3} ns/iter ({iters} iters)",
+        mean * 1e9
+    );
+}
+
+/// Declares a benchmark harness entry point from a config expression
+/// and a list of target functions (stand-in for
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` from one or more [`criterion_group!`] names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = false;
+        fast().bench_function("t", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = fast();
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

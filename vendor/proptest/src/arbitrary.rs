@@ -1,0 +1,89 @@
+//! `any::<T>()`: whole-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::{CaseResult, TestRng};
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full domain of `T` (like `proptest::arbitrary::any`).
+///
+/// Floats are drawn from raw bit patterns, so infinities and NaNs occur
+/// (filter with `prop_filter("finite", ..)` as with the real crate).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample_one(&self, rng: &mut TestRng) -> CaseResult<T> {
+        Ok(T::arbitrary(rng))
+    }
+}
+
+macro_rules! arbitrary_from_bits {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_from_bits!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_covers_both() {
+        let mut rng = TestRng::from_name("arb-bool");
+        let mut t = false;
+        let mut f = false;
+        for _ in 0..64 {
+            if bool::arbitrary(&mut rng) {
+                t = true;
+            } else {
+                f = true;
+            }
+        }
+        assert!(t && f);
+    }
+
+    #[test]
+    fn any_f32_is_samplable() {
+        let mut rng = TestRng::from_name("arb-f32");
+        let s = any::<f32>();
+        for _ in 0..100 {
+            let _ = s.sample_one(&mut rng).unwrap();
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of the real API this workspace uses, with the
+//! same surface syntax:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`, doc
+//!   comments, and `#[test]` attributes on each property);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`];
+//! * the [`strategy::Strategy`] trait with `prop_map` / `prop_filter`,
+//!   implemented for numeric ranges and tuples;
+//! * [`arbitrary::any`], [`collection::vec`], [`sample::select`],
+//!   [`strategy::Just`];
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Each property runs over `cases` pseudo-random inputs seeded from the
+//! test's module path and name (stable run-to-run). Failures report the
+//! failing assertion **without shrinking**.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of the real crate's `prop` re-export module, so
+/// `prop::collection::vec` and `prop::sample::select` resolve.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// One-stop import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares a block of property tests.
+///
+/// Supports the real crate's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     /// Doc comment.
+///     #[test]
+///     fn my_property(x in 0u32..100, v in prop::collection::vec(0i8..5, 1..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                &__config,
+                |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample_one(&($strat), __rng)?;)+
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case (without panicking the sampling loop) when
+/// the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::CaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::CaseError::fail(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&($left), &($right));
+        if !(*__l == *__r) {
+            return Err($crate::test_runner::CaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&($left), &($right));
+        if !(*__l == *__r) {
+            return Err($crate::test_runner::CaseError::fail(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&($left), &($right));
+        if *__l == *__r {
+            return Err($crate::test_runner::CaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Rejects (skips and resamples) the current case when the condition
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::CaseError::reject(stringify!($cond)));
+        }
+    };
+}

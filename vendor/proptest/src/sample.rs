@@ -1,0 +1,48 @@
+//! Sampling strategies over explicit candidate sets
+//! (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::{CaseResult, TestRng};
+
+/// Strategy that picks uniformly from a fixed, non-empty candidate
+/// list.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample_one(&self, rng: &mut TestRng) -> CaseResult<T> {
+        let i = rng.below(self.options.len() as u64) as usize;
+        Ok(self.options[i].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_only_listed_options() {
+        let mut rng = TestRng::from_name("select");
+        let s = select(vec![1usize, 2, 4, 8]);
+        for _ in 0..100 {
+            let v = s.sample_one(&mut rng).unwrap();
+            assert!([1, 2, 4, 8].contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one option")]
+    fn empty_options_panic() {
+        let _ = select(Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,354 @@
+//! The [`Strategy`] trait and its combinators / primitive impls.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::{CaseError, CaseResult, TestRng};
+
+/// A generator of values of type `Self::Value`.
+///
+/// Mirrors `proptest::strategy::Strategy` closely enough for this
+/// workspace: ranges, tuples of strategies, `prop_map`, `prop_filter`,
+/// [`Just`], plus the module-level constructors in
+/// [`collection`](crate::collection) and [`sample`](crate::sample).
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value. `Err(Reject)` asks the runner to resample.
+    fn sample_one(&self, rng: &mut TestRng) -> CaseResult<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values for which `f` returns `false`.
+    ///
+    /// `whence` labels the filter in reject-storm diagnostics.
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_one(&self, _rng: &mut TestRng) -> CaseResult<T> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample_one(&self, rng: &mut TestRng) -> CaseResult<O> {
+        Ok((self.f)(self.inner.sample_one(rng)?))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample_one(&self, rng: &mut TestRng) -> CaseResult<S::Value> {
+        // A handful of local retries keeps easy filters from surfacing
+        // as runner-level rejects.
+        for _ in 0..16 {
+            let v = self.inner.sample_one(rng)?;
+            if (self.f)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(CaseError::reject(self.whence.clone()))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample_one(&self, rng: &mut TestRng) -> CaseResult<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Ok((self.start as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample_one(&self, rng: &mut TestRng) -> CaseResult<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                // span == 0 only for the full u64/i64 domain; fall back
+                // to raw bits there.
+                if span == 0 {
+                    return Ok(rng.next_u64() as $t);
+                }
+                Ok((lo as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample_one(&self, rng: &mut TestRng) -> CaseResult<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.unit_f64() as $t;
+                let v = self.start + u * (self.end - self.start);
+                // `u` can round to 1.0 in the target type (unit_f64()
+                // returns values within 2^-53 of 1.0, and the f32 cast
+                // rounds harder); keep the half-open contract.
+                Ok(if v < self.end { v } else { self.start })
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample_one(&self, rng: &mut TestRng) -> CaseResult<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let u = rng.unit_f64() as $t;
+                Ok(lo + u * (hi - lo))
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// `&str` patterns act as string-generation strategies, mirroring the
+/// real crate's regex-based `StrategyFromRegex`. Only the subset used in
+/// this workspace is interpreted: a single body — `\PC` (any
+/// non-control char), `.` (any ASCII printable), or a `[a-z0-9]`-style
+/// class — followed by an optional `{m,n}` / `*` / `+` quantifier.
+/// Anything else is generated literally, repeated per the quantifier.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample_one(&self, rng: &mut TestRng) -> CaseResult<String> {
+        let (body, lo, hi) = split_quantifier(self);
+        let n = (lo + (rng.below((hi - lo + 1) as u64) as usize)).min(hi);
+        let mut out = String::new();
+        for _ in 0..n {
+            push_one(body, rng, &mut out);
+        }
+        Ok(out)
+    }
+}
+
+/// Splits a trailing `{m,n}`, `{m,}`, `{n}`, `*`, or `+` quantifier off
+/// `pat`, returning `(body, min_reps, max_reps)`.
+fn split_quantifier(pat: &str) -> (&str, usize, usize) {
+    if let Some(body) = pat.strip_suffix('*') {
+        return (body, 0, 16);
+    }
+    if let Some(body) = pat.strip_suffix('+') {
+        return (body, 1, 16);
+    }
+    if pat.ends_with('}') {
+        if let Some(open) = pat.rfind('{') {
+            let inner = &pat[open + 1..pat.len() - 1];
+            let (lo_s, hi_s) = match inner.split_once(',') {
+                Some((lo, hi)) => (lo, hi),
+                None => (inner, inner),
+            };
+            if let Ok(lo) = lo_s.trim().parse::<usize>() {
+                // Open-ended `{m,}` caps at m+16, like `*`/`+`.
+                let hi = if hi_s.trim().is_empty() {
+                    Ok(lo + 16)
+                } else {
+                    hi_s.trim().parse()
+                };
+                if let Ok(hi) = hi {
+                    return (&pat[..open], lo, hi);
+                }
+            }
+        }
+    }
+    (pat, 1, 1)
+}
+
+/// Appends one unit matching `body` to `out`.
+fn push_one(body: &str, rng: &mut TestRng, out: &mut String) {
+    match body {
+        // `\PC` / `\p{Any}`-ish: any non-control character. Bias toward
+        // ASCII but include multi-byte code points so UTF-8 handling is
+        // actually exercised.
+        "\\PC" | "\\p{Any}" => {
+            let c = loop {
+                let c = if rng.below(4) == 0 {
+                    // Non-ASCII: sample the BMP and beyond, skipping
+                    // surrogates (char::from_u32 rejects them).
+                    match char::from_u32(0x80 + rng.below(0x2_0000 - 0x80) as u32) {
+                        Some(c) => c,
+                        None => continue,
+                    }
+                } else {
+                    (0x20 + rng.below(0x5f) as u8) as char
+                };
+                if !c.is_control() {
+                    break c;
+                }
+            };
+            out.push(c);
+        }
+        "." => out.push((0x20 + rng.below(0x5f) as u8) as char),
+        _ if body.starts_with('[') && body.ends_with(']') => {
+            let choices = class_chars(&body[1..body.len() - 1]);
+            if !choices.is_empty() {
+                out.push(choices[rng.below(choices.len() as u64) as usize]);
+            }
+        }
+        _ => out.push_str(body),
+    }
+}
+
+/// Expands a character-class body like `a-z0-9_` into its members.
+fn class_chars(inner: &str) -> Vec<char> {
+    let cs: Vec<char> = inner.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            for u in cs[i] as u32..=cs[i + 2] as u32 {
+                out.extend(char::from_u32(u));
+            }
+            i += 3;
+        } else {
+            out.push(cs[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample_one(&self, rng: &mut TestRng) -> CaseResult<Self::Value> {
+                Ok(($(self.$idx.sample_one(rng)?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy-tests")
+    }
+
+    #[test]
+    fn int_range_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (3usize..17).sample_one(&mut r).unwrap();
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut r = rng();
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(0u32..=2).sample_one(&mut r).unwrap() as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (-2.0f32..3.0).sample_one(&mut r).unwrap();
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn map_and_filter_compose() {
+        let mut r = rng();
+        let s = (0i32..100)
+            .prop_map(|x| x * 2)
+            .prop_filter("nonzero", |&x| x != 0);
+        for _ in 0..100 {
+            let v = s.sample_one(&mut r).unwrap();
+            assert!(v % 2 == 0 && v != 0);
+        }
+    }
+
+    #[test]
+    fn tuples_sample_elementwise() {
+        let mut r = rng();
+        let (a, b, c) = (1u64..4, 0f64..1.0, 5i8..6).sample_one(&mut r).unwrap();
+        assert!((1..4).contains(&a));
+        assert!((0.0..1.0).contains(&b));
+        assert_eq!(c, 5);
+    }
+
+    #[test]
+    fn just_yields_value() {
+        assert_eq!(Just(7).sample_one(&mut rng()).unwrap(), 7);
+    }
+}

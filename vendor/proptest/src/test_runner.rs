@@ -1,0 +1,157 @@
+//! Case driver: configuration, the per-test RNG, and the run loop.
+
+/// Run-time configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Maximum number of rejected (assumed-away or filtered) cases
+    /// tolerated across the whole run before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` successful cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug, Clone)]
+pub enum CaseError {
+    /// The case hit a `prop_assume!` / `prop_filter` that did not hold;
+    /// it is skipped and resampled, not counted as a failure.
+    Reject(String),
+    /// An assertion failed; the whole property fails.
+    Fail(String),
+}
+
+impl CaseError {
+    /// A failing-case error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        CaseError::Fail(msg.into())
+    }
+
+    /// A rejected-case (resample) error.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        CaseError::Reject(msg.into())
+    }
+}
+
+/// Outcome of one sampled case.
+pub type CaseResult<T> = Result<T, CaseError>;
+
+/// Deterministic per-test random source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from a test name, so every property gets a
+    /// distinct but run-to-run stable input sequence.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name gives a well-spread 64-bit seed.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 bits of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs one property over `config.cases` successful cases, retrying
+/// rejected cases and panicking (like `assert!`) on the first failure.
+pub fn run_cases(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> CaseResult<()>,
+) {
+    let mut rng = TestRng::from_name(name);
+    let mut successes = 0u32;
+    let mut rejects = 0u32;
+    while successes < config.cases {
+        match case(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(CaseError::Reject(why)) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest `{name}`: too many rejected cases \
+                         ({rejects}; last reason: {why})"
+                    );
+                }
+            }
+            Err(CaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed after {successes} passing case(s):\n{msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_when_all_cases_pass() {
+        run_cases("t::ok", &ProptestConfig::with_cases(10), |_| Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn panics_on_failure() {
+        run_cases("t::fail", &ProptestConfig::with_cases(10), |_| {
+            Err(CaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected")]
+    fn panics_on_reject_storm() {
+        run_cases("t::reject", &ProptestConfig::with_cases(1), |_| {
+            Err(CaseError::reject("never"))
+        });
+    }
+
+    #[test]
+    fn rng_is_stable_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline stand-in for the `rand` crate (see `vendor/README.md`).
+//!
+//! Provides the subset used by this workspace: a seedable deterministic
+//! generator ([`rngs::StdRng`]) and uniform sampling of primitive types
+//! through [`RngExt::random`]. The generator is SplitMix64 — fast,
+//! well-distributed, and deterministic per seed — **not** the real
+//! crate's ChaCha12, so sequences differ from upstream.
+
+/// Core trait for generators: produce the next 64 random bits.
+pub trait RngCore {
+    /// Returns the next 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed. Equal seeds produce
+    /// equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Extension trait providing typed uniform sampling, mirroring
+/// `rand::Rng::random` from the real crate.
+pub trait RngExt: RngCore {
+    /// Samples a value of type `T` uniformly: floats land in `[0, 1)`,
+    /// integers and `bool` cover their full range.
+    fn random<T: UniformSample>(&mut self) -> T {
+        T::sample(&mut || self.next_u64())
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Types that can be sampled uniformly from a stream of `u64`s.
+pub trait UniformSample {
+    /// Draws one value, pulling 64-bit words from `next`.
+    fn sample(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl UniformSample for u64 {
+    fn sample(next: &mut dyn FnMut() -> u64) -> Self {
+        next()
+    }
+}
+
+impl UniformSample for u32 {
+    fn sample(next: &mut dyn FnMut() -> u64) -> Self {
+        (next() >> 32) as u32
+    }
+}
+
+impl UniformSample for bool {
+    fn sample(next: &mut dyn FnMut() -> u64) -> Self {
+        next() & 1 == 1
+    }
+}
+
+impl UniformSample for f32 {
+    fn sample(next: &mut dyn FnMut() -> u64) -> Self {
+        // 24 high bits → uniform in [0, 1) with full f32 mantissa coverage.
+        ((next() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl UniformSample for f64 {
+    fn sample(next: &mut dyn FnMut() -> u64) -> Self {
+        ((next() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    ///
+    /// Stands in for `rand::rngs::StdRng`; same construction API,
+    /// different (but still deterministic) stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = r.random::<f32>();
+            assert!((0.0..1.0).contains(&x), "{x} out of [0,1)");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random::<u64>()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random::<u64>()).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the real `serde` crate (see `vendor/README.md`).
+//!
+//! Exposes `Serialize` / `Deserialize` as *marker traits* plus the
+//! same-named no-op derive macros, which is all this workspace needs to
+//! compile. No serialization is actually performed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// The no-op derive does not implement this trait; it exists so that
+/// `use serde::{Serialize, Deserialize}` resolves in both the type and
+/// macro namespaces, exactly like the real crate's prelude.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,19 @@
+//! No-op stand-in for the real `serde_derive` proc-macro crate.
+//!
+//! The derives accept the same invocation syntax but generate **no
+//! code**: the workspace only needs `#[derive(Serialize, Deserialize)]`
+//! to compile, not to serialize (see `vendor/README.md`).
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
