@@ -1,0 +1,10 @@
+//! Offered-load serving sweep: tokens/s and latency percentiles vs
+//! Poisson arrival rate, continuous batching against the sequential
+//! baseline, for 1/2/4-node rings.
+use looplynx_bench::experiments;
+use looplynx_model::ModelConfig;
+
+fn main() {
+    let model = ModelConfig::gpt2_medium();
+    print!("{}", experiments::render_offered_load_sweep(&model));
+}

@@ -13,6 +13,7 @@ use looplynx_hw::floorplan::FloorPlan;
 use looplynx_hw::platform::PlatformSpec;
 use looplynx_hw::resources::{ComponentResources, NodeResourceModel};
 use looplynx_model::config::ModelConfig;
+use looplynx_serve::{serve_continuous, serve_sequential, ArrivalProcess, ServeConfig};
 use looplynx_sim::stats::arithmetic_mean;
 
 /// Decode context at which steady-state token latency is measured
@@ -413,6 +414,131 @@ pub fn render_fig8(model: &ModelConfig) -> String {
     out
 }
 
+// -------------------------------------------------- Offered-load sweep
+
+/// Latency percentiles of one serving distribution: `[p50, p95, p99]` in
+/// milliseconds.
+pub type LatencyTail = [f64; 3];
+
+/// One `(ring size, arrival rate)` cell of the offered-load sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeSweepPoint {
+    /// Ring size.
+    pub nodes: usize,
+    /// Offered load in requests per second.
+    pub rate_per_s: f64,
+    /// Sustained tokens/s under continuous batching.
+    pub batched_tokens_per_s: f64,
+    /// Sustained tokens/s serving one request at a time.
+    pub sequential_tokens_per_s: f64,
+    /// Mean decode-batch occupancy under continuous batching.
+    pub mean_batch: f64,
+    /// Time-to-first-token `[p50, p95, p99]` (ms, continuous batching).
+    pub ttft_ms: LatencyTail,
+    /// Time-per-output-token `[p50, p95, p99]` (ms, continuous batching).
+    pub tpot_ms: LatencyTail,
+    /// End-to-end latency `[p50, p95, p99]` (ms, continuous batching).
+    pub e2e_ms: LatencyTail,
+}
+
+/// Workload shape of the sweep: a chat-style `[prefill : decode]` mix.
+pub const SERVE_SHAPES: [(usize, usize); 3] = [(32, 32), (64, 16), (16, 48)];
+
+/// Requests per sweep cell.
+pub const SERVE_REQUESTS: usize = 32;
+
+/// The default arrival-rate grid in requests per second.
+pub const SERVE_RATES: [f64; 4] = [2.0, 5.0, 10.0, 20.0];
+
+fn tail(p: &looplynx_sim::stats::Percentiles) -> LatencyTail {
+    [
+        p.p50().unwrap_or(0.0),
+        p.p95().unwrap_or(0.0),
+        p.p99().unwrap_or(0.0),
+    ]
+}
+
+/// Offered-load sweep: serving throughput and latency percentiles vs
+/// arrival rate, continuous batching against the sequential baseline, for
+/// each ring size in `nodes_list`.
+///
+/// Workloads are deterministic per `(rate, seed)` so every ring size sees
+/// the identical request stream at a given rate.
+///
+/// # Panics
+///
+/// Panics if `nodes_list` or `rates` is empty, or a ring size cannot
+/// partition the model.
+pub fn offered_load_sweep_with(
+    model: &ModelConfig,
+    nodes_list: &[usize],
+    rates: &[f64],
+    requests: usize,
+    max_batch: usize,
+) -> Vec<ServeSweepPoint> {
+    assert!(
+        !nodes_list.is_empty() && !rates.is_empty(),
+        "sweep needs at least one ring size and one rate"
+    );
+    let cfg = ServeConfig::new(max_batch);
+    let mut out = Vec::with_capacity(nodes_list.len() * rates.len());
+    for &nodes in nodes_list {
+        let eng = engine(model, nodes);
+        for &rate in rates {
+            let workload = ArrivalProcess::Poisson {
+                rate_per_s: rate,
+                seed: 0x10091,
+            }
+            .workload(requests, &SERVE_SHAPES);
+            let batched = serve_continuous(&eng, &workload, &cfg);
+            let serial = serve_sequential(&eng, &workload);
+            out.push(ServeSweepPoint {
+                nodes,
+                rate_per_s: rate,
+                batched_tokens_per_s: batched.tokens_per_second(),
+                sequential_tokens_per_s: serial.tokens_per_second(),
+                mean_batch: batched.batch_occupancy.mean(),
+                ttft_ms: tail(&batched.ttft_ms),
+                tpot_ms: tail(&batched.tpot_ms),
+                e2e_ms: tail(&batched.e2e_ms),
+            });
+        }
+    }
+    out
+}
+
+/// The paper-configuration offered-load sweep: 1/2/4-node rings over
+/// [`SERVE_RATES`] with [`SERVE_REQUESTS`] requests per cell.
+pub fn offered_load_sweep(model: &ModelConfig) -> Vec<ServeSweepPoint> {
+    offered_load_sweep_with(model, &[1, 2, 4], &SERVE_RATES, SERVE_REQUESTS, 8)
+}
+
+/// Renders the offered-load sweep.
+pub fn render_offered_load_sweep(model: &ModelConfig) -> String {
+    let mut out = format!(
+        "OFFERED-LOAD SWEEP — continuous batching vs one-request-at-a-time\n\
+         (Poisson arrivals, chat-style [prefill:decode] mix, {SERVE_REQUESTS} requests/cell)\n\
+         nodes  req/s   batched   serial   gain  batch |   TTFT p50/p95/p99 (ms) |  TPOT p50 |    E2E p95\n",
+    );
+    for p in offered_load_sweep(model) {
+        out.push_str(&format!(
+            "{:>5} {:>6.1} {:>7.1} {:>8.1} {:>5.2}x {:>6.2} | {:>7.0} {:>6.0} {:>6.0} | {:>9.2} | {:>10.0}\n",
+            p.nodes,
+            p.rate_per_s,
+            p.batched_tokens_per_s,
+            p.sequential_tokens_per_s,
+            p.batched_tokens_per_s / p.sequential_tokens_per_s.max(1e-12),
+            p.mean_batch,
+            p.ttft_ms[0],
+            p.ttft_ms[1],
+            p.ttft_ms[2],
+            p.tpot_ms[0],
+            p.e2e_ms[1],
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,5 +618,37 @@ mod tests {
     fn table1_renders_three_platforms() {
         let s = render_table1();
         assert!(s.contains("A100") && s.contains("U280") && s.contains("U50"));
+    }
+
+    #[test]
+    fn offered_load_sweep_favors_continuous_batching() {
+        // A fast single-rate slice of the sweep: at an over-subscribed
+        // arrival rate, continuous batching must sustain strictly more
+        // tokens/s than serve-one-at-a-time on every ring size, and the
+        // latency tails must be populated and ordered.
+        let points = offered_load_sweep_with(&model(), &[1, 2], &[20.0], 12, 8);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(
+                p.batched_tokens_per_s > p.sequential_tokens_per_s,
+                "{} nodes: batched {} vs sequential {}",
+                p.nodes,
+                p.batched_tokens_per_s,
+                p.sequential_tokens_per_s
+            );
+            assert!(p.mean_batch > 1.0, "no batching happened");
+            for tail in [p.ttft_ms, p.tpot_ms, p.e2e_ms] {
+                assert!(tail[0] > 0.0);
+                assert!(tail[0] <= tail[1] && tail[1] <= tail[2], "tail unordered");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_scales_with_ring_size() {
+        // More nodes decode faster, so the saturated serving throughput
+        // must grow with the ring.
+        let points = offered_load_sweep_with(&model(), &[1, 4], &[20.0], 12, 8);
+        assert!(points[1].batched_tokens_per_s > points[0].batched_tokens_per_s);
     }
 }

@@ -14,6 +14,11 @@
 //! | Table II  | [`experiments::table2`] | `table2` |
 //! | Fig. 8    | [`experiments::fig8`]   | `fig8`   |
 //! | Table III | [`experiments::table3`] | `table3` |
+//!
+//! Beyond the paper, [`experiments::offered_load_sweep`] (binary
+//! `serve_sweep`) measures the serving layer: sustained tokens/s and
+//! TTFT/TPOT/end-to-end latency percentiles vs Poisson arrival rate,
+//! continuous batching against a serve-one-request-at-a-time baseline.
 
 #![deny(missing_docs)]
 

@@ -19,6 +19,11 @@ use looplynx_sim::time::{Cycles, Frequency};
 
 use crate::datapack::DATAPACK_BYTES;
 
+/// Largest number of activation vectors that can share one streamed
+/// weight pass (batched prefill and continuous-batching decode alike) —
+/// bounded by the on-chip activation buffer.
+pub const MAX_WEIGHT_SHARING_BATCH: usize = 64;
+
 /// The latency-optimization techniques of paper Section III-C, each
 /// individually switchable for ablation (Fig. 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -481,10 +486,11 @@ impl ArchConfigBuilder {
         if self.host_overhead_us.is_some_and(|us| us < 0.0) {
             return Err(ConfigError::new("host overhead cannot be negative"));
         }
-        if self.prefill_batch == 0 || self.prefill_batch > 64 {
-            return Err(ConfigError::new(
-                "prefill batch must be 1..=64 (bounded by on-chip activation buffer)",
-            ));
+        if self.prefill_batch == 0 || self.prefill_batch > MAX_WEIGHT_SHARING_BATCH {
+            return Err(ConfigError::new(format!(
+                "prefill batch must be 1..={MAX_WEIGHT_SHARING_BATCH} \
+                 (bounded by on-chip activation buffer)"
+            )));
         }
         let per_node = self.mp_channels + self.kv_channels;
         let model = NodeResourceModel::paper();

@@ -29,7 +29,7 @@ use looplynx_tensor::quant::quantize_vec;
 use crate::config::ArchConfig;
 use crate::energy::{fpga_energy, EnergyReport};
 use crate::latency::LatencyBreakdown;
-use crate::parallel::{shard_weights, validate_partition, NodeWeights, PartitionError};
+use crate::parallel::{shard_weights, NodeWeights, PartitionError};
 use crate::router::{RingMode, Router};
 use crate::scheduler::{Scheduler, TokenTiming};
 
@@ -43,6 +43,15 @@ pub enum TokenPhase {
 }
 
 /// Latency/energy outcome of a simulated generation.
+///
+/// Accounting follows the *paper's* convention: every generated token is
+/// charged one full decode pass, so `decode_ms` covers `decode_tokens`
+/// passes and [`GenerationReport::tokens_per_second`] is the Table III
+/// steady-state metric. The serving layer (`looplynx-serve`) instead
+/// models the deployed pipeline, where the first output token is sampled
+/// from the prefill logits and only `decode_tokens - 1` decode iterations
+/// run — its TPOT is therefore not directly comparable to
+/// [`GenerationReport::decode_ms_per_token`] for short generations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GenerationReport {
     /// Ring size used.
@@ -68,12 +77,24 @@ impl GenerationReport {
     }
 
     /// Average decode latency per generated token in milliseconds.
+    ///
+    /// Returns `0.0` for a degenerate report (zero tokens or zero decode
+    /// wall-clock) rather than `inf`/`NaN`.
     pub fn decode_ms_per_token(&self) -> f64 {
-        self.decode_ms / self.decode_tokens.max(1) as f64
+        if self.decode_tokens == 0 || self.decode_ms <= 0.0 {
+            return 0.0;
+        }
+        self.decode_ms / self.decode_tokens as f64
     }
 
     /// Decode throughput in tokens per second (Table III metric).
+    ///
+    /// Returns `0.0` for a degenerate report (zero decode wall-clock)
+    /// rather than `inf`/`NaN`.
     pub fn tokens_per_second(&self) -> f64 {
+        if self.decode_ms <= 0.0 {
+            return 0.0;
+        }
         self.decode_tokens as f64 / (self.decode_ms / 1e3)
     }
 }
@@ -94,6 +115,24 @@ impl fmt::Display for GenerationReport {
     }
 }
 
+/// Aggregate timing of a multi-token phase (a prefill walk or a batched
+/// decode iteration): total exposed cycles plus the bucketized breakdown,
+/// without the per-stage trace of [`TokenTiming`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Total exposed cycles of the phase.
+    pub cycles: looplynx_sim::time::Cycles,
+    /// Bucketized breakdown over the phase.
+    pub breakdown: LatencyBreakdown,
+}
+
+impl PhaseTiming {
+    /// Milliseconds under the configuration's clock.
+    pub fn to_millis(&self, cfg: &ArchConfig) -> f64 {
+        self.cycles.to_millis(cfg.freq())
+    }
+}
+
 /// The LoopLynx timing engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LoopLynx {
@@ -108,9 +147,8 @@ impl LoopLynx {
     /// Returns [`PartitionError`] if the model cannot be split over the
     /// configured ring.
     pub fn new(model: ModelConfig, arch: ArchConfig) -> Result<Self, PartitionError> {
-        validate_partition(&model, arch.nodes())?;
         Ok(LoopLynx {
-            scheduler: Scheduler::new(arch, model),
+            scheduler: Scheduler::new(arch, model)?,
         })
     }
 
@@ -122,6 +160,12 @@ impl LoopLynx {
     /// The model configuration.
     pub fn model(&self) -> &ModelConfig {
         self.scheduler.model()
+    }
+
+    /// The underlying stage scheduler (for callers that need raw
+    /// per-stage schedules, e.g. the serving layer and invariant tests).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
     }
 
     /// Cycle-accurate timing of one token at the given cache context.
@@ -145,7 +189,70 @@ impl LoopLynx {
             .total_ms(self.arch())
     }
 
+    /// Cycle-accurate timing of the whole prompt-processing phase for a
+    /// `prefill`-token prompt: all but the last token run in weight-sharing
+    /// batches of [`ArchConfig::prefill_batch`] (the paper's behaviour is
+    /// batch = 1); the last prefill token runs unbatched because it
+    /// produces logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefill` is zero or exceeds the model's maximum.
+    pub fn simulate_prefill(&self, prefill: usize) -> PhaseTiming {
+        assert!(prefill > 0, "need at least one prompt token");
+        assert!(
+            prefill <= self.model().max_seq,
+            "prompt {} exceeds max_seq {}",
+            prefill,
+            self.model().max_seq
+        );
+        let mut breakdown = LatencyBreakdown::zero();
+        let mut cycles = 0u64;
+        let batch = self.arch().prefill_batch();
+        let mut t = 0usize;
+        while t + 1 < prefill {
+            let this_batch = batch.min(prefill - 1 - t);
+            if this_batch > 1 {
+                let timing = self.scheduler.schedule_prefill_batch(t + 1, this_batch);
+                cycles += timing.total.as_u64();
+                breakdown += timing.breakdown;
+            } else {
+                let timing = self.simulate_token(t + 1, TokenPhase::Prefill, false);
+                cycles += timing.total.as_u64();
+                breakdown += timing.breakdown;
+            }
+            t += this_batch;
+        }
+        let timing = self.simulate_token(prefill, TokenPhase::Prefill, true);
+        cycles += timing.total.as_u64();
+        breakdown += timing.breakdown;
+        PhaseTiming {
+            cycles: looplynx_sim::time::Cycles::new(cycles),
+            breakdown,
+        }
+    }
+
+    /// Cycle-accurate timing of one continuous-batching decode iteration —
+    /// one token for each concurrent request, all sharing every weight
+    /// pass. Delegates to [`Scheduler::schedule_decode_batch`]; see there
+    /// for the cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` is empty or any context is zero.
+    pub fn simulate_decode_batch(&self, contexts: &[usize]) -> PhaseTiming {
+        let timing = self.scheduler.schedule_decode_batch(contexts);
+        PhaseTiming {
+            cycles: timing.total,
+            breakdown: timing.breakdown,
+        }
+    }
+
     /// Simulates a full `[prefill : decode]` generation.
+    ///
+    /// Each of the `decode` tokens is charged one full decode pass (the
+    /// paper's accounting — see [`GenerationReport`] for how this differs
+    /// from the serving layer's first-token-from-prefill pipeline model).
     ///
     /// # Panics
     ///
@@ -159,29 +266,8 @@ impl LoopLynx {
             prefill + decode,
             self.model().max_seq
         );
-        let mut breakdown = LatencyBreakdown::zero();
-        let mut prefill_cycles = 0u64;
-        let batch = self.arch().prefill_batch();
-        // All but the last prompt token run in weight-sharing batches (the
-        // paper's behaviour is batch = 1); the last prefill token runs
-        // unbatched because it produces logits.
-        let mut t = 0usize;
-        while t + 1 < prefill {
-            let this_batch = batch.min(prefill - 1 - t);
-            if this_batch > 1 {
-                let timing = self.scheduler.schedule_prefill_batch(t + 1, this_batch);
-                prefill_cycles += timing.total.as_u64();
-                breakdown += timing.breakdown;
-            } else {
-                let timing = self.simulate_token(t + 1, TokenPhase::Prefill, false);
-                prefill_cycles += timing.total.as_u64();
-                breakdown += timing.breakdown;
-            }
-            t += this_batch;
-        }
-        let timing = self.simulate_token(prefill, TokenPhase::Prefill, true);
-        prefill_cycles += timing.total.as_u64();
-        breakdown += timing.breakdown;
+        let prefill_phase = self.simulate_prefill(prefill);
+        let mut breakdown = prefill_phase.breakdown;
         let mut decode_cycles = 0u64;
         for t in 0..decode {
             let timing = self.simulate_token(prefill + t + 1, TokenPhase::Decode, false);
@@ -189,7 +275,7 @@ impl LoopLynx {
             breakdown += timing.breakdown;
         }
         let freq = self.arch().freq();
-        let prefill_ms = looplynx_sim::time::Cycles::new(prefill_cycles).to_millis(freq);
+        let prefill_ms = prefill_phase.cycles.to_millis(freq);
         let decode_ms = looplynx_sim::time::Cycles::new(decode_cycles).to_millis(freq);
         let total_s = (prefill_ms + decode_ms) / 1e3;
         let energy = fpga_energy(self.arch(), total_s, decode, 1.0);
@@ -383,16 +469,35 @@ impl DistributedGpt2 {
         self.forward_token(token, true).expect("logits requested")
     }
 
-    /// Generates `n` tokens after prefilling `prompt`.
+    /// Generates up to `n` tokens after prefilling `prompt`.
+    ///
+    /// The final sampled token is *not* fed back through the pipeline —
+    /// its successor's logits would be discarded, and a full distributed
+    /// forward pass per call was exactly the waste this guards against —
+    /// so after a full generation `seq_len()` is
+    /// `prompt.len() + n - 1`.
+    ///
+    /// The returned vector's length is the number of tokens actually
+    /// produced: it is shorter than `n` when the KV cache reaches the
+    /// model's `max_seq` (generation stops early because no further token
+    /// can be forwarded).
+    ///
+    /// Because the last token is never forwarded, it is also absent from
+    /// the KV caches. To continue a conversation, start the next call's
+    /// prompt with the previous call's final output token (the natural
+    /// chat flow) so prefill appends it before any new text.
     pub fn generate(&mut self, prompt: &[u32], n: usize, sampler: &mut Sampler) -> Vec<u32> {
         let mut logits = self.prefill(prompt);
         let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            if self.pos >= self.model_cfg.max_seq {
-                break;
-            }
+        for i in 0..n {
             let next = sampler.sample(&logits);
             out.push(next);
+            // The last requested token needs no forward pass (nothing
+            // consumes its logits), and a token that would overflow the
+            // cache cannot run one.
+            if i + 1 == n || self.pos >= self.model_cfg.max_seq {
+                break;
+            }
             logits = self.decode_step(next);
         }
         out
@@ -548,6 +653,78 @@ mod tests {
         // int8 ring payloads perturb logits slightly; greedy sequences may
         // diverge late but must agree at the start
         assert_eq!(a[0], b[0], "first generated token diverged: {a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn generate_skips_wasted_final_forward() {
+        // Regression: the final decode_step used to run a full distributed
+        // forward pass whose logits were immediately discarded. After the
+        // fix the last sampled token is never forwarded, so the cache holds
+        // exactly prompt + n - 1 tokens.
+        let cfg = ModelConfig::tiny();
+        let reference = Gpt2Model::synthetic(&cfg, 77);
+        let prompt = [3u32, 14, 15, 9, 2];
+        let n = 6;
+        for nodes in [1usize, 2] {
+            let mut dist = DistributedGpt2::new(&reference, nodes, RingMode::Exact).unwrap();
+            let out = dist.generate(&prompt, n, &mut Sampler::greedy());
+            assert_eq!(out.len(), n);
+            assert_eq!(
+                dist.seq_len(),
+                prompt.len() + n - 1,
+                "{nodes} nodes: wasted forward pass crept back in"
+            );
+        }
+        // the reference engine agrees (same fix applied there)
+        let mut single = reference.clone();
+        single.generate(&prompt, n, &mut Sampler::greedy());
+        assert_eq!(single.seq_len(), prompt.len() + n - 1);
+    }
+
+    #[test]
+    fn generate_still_matches_reference_after_skip_fix() {
+        // Skipping the wasted pass must not change the tokens produced.
+        let cfg = ModelConfig::tiny();
+        let reference = Gpt2Model::synthetic(&cfg, 33);
+        let mut dist = DistributedGpt2::new(&reference, 2, RingMode::Exact).unwrap();
+        let mut single = reference.clone();
+        let prompt = [5u32, 6, 7];
+        let a = single.generate(&prompt, 8, &mut Sampler::greedy());
+        let b = dist.generate(&prompt, 8, &mut Sampler::greedy());
+        assert_eq!(a, b, "exact-mode generation must match the reference");
+    }
+
+    #[test]
+    fn degenerate_report_math_is_finite() {
+        // decode_ms == 0 (and decode_tokens == 0) must not produce
+        // inf/NaN in the derived metrics.
+        let e = engine(2);
+        let mut r = e.simulate_generation(8, 8);
+        r.decode_ms = 0.0;
+        assert_eq!(r.tokens_per_second(), 0.0);
+        assert_eq!(r.decode_ms_per_token(), 0.0);
+        r.decode_tokens = 0;
+        assert_eq!(r.tokens_per_second(), 0.0);
+        assert_eq!(r.decode_ms_per_token(), 0.0);
+        assert!(r.to_string().contains("tok/s"));
+    }
+
+    #[test]
+    fn simulate_prefill_matches_generation_prefill() {
+        for batch in [1usize, 8] {
+            let e = LoopLynx::new(
+                ModelConfig::gpt2_medium(),
+                ArchConfig::builder()
+                    .nodes(2)
+                    .prefill_batch(batch)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            let phase = e.simulate_prefill(37);
+            let report = e.simulate_generation(37, 1);
+            assert_eq!(phase.to_millis(e.arch()), report.prefill_ms);
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::kernels::lnres::{FusedLnResKernel, LnResJob};
 use crate::kernels::mha::{FusedMhaKernel, MhaJob};
 use crate::kernels::mp::{FusedMpKernel, MpJob};
 use crate::latency::LatencyBreakdown;
+use crate::parallel::{validate_partition, PartitionError};
 
 /// A stage of the per-layer schedule (paper Fig. 3(c.1) numbering).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -114,26 +115,20 @@ pub struct Scheduler {
 impl Scheduler {
     /// Creates a scheduler for the given architecture and model.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the model's heads are not divisible by the ring size or
-    /// `d_model` is not divisible by heads (partitioning requirement).
-    pub fn new(cfg: ArchConfig, model: ModelConfig) -> Self {
-        assert_eq!(
-            model.heads % cfg.nodes(),
-            0,
-            "heads {} must divide across {} nodes",
-            model.heads,
-            cfg.nodes()
-        );
-        let _ = model.d_head(); // validates d_model % heads
-        Scheduler {
+    /// Returns [`PartitionError`] if the model cannot be split over the
+    /// configured ring (heads, `d_model` or `d_ff` do not divide) — the
+    /// same validation [`crate::engine::LoopLynx::new`] applies.
+    pub fn new(cfg: ArchConfig, model: ModelConfig) -> Result<Self, PartitionError> {
+        validate_partition(&model, cfg.nodes())?;
+        Ok(Scheduler {
             mp: FusedMpKernel::new(&cfg),
             mha: FusedMhaKernel::new(&cfg),
             lnres: FusedLnResKernel::new(&cfg),
             cfg,
             model,
-        }
+        })
     }
 
     /// The architecture configuration.
@@ -301,26 +296,30 @@ impl Scheduler {
         }
     }
 
-    /// Times a *batch* of consecutive prefill tokens sharing each weight
-    /// pass — the batched-prefill extension (see
-    /// [`ArchConfig::prefill_batch`]).
-    ///
-    /// MP stages run once per batch with the batch factor; MHA and
-    /// critical-path stages are inherently per-token (each prompt token
-    /// attends over a different, growing context) and are charged per
-    /// token. `first_context` is the cache length after the *first* token
-    /// of the batch is appended.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `first_context` or `batch` is zero.
-    pub fn schedule_prefill_batch(&self, first_context: usize, batch: usize) -> TokenTiming {
-        assert!(first_context > 0, "context must include the current token");
+    /// The shared per-layer walk of both weight-sharing batch schedules:
+    /// MP stages run once for the whole batch with the batch factor;
+    /// per-item stages (MHA, LN/residual, GELU) are charged once per
+    /// entry of `contexts` at that entry's own context. Appends spans to
+    /// `trace` starting at cycle zero and returns the accumulated cursor
+    /// and breakdown.
+    fn schedule_batched_layers(
+        &self,
+        contexts: &[usize],
+        trace: &mut Trace,
+    ) -> (Cycles, LatencyBreakdown) {
+        let batch = contexts.len();
         assert!(batch > 0, "batch must be at least 1");
+        assert!(
+            batch <= crate::config::MAX_WEIGHT_SHARING_BATCH,
+            "batch {batch} exceeds the activation-buffer bound {}",
+            crate::config::MAX_WEIGHT_SHARING_BATCH
+        );
+        assert!(
+            contexts.iter().all(|&c| c > 0),
+            "context must include the current token"
+        );
         let mut cursor = Cycles::ZERO;
         let mut breakdown = LatencyBreakdown::zero();
-        let mut trace = Trace::new();
-
         for layer in 0..self.model.layers {
             for stage in Stage::SEQUENCE {
                 let (dur, b) = match stage {
@@ -336,12 +335,10 @@ impl Scheduler {
                         (t.total, b)
                     }
                     _ => {
-                        // Per-token stages: charge each token of the batch
-                        // at its own (growing) context.
                         let mut total = Cycles::ZERO;
                         let mut b = LatencyBreakdown::zero();
-                        for i in 0..batch {
-                            let (d, bi) = self.stage_timing(stage, first_context + i);
+                        for &ctx in contexts {
+                            let (d, bi) = self.stage_timing(stage, ctx);
                             total += d;
                             b += bi;
                         }
@@ -358,6 +355,28 @@ impl Scheduler {
                 breakdown += b;
             }
         }
+        (cursor, breakdown)
+    }
+
+    /// Times a *batch* of consecutive prefill tokens sharing each weight
+    /// pass — the batched-prefill extension (see
+    /// [`ArchConfig::prefill_batch`]).
+    ///
+    /// MP stages run once per batch with the batch factor; MHA and
+    /// critical-path stages are inherently per-token (each prompt token
+    /// attends over a different, growing context) and are charged per
+    /// token. `first_context` is the cache length after the *first* token
+    /// of the batch is appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first_context` or `batch` is zero, or `batch` exceeds
+    /// [`crate::config::MAX_WEIGHT_SHARING_BATCH`].
+    pub fn schedule_prefill_batch(&self, first_context: usize, batch: usize) -> TokenTiming {
+        assert!(first_context > 0, "context must include the current token");
+        let contexts: Vec<usize> = (0..batch).map(|i| first_context + i).collect();
+        let mut trace = Trace::new();
+        let (mut cursor, mut breakdown) = self.schedule_batched_layers(&contexts, &mut trace);
 
         // Final LN + host overhead charged per token; no LM head (batched
         // prefill never contains the last prompt token — the engine
@@ -378,6 +397,72 @@ impl Scheduler {
             trace,
         }
     }
+
+    /// Times one *continuous-batching decode iteration*: one token for each
+    /// of several concurrent requests, all sharing every weight pass.
+    ///
+    /// `contexts[i]` is request *i*'s KV-cache length after its token is
+    /// appended. Requests share the model, so MP stages (and the LM head)
+    /// run once with the weight-sharing batch factor of the batched-prefill
+    /// extension — each streamed weight block serves every request, two
+    /// weight-shared int8 MACs packed per DSP per cycle. MHA is inherently
+    /// per-request (each attends over its own cache at its own length), as
+    /// are the critical-path operators and host epilogue; those are charged
+    /// per request. A singleton batch is cycle-identical to
+    /// [`Scheduler::schedule_token`] with the LM head on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` is empty, any context is zero, or the batch
+    /// exceeds [`crate::config::MAX_WEIGHT_SHARING_BATCH`].
+    pub fn schedule_decode_batch(&self, contexts: &[usize]) -> TokenTiming {
+        assert!(!contexts.is_empty(), "decode batch must not be empty");
+        let batch = contexts.len();
+        let mut trace = Trace::new();
+        let (mut cursor, mut breakdown) = self.schedule_batched_layers(contexts, &mut trace);
+
+        // Final LN per request, then one batched LM head (every decode
+        // token needs logits), then the host epilogue per request.
+        let final_ln = self.lnres.timing(&LnResJob {
+            dim: self.model.d_model,
+            with_residual: true,
+        });
+        trace.push(Span::new(
+            "lnres",
+            format!("final_ln x{batch}"),
+            cursor,
+            cursor + final_ln.total * batch as u64,
+        ));
+        cursor += final_ln.total * batch as u64;
+        breakdown.critical_path += final_ln.total * batch as u64;
+
+        let job = MpJob {
+            rows: self.model.vocab.div_ceil(self.cfg.nodes()),
+            cols: self.model.d_model,
+            sync_bytes: 0,
+            batch,
+        };
+        let t = self.mp.timing(&job);
+        trace.push(Span::new(
+            "mp",
+            format!("lm_head x{batch}"),
+            cursor,
+            cursor + t.total,
+        ));
+        cursor += t.total;
+        breakdown.critical_path += t.segment("overhead");
+        breakdown.linear += t.total - t.segment("overhead");
+
+        let host = self.cfg.host_overhead_cycles(&self.model, true) * batch as u64;
+        breakdown.host += host;
+        cursor += host;
+
+        TokenTiming {
+            total: cursor,
+            breakdown,
+            trace,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +475,7 @@ mod tests {
             ArchConfig::builder().nodes(nodes).build().unwrap(),
             ModelConfig::gpt2_medium(),
         )
+        .unwrap()
     }
 
     #[test]
@@ -457,7 +543,7 @@ mod tests {
             .opts(OptimizationFlags::NONE)
             .build()
             .unwrap();
-        let s = Scheduler::new(cfg, ModelConfig::gpt2_medium());
+        let s = Scheduler::new(cfg, ModelConfig::gpt2_medium()).unwrap();
         let t = s.schedule_token(512, true);
         let cp = t.breakdown.critical_path_fraction();
         assert!((0.12..0.27).contains(&cp), "critical-path fraction {cp}");
@@ -473,6 +559,7 @@ mod tests {
                 .build()
                 .unwrap();
             let off = Scheduler::new(cfg_off, ModelConfig::gpt2_medium())
+                .unwrap()
                 .schedule_token(256, true)
                 .total;
             assert!(on < off, "optimizations regressed at {nodes} nodes");
@@ -496,9 +583,67 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must divide")]
     fn indivisible_heads_rejected() {
+        // gpt2-medium has 16 heads: a 3-node ring cannot partition them.
         let cfg = ArchConfig::builder().nodes(3).build().unwrap();
-        let _ = Scheduler::new(cfg, ModelConfig::gpt2_medium());
+        let err = Scheduler::new(cfg, ModelConfig::gpt2_medium()).unwrap_err();
+        assert!(err.to_string().contains("heads"), "{err}");
+    }
+
+    #[test]
+    fn singleton_decode_batch_matches_schedule_token() {
+        for nodes in [1usize, 2, 4] {
+            let s = sched(nodes);
+            for ctx in [1usize, 64, 512] {
+                let single = s.schedule_token(ctx, true);
+                let batched = s.schedule_decode_batch(&[ctx]);
+                assert_eq!(
+                    single.total, batched.total,
+                    "{nodes} nodes ctx {ctx}: singleton batch diverged"
+                );
+                assert_eq!(single.breakdown, batched.breakdown);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_batch_amortizes_weight_streaming() {
+        // Two concurrent requests must cost strictly less than two
+        // back-to-back single-token iterations (weights streamed once),
+        // but more than one (MHA and epilogue are per-request).
+        let s = sched(2);
+        let one = s.schedule_token(256, true).total.as_u64();
+        let two = s.schedule_decode_batch(&[256, 256]).total.as_u64();
+        assert!(two < 2 * one, "batched {two} vs 2x single {}", 2 * one);
+        assert!(two > one, "batched {two} vs single {one}");
+    }
+
+    #[test]
+    fn decode_batch_per_token_cost_is_monotone_down() {
+        let s = sched(2);
+        let mut prev = f64::INFINITY;
+        for batch in [1usize, 2, 4, 8] {
+            let contexts = vec![256usize; batch];
+            let per = s.schedule_decode_batch(&contexts).total.as_f64() / batch as f64;
+            assert!(per < prev, "batch {batch}: per-token {per} vs {prev}");
+            prev = per;
+        }
+    }
+
+    #[test]
+    fn decode_batch_handles_mixed_contexts() {
+        // Continuous batching interleaves requests at different decode
+        // depths; the MHA charge must follow each request's own context.
+        let s = sched(2);
+        let mixed = s.schedule_decode_batch(&[16, 512]).total;
+        let both_short = s.schedule_decode_batch(&[16, 16]).total;
+        let both_long = s.schedule_decode_batch(&[512, 512]).total;
+        assert!(both_short < mixed && mixed < both_long);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_decode_batch_rejected() {
+        let _ = sched(1).schedule_decode_batch(&[]);
     }
 }

@@ -169,18 +169,26 @@ impl Gpt2Model {
         self.weights.lm_head.forward(&hq)
     }
 
-    /// Generates `n` tokens after prefilling `prompt`.
+    /// Generates up to `n` tokens after prefilling `prompt`.
     ///
-    /// Returns only the generated tokens.
+    /// Returns only the generated tokens. The final sampled token is not
+    /// fed back through the model (its successor's logits would be
+    /// discarded — one wasted forward pass per call), so after a full
+    /// generation `seq_len()` is `prompt.len() + n - 1` and the final
+    /// token is absent from the KV cache. To continue a conversation,
+    /// start the next call's prompt with the previous call's final output
+    /// token so prefill appends it before any new text. The returned
+    /// vector is shorter than `n` when the KV cache reaches `max_seq`
+    /// (no further token can be forwarded).
     pub fn generate(&mut self, prompt: &[u32], n: usize, sampler: &mut Sampler) -> Vec<u32> {
         let mut logits = self.prefill(prompt);
         let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            if self.pos >= self.cfg.max_seq {
-                break;
-            }
+        for i in 0..n {
             let next = sampler.sample(&logits);
             out.push(next);
+            if i + 1 == n || self.pos >= self.cfg.max_seq {
+                break;
+            }
             logits = self.decode_step(next);
         }
         out

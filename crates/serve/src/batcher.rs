@@ -1,0 +1,354 @@
+//! The serving schedulers: continuous batching and the sequential
+//! baseline.
+//!
+//! Both run on the cycle-accurate [`LoopLynx`] timing engine and share the
+//! same per-request cost model, so their difference is purely scheduling:
+//!
+//! * [`serve_sequential`] — one request at a time, start to finish. The
+//!   accelerator streams every weight pass for a single token.
+//! * [`serve_continuous`] — *continuous batching*: new requests are
+//!   admitted into the decode loop between iterations (prefill runs on the
+//!   existing batched-prefill path), and each decode iteration advances
+//!   every active request by one token while sharing every weight pass
+//!   ([`looplynx_core::scheduler::Scheduler::schedule_decode_batch`]).
+//!
+//! A request's first output token is sampled from its prefill logits, so
+//! TTFT = queue wait + prefill; the remaining `decode_tokens - 1` tokens
+//! each take one decode iteration. Admission is strictly FIFO in arrival
+//! order, which makes starvation impossible: every admitted request stays
+//! resident until it completes, and the queue head is always admitted
+//! first.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use looplynx_core::engine::LoopLynx;
+use looplynx_sim::stats::Summary;
+
+use crate::metrics::ServingReport;
+use crate::request::{Request, RequestMetrics};
+
+/// Serving-policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    max_batch: usize,
+}
+
+impl ServeConfig {
+    /// Creates a configuration with the given decode-batch ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero or exceeds
+    /// [`looplynx_core::config::MAX_WEIGHT_SHARING_BATCH`] (the on-chip
+    /// activation-buffer bound shared with the batched-prefill extension).
+    pub fn new(max_batch: usize) -> Self {
+        assert!(
+            (1..=looplynx_core::config::MAX_WEIGHT_SHARING_BATCH).contains(&max_batch),
+            "max_batch must be 1..={} (bounded by on-chip activation buffer)",
+            looplynx_core::config::MAX_WEIGHT_SHARING_BATCH
+        );
+        ServeConfig { max_batch }
+    }
+
+    /// Maximum concurrent requests in one decode iteration.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+}
+
+impl Default for ServeConfig {
+    /// Eight concurrent requests — deep enough to amortize weight
+    /// streaming, shallow enough for the activation buffer.
+    fn default() -> Self {
+        ServeConfig::new(8)
+    }
+}
+
+/// A request resident in the decode loop.
+#[derive(Debug)]
+struct Active {
+    req: Request,
+    first_token_ms: f64,
+    /// Output tokens emitted so far (≥ 1 — the prefill emits the first).
+    produced: usize,
+}
+
+impl Active {
+    /// KV-cache length after the *next* decode pass appends its token
+    /// (the cache holds the prompt plus every emitted token but the
+    /// latest, which the pass itself appends).
+    fn next_context(&self) -> usize {
+        self.req.prefill_tokens + self.produced
+    }
+}
+
+/// Sorts requests by arrival (stable: ties keep workload order) and
+/// validates them against the engine's model.
+fn admission_queue(engine: &LoopLynx, requests: &[Request]) -> VecDeque<Request> {
+    let max_seq = engine.model().max_seq;
+    for r in requests {
+        assert!(
+            r.peak_context() <= max_seq,
+            "request {}: {} prompt + {} output tokens exceed max_seq {max_seq}",
+            r.id,
+            r.prefill_tokens,
+            r.decode_tokens
+        );
+    }
+    let mut sorted: Vec<Request> = requests.to_vec();
+    sorted.sort_by(|a, b| {
+        a.arrival_ms
+            .partial_cmp(&b.arrival_ms)
+            .expect("arrival times are finite")
+    });
+    sorted.into()
+}
+
+/// Runs one request's prefill at the current clock; returns the updated
+/// clock (= its first-token timestamp).
+fn run_prefill(engine: &LoopLynx, req: &Request, clock: f64) -> f64 {
+    let start = clock.max(req.arrival_ms);
+    start
+        + engine
+            .simulate_prefill(req.prefill_tokens)
+            .to_millis(engine.arch())
+}
+
+/// Serves the workload with continuous batching.
+///
+/// Between decode iterations the scheduler admits every arrived request
+/// (FIFO) up to `cfg.max_batch()` residents; admission runs the prompt
+/// through the batched-prefill path and emits the request's first token.
+/// Each decode iteration then advances all residents by one token on the
+/// shared weight stream. When the loop is empty the clock jumps to the
+/// next arrival.
+///
+/// # Panics
+///
+/// Panics if any request would overflow the model's `max_seq`.
+pub fn serve_continuous(
+    engine: &LoopLynx,
+    requests: &[Request],
+    cfg: &ServeConfig,
+) -> ServingReport {
+    let mut queue = admission_queue(engine, requests);
+    let mut active: Vec<Active> = Vec::new();
+    let mut done: Vec<RequestMetrics> = Vec::new();
+    let mut occupancy = Summary::new();
+    let mut iterations = 0u64;
+    let mut clock = 0.0f64;
+
+    while !queue.is_empty() || !active.is_empty() {
+        // Idle: jump to the next arrival.
+        if active.is_empty() {
+            if let Some(front) = queue.front() {
+                clock = clock.max(front.arrival_ms);
+            }
+        }
+        // Admit every arrived request, FIFO, up to the batch ceiling.
+        while active.len() < cfg.max_batch() && queue.front().is_some_and(|r| r.arrival_ms <= clock)
+        {
+            let req = queue.pop_front().expect("front checked");
+            clock = run_prefill(engine, &req, clock);
+            if req.decode_tokens == 1 {
+                done.push(RequestMetrics {
+                    id: req.id,
+                    arrival_ms: req.arrival_ms,
+                    first_token_ms: clock,
+                    completion_ms: clock,
+                    prefill_tokens: req.prefill_tokens,
+                    decode_tokens: 1,
+                });
+            } else {
+                active.push(Active {
+                    first_token_ms: clock,
+                    produced: 1,
+                    req,
+                });
+            }
+        }
+        if active.is_empty() {
+            continue;
+        }
+
+        // One decode iteration: every resident gains one token.
+        let contexts: Vec<usize> = active.iter().map(Active::next_context).collect();
+        clock += engine
+            .simulate_decode_batch(&contexts)
+            .to_millis(engine.arch());
+        iterations += 1;
+        occupancy.add(active.len() as f64);
+        for a in &mut active {
+            a.produced += 1;
+        }
+        active.retain(|a| {
+            if a.produced == a.req.decode_tokens {
+                done.push(RequestMetrics {
+                    id: a.req.id,
+                    arrival_ms: a.req.arrival_ms,
+                    first_token_ms: a.first_token_ms,
+                    completion_ms: clock,
+                    prefill_tokens: a.req.prefill_tokens,
+                    decode_tokens: a.req.decode_tokens,
+                });
+                false
+            } else {
+                true
+            }
+        });
+    }
+    ServingReport::new(done, iterations, occupancy)
+}
+
+/// Serves the workload one request at a time (the baseline continuous
+/// batching is measured against): each request runs prefill and its full
+/// decode before the next request starts.
+///
+/// # Panics
+///
+/// Panics if any request would overflow the model's `max_seq`.
+pub fn serve_sequential(engine: &LoopLynx, requests: &[Request]) -> ServingReport {
+    let queue = admission_queue(engine, requests);
+    let mut done: Vec<RequestMetrics> = Vec::new();
+    let mut occupancy = Summary::new();
+    let mut iterations = 0u64;
+    let mut clock = 0.0f64;
+
+    for req in queue {
+        clock = run_prefill(engine, &req, clock);
+        let first_token_ms = clock;
+        // Decode passes for tokens 2..=decode_tokens, one at a time on the
+        // same cost model as the batched path (a singleton batch is
+        // cycle-identical to a plain decode token).
+        for t in 1..req.decode_tokens {
+            let ctx = req.prefill_tokens + t;
+            clock += engine
+                .simulate_decode_batch(&[ctx])
+                .to_millis(engine.arch());
+            iterations += 1;
+            occupancy.add(1.0);
+        }
+        done.push(RequestMetrics {
+            id: req.id,
+            arrival_ms: req.arrival_ms,
+            first_token_ms,
+            completion_ms: clock,
+            prefill_tokens: req.prefill_tokens,
+            decode_tokens: req.decode_tokens,
+        });
+    }
+    ServingReport::new(done, iterations, occupancy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use looplynx_core::config::ArchConfig;
+    use looplynx_model::config::ModelConfig;
+
+    use crate::arrival::ArrivalProcess;
+
+    fn engine(nodes: usize) -> LoopLynx {
+        LoopLynx::new(
+            ModelConfig::gpt2_medium(),
+            ArchConfig::builder().nodes(nodes).build().unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn saturating_workload(n: usize) -> Vec<Request> {
+        // Everything arrives at t=0: maximal queueing pressure.
+        ArrivalProcess::Trace(vec![0.0; n]).workload(n, &[(16, 8)])
+    }
+
+    #[test]
+    fn all_requests_complete_with_exact_token_counts() {
+        let e = engine(2);
+        let reqs = saturating_workload(6);
+        let report = serve_continuous(&e, &reqs, &ServeConfig::default());
+        assert_eq!(report.completed(), 6);
+        assert_eq!(report.total_tokens(), 6 * 8);
+        for m in &report.requests {
+            assert!(m.first_token_ms >= m.arrival_ms);
+            assert!(m.completion_ms >= m.first_token_ms);
+        }
+    }
+
+    #[test]
+    fn continuous_beats_sequential_under_load() {
+        let e = engine(2);
+        let reqs = saturating_workload(6);
+        let batched = serve_continuous(&e, &reqs, &ServeConfig::default());
+        let serial = serve_sequential(&e, &reqs);
+        assert!(
+            batched.tokens_per_second() > serial.tokens_per_second(),
+            "batched {} vs sequential {}",
+            batched.tokens_per_second(),
+            serial.tokens_per_second()
+        );
+        assert!(batched.batch_occupancy.mean() > 1.0);
+    }
+
+    #[test]
+    fn max_batch_one_equals_sequential() {
+        // With a batch ceiling of 1 the continuous scheduler degenerates to
+        // the sequential baseline exactly.
+        let e = engine(1);
+        let reqs = ArrivalProcess::Trace(vec![0.0, 3.0, 9.0]).workload(3, &[(12, 5), (8, 3)]);
+        let a = serve_continuous(&e, &reqs, &ServeConfig::new(1));
+        let b = serve_sequential(&e, &reqs);
+        assert_eq!(a.requests.len(), b.requests.len());
+        for (x, y) in a.requests.iter().zip(&b.requests) {
+            assert_eq!(x.id, y.id);
+            assert!((x.first_token_ms - y.first_token_ms).abs() < 1e-9);
+            assert!((x.completion_ms - y.completion_ms).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn idle_engine_waits_for_arrivals() {
+        let e = engine(1);
+        let reqs = ArrivalProcess::Trace(vec![1000.0]).workload(1, &[(8, 4)]);
+        let report = serve_continuous(&e, &reqs, &ServeConfig::default());
+        assert!(report.requests[0].first_token_ms >= 1000.0);
+        // TTFT excludes the idle wait before arrival
+        assert!(report.requests[0].ttft_ms() < 500.0);
+    }
+
+    #[test]
+    fn single_token_requests_complete_at_prefill() {
+        let e = engine(1);
+        let reqs = ArrivalProcess::Trace(vec![0.0]).workload(1, &[(8, 1)]);
+        let report = serve_continuous(&e, &reqs, &ServeConfig::default());
+        assert_eq!(report.decode_iterations, 0);
+        let m = &report.requests[0];
+        assert_eq!(m.first_token_ms, m.completion_ms);
+    }
+
+    #[test]
+    fn fifo_admission_preserves_arrival_order_of_first_tokens() {
+        let e = engine(2);
+        let reqs = ArrivalProcess::Trace(vec![0.0, 0.0, 0.0, 50.0, 60.0]).workload(5, &[(16, 12)]);
+        let report = serve_continuous(&e, &reqs, &ServeConfig::new(2));
+        let mut by_id: Vec<&RequestMetrics> = report.requests.iter().collect();
+        by_id.sort_by_key(|m| m.id);
+        for pair in by_id.windows(2) {
+            assert!(
+                pair[0].first_token_ms <= pair[1].first_token_ms,
+                "FIFO violated: {} after {}",
+                pair[0].id,
+                pair[1].id
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed max_seq")]
+    fn oversized_request_rejected() {
+        let e = engine(1);
+        let reqs = vec![Request::new(0, 0.0, 1000, 100)];
+        let _ = serve_continuous(&e, &reqs, &ServeConfig::default());
+    }
+}

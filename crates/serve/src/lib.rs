@@ -1,0 +1,53 @@
+//! # looplynx-serve — multi-request serving layer
+//!
+//! The LoopLynx paper evaluates single-generation latency; a deployed
+//! accelerator serves a *stream* of requests. This crate adds the serving
+//! tier on top of the cycle-accurate [`looplynx_core::engine::LoopLynx`]
+//! timing engine:
+//!
+//! * [`arrival`] — offered-load generators: Poisson, bursty, and
+//!   fixed-trace arrival processes.
+//! * [`request`] — requests and per-request latency records (TTFT, TPOT,
+//!   end-to-end).
+//! * [`batcher`] — the schedulers: [`batcher::serve_continuous`]
+//!   (continuous batching — requests join the decode loop between
+//!   iterations and share every weight pass) and
+//!   [`batcher::serve_sequential`] (the one-request-at-a-time baseline).
+//! * [`metrics`] — [`metrics::ServingReport`]: throughput plus
+//!   p50/p95/p99 latency percentiles via
+//!   [`looplynx_sim::stats::Percentiles`].
+//!
+//! # Example
+//!
+//! ```
+//! use looplynx_core::config::ArchConfig;
+//! use looplynx_core::engine::LoopLynx;
+//! use looplynx_model::config::ModelConfig;
+//! use looplynx_serve::{serve_continuous, ArrivalProcess, ServeConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let engine = LoopLynx::new(
+//!     ModelConfig::gpt2_medium(),
+//!     ArchConfig::builder().nodes(2).build()?,
+//! )?;
+//! let workload = ArrivalProcess::Poisson { rate_per_s: 8.0, seed: 1 }
+//!     .workload(16, &[(32, 16)]);
+//! let report = serve_continuous(&engine, &workload, &ServeConfig::default());
+//! assert_eq!(report.completed(), 16);
+//! assert!(report.ttft_ms.p99().is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod arrival;
+pub mod batcher;
+pub mod metrics;
+pub mod request;
+
+pub use arrival::ArrivalProcess;
+pub use batcher::{serve_continuous, serve_sequential, ServeConfig};
+pub use metrics::ServingReport;
+pub use request::{Request, RequestMetrics};

@@ -1,0 +1,70 @@
+//! Chat-style multi-request serving on the LoopLynx ring.
+//!
+//! The paper measures one generation at a time; a deployed accelerator
+//! faces a *stream* of chat requests. This example offers a Poisson
+//! workload with a mixed `[prefill : decode]` shape to a 2-node ring and
+//! compares two schedulers that share the same cycle-accurate cost model:
+//!
+//! * **sequential** — one request start-to-finish at a time;
+//! * **continuous batching** — requests join the decode loop between
+//!   iterations and share every weight pass (the serving-side twin of the
+//!   batched-prefill extension).
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use looplynx::core::{ArchConfig, LoopLynx};
+use looplynx::model::ModelConfig;
+use looplynx::serve::{serve_continuous, serve_sequential, ArrivalProcess, ServeConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelConfig::gpt2_medium();
+    let engine = LoopLynx::new(model, ArchConfig::builder().nodes(2).build()?)?;
+
+    // A chat mix: short questions with mid-size answers, long prompts with
+    // short answers, short prompts with long answers.
+    let shapes = [(32usize, 32usize), (96, 16), (16, 64)];
+    let requests = 24;
+
+    println!("— 24 chat requests on a 2-node ring, Poisson arrivals —\n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>6} {:>16} {:>10}",
+        "req/s", "seq tok/s", "cb tok/s", "gain", "TTFT p50/p99", "E2E p95"
+    );
+    for rate in [2.0, 6.0, 12.0, 24.0] {
+        let workload = ArrivalProcess::Poisson {
+            rate_per_s: rate,
+            seed: 42,
+        }
+        .workload(requests, &shapes);
+        let serial = serve_sequential(&engine, &workload);
+        let batched = serve_continuous(&engine, &workload, &ServeConfig::default());
+        println!(
+            "{:>6.0} {:>10.1} {:>10.1} {:>5.2}x {:>8.0} {:>6.0}ms {:>8.0}ms",
+            rate,
+            serial.tokens_per_second(),
+            batched.tokens_per_second(),
+            batched.tokens_per_second() / serial.tokens_per_second(),
+            batched.ttft_ms.p50().expect("non-empty"),
+            batched.ttft_ms.p99().expect("non-empty"),
+            batched.e2e_ms.p95().expect("non-empty"),
+        );
+    }
+
+    // A bursty spike: everyone hits enter at once, twice.
+    println!("\n— bursty spike (2 bursts of 8 requests) under continuous batching —\n");
+    let spike = ArrivalProcess::Bursty {
+        bursts_per_s: 1.0,
+        burst_size: 8,
+        seed: 7,
+    }
+    .workload(16, &shapes);
+    let report = serve_continuous(&engine, &spike, &ServeConfig::default());
+    println!("{report}");
+
+    println!("\ncontinuous batching keeps the weight stream shared across every");
+    println!("resident request, so saturated throughput rises without touching");
+    println!("per-request decode latency at low load.");
+    Ok(())
+}

@@ -12,6 +12,8 @@
 //! * [`core`] — the LoopLynx architecture itself (macro dataflow kernels,
 //!   scheduler, ring router, model parallelism, inference engine).
 //! * [`baselines`] — DFX-like temporal, spatial, and A100 comparators.
+//! * [`serve`] — multi-request serving layer: arrival processes,
+//!   continuous batching, and latency-percentile metrics.
 //!
 //! # Quickstart
 //!
@@ -34,5 +36,6 @@ pub use looplynx_baselines as baselines;
 pub use looplynx_core as core;
 pub use looplynx_hw as hw;
 pub use looplynx_model as model;
+pub use looplynx_serve as serve;
 pub use looplynx_sim as sim;
 pub use looplynx_tensor as tensor;

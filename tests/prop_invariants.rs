@@ -8,6 +8,7 @@ use looplynx::core::engine::{LoopLynx, TokenPhase};
 use looplynx::core::parallel::split_range;
 use looplynx::core::router::{RingMode, Router};
 use looplynx::model::ModelConfig;
+use looplynx::serve::{serve_continuous, serve_sequential, ArrivalProcess, ServeConfig};
 use looplynx::sim::net::{functional_all_gather, RingSim, RingSpec};
 use looplynx::sim::time::{Cycles, Frequency};
 
@@ -111,6 +112,124 @@ proptest! {
         .simulate_token(ctx, TokenPhase::Decode, true)
         .total;
         prop_assert!(t_on <= t_base, "flags {base:?}: all-on {t_on} vs {t_base}");
+    }
+
+    /// `simulate_generation`'s reported wall-clock equals the sum of its
+    /// per-token and per-batch schedule pieces — the report is exactly the
+    /// schedule it claims to aggregate, for any prefill-batch setting.
+    #[test]
+    fn generation_totals_are_sum_of_schedules(
+        nodes in prop::sample::select(vec![1usize, 2, 4]),
+        prefill in 1usize..96,
+        decode in 1usize..24,
+        batch in 1usize..12,
+    ) {
+        let arch = ArchConfig::builder()
+            .nodes(nodes)
+            .prefill_batch(batch)
+            .build()
+            .expect("valid");
+        let engine = LoopLynx::new(ModelConfig::gpt2_medium(), arch).expect("partitions");
+        let report = engine.simulate_generation(prefill, decode);
+
+        // Replicate the engine's prefill walk from the public scheduler.
+        let sched = engine.scheduler();
+        let mut prefill_cycles = 0u64;
+        let mut t = 0usize;
+        while t + 1 < prefill {
+            let this_batch = batch.min(prefill - 1 - t);
+            prefill_cycles += if this_batch > 1 {
+                sched.schedule_prefill_batch(t + 1, this_batch).total.as_u64()
+            } else {
+                sched.schedule_token(t + 1, false).total.as_u64()
+            };
+            t += this_batch;
+        }
+        prefill_cycles += sched.schedule_token(prefill, true).total.as_u64();
+        let decode_cycles: u64 = (0..decode)
+            .map(|t| sched.schedule_token(prefill + t + 1, true).total.as_u64())
+            .sum();
+
+        let freq = engine.arch().freq();
+        prop_assert_eq!(Cycles::new(prefill_cycles).to_millis(freq), report.prefill_ms);
+        prop_assert_eq!(Cycles::new(decode_cycles).to_millis(freq), report.decode_ms);
+    }
+
+    /// A continuous-batching decode iteration is never cheaper than the
+    /// most expensive single token in it, never pricier than running all
+    /// its tokens back-to-back, and a singleton batch is exact.
+    #[test]
+    fn decode_batch_bounded_by_sequential(
+        nodes in prop::sample::select(vec![1usize, 2, 4]),
+        contexts in prop::collection::vec(1usize..512, 1..9),
+    ) {
+        let arch = ArchConfig::builder().nodes(nodes).build().expect("valid");
+        let engine = LoopLynx::new(ModelConfig::gpt2_medium(), arch).expect("partitions");
+        let sched = engine.scheduler();
+        let batched = sched.schedule_decode_batch(&contexts).total.as_u64();
+        let singles: Vec<u64> = contexts
+            .iter()
+            .map(|&c| sched.schedule_token(c, true).total.as_u64())
+            .collect();
+        let sum: u64 = singles.iter().sum();
+        let max = *singles.iter().max().expect("non-empty");
+        prop_assert!(batched <= sum, "batched {} beats sequential sum {}", batched, sum);
+        prop_assert!(batched >= max, "batched {} under its largest member {}", batched, max);
+        if contexts.len() == 1 {
+            prop_assert_eq!(batched, sum);
+        }
+    }
+
+    /// Serving invariants: every request completes with exactly the token
+    /// count it asked for, no request starves (first tokens follow FIFO
+    /// arrival order), and timestamps are causally ordered.
+    #[test]
+    fn serving_completes_everyone_exactly(
+        n in 1usize..8,
+        max_batch in 1usize..6,
+        rate in prop::sample::select(vec![5.0f64, 50.0, 500.0]),
+        seed in any::<u64>(),
+    ) {
+        let arch = ArchConfig::builder().nodes(2).build().expect("valid");
+        let engine = LoopLynx::new(ModelConfig::gpt2_medium(), arch).expect("partitions");
+        let workload = ArrivalProcess::Poisson { rate_per_s: rate, seed }
+            .workload(n, &[(16, 6), (8, 3), (24, 2)]);
+        let report = serve_continuous(&engine, &workload, &ServeConfig::new(max_batch));
+
+        prop_assert_eq!(report.completed(), n, "a request starved");
+        let requested: usize = workload.iter().map(|r| r.decode_tokens).sum();
+        prop_assert_eq!(report.total_tokens(), requested);
+        let mut by_id: Vec<_> = report.requests.clone();
+        by_id.sort_by_key(|m| m.id);
+        for (m, r) in by_id.iter().zip(&workload) {
+            prop_assert_eq!(m.decode_tokens, r.decode_tokens);
+            prop_assert!(m.first_token_ms >= m.arrival_ms);
+            prop_assert!(m.completion_ms >= m.first_token_ms);
+        }
+        // FIFO admission: ids arrive in order, so first tokens are ordered.
+        for pair in by_id.windows(2) {
+            prop_assert!(pair[0].first_token_ms <= pair[1].first_token_ms);
+        }
+    }
+
+    /// Under a zero-jitter fixed trace the continuous batcher and the
+    /// sequential baseline both deliver every requested token, and
+    /// batching never produces *less* total throughput.
+    #[test]
+    fn zero_jitter_trace_conserves_tokens(
+        n in 1usize..7,
+        gap_ms in prop::sample::select(vec![0.0f64, 10.0, 200.0]),
+    ) {
+        let arch = ArchConfig::builder().nodes(2).build().expect("valid");
+        let engine = LoopLynx::new(ModelConfig::gpt2_medium(), arch).expect("partitions");
+        let trace: Vec<f64> = (0..n).map(|i| i as f64 * gap_ms).collect();
+        let workload = ArrivalProcess::Trace(trace).workload(n, &[(12, 5)]);
+        let batched = serve_continuous(&engine, &workload, &ServeConfig::new(4));
+        let serial = serve_sequential(&engine, &workload);
+        prop_assert_eq!(batched.total_tokens(), n * 5);
+        prop_assert_eq!(serial.total_tokens(), n * 5);
+        // Same workload, same cost model: batching can only help makespan.
+        prop_assert!(batched.makespan_ms() <= serial.makespan_ms() + 1e-9);
     }
 
     /// More nodes never slow a decode token down (with all optimizations).
