@@ -1,0 +1,131 @@
+//! Micro-benchmarks of the overhauled functional hot path: the SIMD int8
+//! dot, blocked GEMM vs the naive reference, the arena-backed attention
+//! loop, and the f32 critical-path operators that remain scalar
+//! (layernorm / GELU / softmax / quantize), so regressions in any single
+//! stage are visible in isolation.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use looplynx_model::attention::{attend_heads_into, AttnScratch};
+use looplynx_model::kv_cache::LayerKvCache;
+use looplynx_tensor::activation::{gelu_vec, softmax_into};
+use looplynx_tensor::linear::{gemm_i32, gemm_i32_naive, gemv_i32_into, QuantLinear};
+use looplynx_tensor::matrix::Matrix;
+use looplynx_tensor::norm::{layernorm, LayerNormParams};
+use looplynx_tensor::quant::{quantize_into, quantize_vec};
+use looplynx_tensor::simd::{dot_i8_i32, dot_i8_i32_scalar};
+
+fn i8_vec(len: usize, seed: usize) -> Vec<i8> {
+    (0..len)
+        .map(|i| ((i * 37 + seed) % 255) as i8 - 127)
+        .collect()
+}
+
+fn f32_vec(len: usize, seed: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i * 13 + seed) as f32 * 0.173).sin())
+        .collect()
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dot_i8");
+    for len in [16usize, 64, 1024] {
+        let a = i8_vec(len, 1);
+        let b = i8_vec(len, 5);
+        group.bench_with_input(BenchmarkId::new("simd", len), &len, |bch, _| {
+            bch.iter(|| dot_i8_i32(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", len), &len, |bch, _| {
+            bch.iter(|| dot_i8_i32_scalar(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemv(c: &mut Criterion) {
+    let w = Matrix::from_fn(1024, 1024, |r, c2| ((r * 31 + c2 * 7) % 255) as i8 - 127);
+    let x = i8_vec(1024, 3);
+    let mut out = Vec::new();
+    c.bench_function("gemv_i32_into_1024x1024", |b| {
+        b.iter(|| gemv_i32_into(black_box(&w), black_box(&x), &mut out).expect("shapes"))
+    });
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let w = Matrix::from_fn(1024, 1024, |r, c2| ((r * 31 + c2 * 7) % 255) as i8 - 127);
+    let x = Matrix::from_fn(16, 1024, |t, c2| ((t * 11 + c2) % 255) as i8 - 127);
+    let mut group = c.benchmark_group("gemm_16x1024x1024");
+    group.bench_function("blocked", |b| {
+        b.iter(|| gemm_i32(black_box(&w), black_box(&x)).expect("shapes"))
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| gemm_i32_naive(black_box(&w), black_box(&x)).expect("shapes"))
+    });
+    group.finish();
+}
+
+fn bench_attend(c: &mut Criterion) {
+    // gpt2-medium geometry: 16 heads × 64 d_head over a 512-token cache.
+    let (heads, d_head, ctx) = (16usize, 64usize, 512usize);
+    let mut cache = LayerKvCache::with_capacity(d_head, heads, ctx);
+    for t in 0..ctx {
+        let k = f32_vec(heads * d_head, t);
+        let v = f32_vec(heads * d_head, t + 9000);
+        cache.append(&k, &v);
+    }
+    let q = f32_vec(heads * d_head, 77);
+    let mut scratch = AttnScratch::new();
+    let mut out = Vec::new();
+    c.bench_function("attend_16h_64d_ctx512", |b| {
+        b.iter(|| {
+            attend_heads_into(
+                black_box(&q),
+                &cache,
+                0..heads,
+                0,
+                d_head,
+                ctx,
+                &mut scratch,
+                &mut out,
+            )
+        })
+    });
+}
+
+fn bench_critical_path_ops(c: &mut Criterion) {
+    let x = f32_vec(1024, 2);
+    let ln = LayerNormParams::identity(1024);
+    c.bench_function("layernorm_1024", |b| {
+        b.iter(|| layernorm(black_box(&x), &ln))
+    });
+    let g = f32_vec(4096, 4);
+    c.bench_function("gelu_4096", |b| b.iter(|| gelu_vec(black_box(&g))));
+    let scores = f32_vec(512, 6);
+    let mut weights = Vec::new();
+    c.bench_function("softmax_into_512", |b| {
+        b.iter(|| softmax_into(black_box(&scores), &mut weights))
+    });
+    let mut q8 = Vec::new();
+    c.bench_function("quantize_into_1024", |b| {
+        b.iter(|| quantize_into(black_box(&x), &mut q8))
+    });
+    let w = Matrix::from_fn(1024, 1024, |r, c2| ((r + c2) as f32 * 0.001).sin() * 0.1);
+    let lin = QuantLinear::from_f32(&w, &vec![0.0f32; 1024]).expect("bias");
+    let xq = quantize_vec(&x);
+    let mut out = Vec::new();
+    c.bench_function("quantlinear_forward_into_1024x1024", |b| {
+        b.iter(|| lin.forward_into(black_box(&xq), &mut out))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dot,
+    bench_gemv,
+    bench_gemm,
+    bench_attend,
+    bench_critical_path_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Hot-path wall-clock benchmark: functional prefill/decode tokens/s at
+//! 1/2/4 ring nodes plus the serve_sweep saturation wall-clock, written to
+//! `BENCH_hotpath.json` (pass `--quick` for the CI-sized workload, and an
+//! optional output path as the other argument).
+
+use std::env;
+use std::fs;
+
+use looplynx_bench::hotpath;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_hotpath.json");
+    for arg in env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}; usage: hotpath [--quick] [output.json]");
+                std::process::exit(2);
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+    let report = hotpath::measure(quick);
+    print!("{}", hotpath::render(&report));
+    let json = hotpath::to_json(&report);
+    fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -23,4 +23,5 @@
 #![deny(missing_docs)]
 
 pub mod experiments;
+pub mod hotpath;
 pub mod paper;

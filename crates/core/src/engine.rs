@@ -17,14 +17,14 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use looplynx_model::attention::attend_heads;
+use looplynx_model::attention::{attend_heads_into, AttnScratch};
 use looplynx_model::config::ModelConfig;
 use looplynx_model::gpt2::Gpt2Model;
 use looplynx_model::kv_cache::LayerKvCache;
 use looplynx_model::sampler::Sampler;
-use looplynx_tensor::activation::gelu_vec;
-use looplynx_tensor::norm::{layernorm, residual_add};
-use looplynx_tensor::quant::quantize_vec;
+use looplynx_tensor::activation::gelu_in_place;
+use looplynx_tensor::norm::{layernorm_into, residual_add_into};
+use looplynx_tensor::quant::quantize_into;
 
 use crate::config::ArchConfig;
 use crate::energy::{fpga_energy, EnergyReport};
@@ -291,12 +291,58 @@ impl LoopLynx {
     }
 }
 
-/// Per-node functional state: weight shards plus head-sliced KV caches.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Per-node functional state: weight shards, head-sliced KV caches, and
+/// the node's persistent attention working memory (kept here so both the
+/// sequential loop and per-stage spawned threads reuse the same buffers
+/// across layers and tokens instead of reallocating).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct NodeState {
     weights: NodeWeights,
     caches: Vec<LayerKvCache>,
+    scratch: AttnScratch,
 }
+
+/// Scratch holds no semantic state (every buffer is overwritten before
+/// use), so node equality is weights + caches only.
+impl PartialEq for NodeState {
+    fn eq(&self, other: &Self) -> bool {
+        self.weights == other.weights && self.caches == other.caches
+    }
+}
+
+/// Runs `f` once per node — the data-parallel section between two ring
+/// synchronizations. Nodes are data-independent there (each touches only
+/// its own shard and cache), so when `threaded` the closures run under
+/// [`std::thread::scope`], one OS thread per node. Results are collected
+/// in node order (join order equals spawn order), which makes the
+/// threaded path bit-identical to the sequential one: the per-node
+/// computation is untouched and gathers see shards in the same order.
+fn par_map_nodes<T: Send>(
+    nodes: &mut [NodeState],
+    threaded: bool,
+    f: impl Fn(usize, &mut NodeState) -> T + Sync,
+) -> Vec<T> {
+    if !threaded || nodes.len() < 2 {
+        return nodes.iter_mut().enumerate().map(|(i, n)| f(i, n)).collect();
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = nodes
+            .iter_mut()
+            .enumerate()
+            .map(|(i, n)| s.spawn(move || f(i, n)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    })
+}
+
+/// Smallest `d_model` for which threading per-node stages pays for the
+/// thread spawn/join overhead (below it, a node's whole shard pass is
+/// cheaper than dispatching a thread).
+const THREADING_MIN_D_MODEL: usize = 256;
 
 /// Functionally-correct multi-node W8A8 inference over the simulated ring.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -307,10 +353,18 @@ pub struct DistributedGpt2 {
     // Host-side tables (embedding + final LN replicated to every node).
     host: Gpt2Model,
     pos: usize,
+    /// Execute per-node stages on scoped threads (bit-identical either
+    /// way; see [`DistributedGpt2::set_threaded`]).
+    threaded: bool,
 }
 
 impl DistributedGpt2 {
     /// Partitions `model`'s weights across `nodes` ring nodes.
+    ///
+    /// Node-parallel threading defaults to on when there is more than one
+    /// node, the host has more than one core, and the model is large
+    /// enough for a per-node stage to outweigh thread dispatch; override
+    /// with [`DistributedGpt2::set_threaded`].
     ///
     /// # Errors
     ///
@@ -319,25 +373,44 @@ impl DistributedGpt2 {
         let cfg = model.config().clone();
         let shards = shard_weights(model.weights(), &cfg, nodes)?;
         let d_head = cfg.d_head();
-        let node_states = shards
+        let node_states: Vec<NodeState> = shards
             .into_iter()
             .map(|weights| NodeState {
-                caches: (0..cfg.layers).map(|_| LayerKvCache::new(d_head)).collect(),
+                caches: (0..cfg.layers)
+                    .map(|_| {
+                        LayerKvCache::with_capacity(d_head, weights.head_range.len(), cfg.max_seq)
+                    })
+                    .collect(),
                 weights,
+                scratch: AttnScratch::new(),
             })
             .collect();
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let threaded = nodes > 1 && cores > 1 && cfg.d_model >= THREADING_MIN_D_MODEL;
         Ok(DistributedGpt2 {
             router: Router::new(nodes, mode),
             nodes: node_states,
             host: model.clone(),
             model_cfg: cfg,
             pos: 0,
+            threaded,
         })
     }
 
     /// Ring size.
     pub fn nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Whether per-node stages run on scoped threads.
+    pub fn threaded(&self) -> bool {
+        self.threaded
+    }
+
+    /// Forces node-parallel threading on or off. Results are bit-identical
+    /// in both modes (pinned by tests); only wall-clock changes.
+    pub fn set_threaded(&mut self, threaded: bool) {
+        self.threaded = threaded;
     }
 
     /// Tokens processed so far.
@@ -367,71 +440,93 @@ impl DistributedGpt2 {
 
     /// Runs one token through the distributed pipeline; returns logits when
     /// requested.
+    ///
+    /// Every per-node section between two ring synchronizations runs
+    /// through [`par_map_nodes`] — sequential or one scoped thread per
+    /// node depending on [`DistributedGpt2::threaded`], bit-identical
+    /// either way.
     fn forward_token(&mut self, token: u32, want_logits: bool) -> Option<Vec<f32>> {
         let cfg = &self.model_cfg;
         let d = cfg.d_model;
         let d_head = cfg.d_head();
         let n = self.nodes.len();
         let pos = self.pos;
+        let threaded = self.threaded;
 
         // Host distributes the same full embedding vector to all nodes.
         let mut x = self.host.embed(token, pos);
 
+        // Host-side working buffers, hoisted out of the layer loop so the
+        // replicated critical-path operators (LN, quantize, residual)
+        // allocate once per token instead of once per layer.
+        let mut h = Vec::new();
+        let mut q8 = Vec::new();
+        let mut x1 = Vec::new();
+
         for layer in 0..cfg.layers {
             // LN1 computed redundantly on every node (identical result).
-            let ln1 = &self.nodes[0].weights.layers[layer].ln1;
-            let h = layernorm(&x, ln1);
-            let hq = quantize_vec(&h);
+            layernorm_into(&x, &self.nodes[0].weights.layers[layer].ln1, &mut h);
+            let h_scale = quantize_into(&h, &mut q8);
 
             // QKV projection: head-aligned shards, attention node-local.
-            let mut attn_shards: Vec<Vec<f32>> = Vec::with_capacity(n);
-            for node in &mut self.nodes {
+            let attn_shards = par_map_nodes(&mut self.nodes, threaded, |_, node| {
                 let shard = &node.weights.layers[layer];
                 let w = d / n;
-                let qkv = shard.qkv.forward(&hq);
+                let mut qkv = Vec::new();
+                shard.qkv.forward_raw_into(&q8, h_scale, &mut qkv);
                 let (q, kv) = qkv.split_at(w);
                 let (k, v) = kv.split_at(w);
                 node.caches[layer].append(k, v);
                 let head_range = node.weights.head_range.clone();
-                attn_shards.push(attend_heads(
+                let mut attn = Vec::new();
+                attend_heads_into(
                     q,
                     &node.caches[layer],
                     head_range.clone(),
                     head_range.start,
                     d_head,
                     pos + 1,
-                ));
-            }
-            let attn = self.router.all_gather(&attn_shards);
+                    &mut node.scratch,
+                    &mut attn,
+                );
+                attn
+            });
+            let attn = self.router.all_gather_owned(attn_shards);
 
             // Output projection shards + gather, then residual.
-            let aq = quantize_vec(&attn);
-            let proj_shards: Vec<Vec<f32>> = self
-                .nodes
-                .iter()
-                .map(|nd| nd.weights.layers[layer].proj.forward(&aq))
-                .collect();
-            let proj = self.router.all_gather(&proj_shards);
-            let x1 = residual_add(&x, &proj);
+            let a_scale = quantize_into(&attn, &mut q8);
+            let proj_shards = par_map_nodes(&mut self.nodes, threaded, |_, node| {
+                let mut out = Vec::new();
+                node.weights.layers[layer]
+                    .proj
+                    .forward_raw_into(&q8, a_scale, &mut out);
+                out
+            });
+            let proj = self.router.all_gather_owned(proj_shards);
+            residual_add_into(&x, &proj, &mut x1);
 
             // MLP: FC1 + node-local GELU, gather, FC2, gather, residual.
-            let ln2 = &self.nodes[0].weights.layers[layer].ln2;
-            let h2 = layernorm(&x1, ln2);
-            let h2q = quantize_vec(&h2);
-            let gelu_shards: Vec<Vec<f32>> = self
-                .nodes
-                .iter()
-                .map(|nd| gelu_vec(&nd.weights.layers[layer].fc1.forward(&h2q)))
-                .collect();
-            let g = self.router.all_gather(&gelu_shards);
-            let gq = quantize_vec(&g);
-            let f2_shards: Vec<Vec<f32>> = self
-                .nodes
-                .iter()
-                .map(|nd| nd.weights.layers[layer].fc2.forward(&gq))
-                .collect();
-            let f2 = self.router.all_gather(&f2_shards);
-            x = residual_add(&x1, &f2);
+            layernorm_into(&x1, &self.nodes[0].weights.layers[layer].ln2, &mut h);
+            let h2_scale = quantize_into(&h, &mut q8);
+            let gelu_shards = par_map_nodes(&mut self.nodes, threaded, |_, node| {
+                let mut f1 = Vec::new();
+                node.weights.layers[layer]
+                    .fc1
+                    .forward_raw_into(&q8, h2_scale, &mut f1);
+                gelu_in_place(&mut f1);
+                f1
+            });
+            let g = self.router.all_gather_owned(gelu_shards);
+            let g_scale = quantize_into(&g, &mut q8);
+            let f2_shards = par_map_nodes(&mut self.nodes, threaded, |_, node| {
+                let mut out = Vec::new();
+                node.weights.layers[layer]
+                    .fc2
+                    .forward_raw_into(&q8, g_scale, &mut out);
+                out
+            });
+            let f2 = self.router.all_gather_owned(f2_shards);
+            residual_add_into(&x1, &f2, &mut x);
         }
         self.pos += 1;
         if !want_logits {
@@ -440,13 +535,18 @@ impl DistributedGpt2 {
 
         // Final LN (replicated) and vocabulary-sharded LM head; the host
         // concatenates logit shards in node order over PCIe.
-        let hf = layernorm(&x, &self.nodes[0].weights.ln_f);
-        let hfq = quantize_vec(&hf);
-        let logits: Vec<f32> = self
-            .nodes
-            .iter()
-            .flat_map(|nd| nd.weights.lm_head.forward(&hfq))
-            .collect();
+        layernorm_into(&x, &self.nodes[0].weights.ln_f, &mut h);
+        let hf_scale = quantize_into(&h, &mut q8);
+        let logits: Vec<f32> = par_map_nodes(&mut self.nodes, threaded, |_, node| {
+            let mut out = Vec::new();
+            node.weights
+                .lm_head
+                .forward_raw_into(&q8, hf_scale, &mut out);
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         Some(logits)
     }
 

@@ -20,6 +20,7 @@ use looplynx_model::config::ModelConfig;
 use looplynx_model::weights::{BlockWeights, Gpt2Weights};
 use looplynx_tensor::error::ShapeError;
 use looplynx_tensor::linear::QuantLinear;
+use looplynx_tensor::matrix::Matrix;
 use looplynx_tensor::norm::LayerNormParams;
 use looplynx_tensor::quant::QuantizedMatrix;
 
@@ -85,15 +86,30 @@ pub fn split_range(total: usize, parts: usize, i: usize) -> Range<usize> {
     start..start + len
 }
 
-/// Vertically concatenates quantized row-shards, preserving per-row scales.
+/// Vertically concatenates quantized row-shards, preserving per-row
+/// scales. One preallocated buffer and a single pass over the parts —
+/// repeated `vstack` would re-copy every already-stacked row per part
+/// (O(parts²) bytes moved).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the parts disagree on column count.
 fn concat_quantized(parts: &[QuantizedMatrix]) -> Result<QuantizedMatrix, ShapeError> {
-    let mut data = parts[0].data().clone();
-    let mut scales = parts[0].row_scales().to_vec();
-    for p in &parts[1..] {
-        data = data.vstack(p.data())?;
+    let cols = parts[0].shape().1;
+    let total_rows: usize = parts.iter().map(|p| p.shape().0).sum();
+    let mut data = Vec::with_capacity(total_rows * cols);
+    let mut scales = Vec::with_capacity(total_rows);
+    for p in parts {
+        if p.shape().1 != cols {
+            return Err(ShapeError::new("concat", (total_rows, cols), p.shape()));
+        }
+        data.extend_from_slice(p.data().as_slice());
         scales.extend_from_slice(p.row_scales());
     }
-    Ok(QuantizedMatrix::new(data, scales))
+    Ok(QuantizedMatrix::new(
+        Matrix::from_vec(total_rows, cols, data)?,
+        scales,
+    ))
 }
 
 /// Extracts the rows `range` of a linear layer as a standalone shard.

@@ -13,17 +13,39 @@
 //! offset 0 into its local cache, and obtains bit-identical results to the
 //! corresponding slice of a full-width computation (per-head quantization
 //! makes the partition boundary exact).
+//!
+//! The hot loop works directly on the cache's contiguous head-major arena
+//! strips ([`LayerKvCache::key_strip`]) and reuses one [`AttnScratch`]
+//! across heads instead of allocating scores/weights/accumulator vectors
+//! and a quantized query per head per token. The arithmetic — operations
+//! and their order — is unchanged, so results stay bit-identical to the
+//! original per-head implementation.
 
 use std::ops::Range;
 
-use looplynx_tensor::activation::{causal_mask, softmax};
-use looplynx_tensor::quant::{quantize_vec, QuantizedVector};
+use looplynx_tensor::activation::{causal_mask, softmax_into};
+use looplynx_tensor::quant::quantize_into;
+use looplynx_tensor::simd::{accumulate_scaled_i8, dot_i8_i32 as dot_i8};
 
 use crate::kv_cache::LayerKvCache;
 
-/// Integer dot product between two int8 slices.
-fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
-    a.iter().zip(b).map(|(&x, &y)| x as i32 * y as i32).sum()
+/// Reusable attention working memory: quantized query head, score /
+/// weight vectors, quantized weights. One instance serves any number of
+/// [`attend_heads_into`] calls; buffers grow to the high-water mark and
+/// stay there.
+#[derive(Debug, Clone, Default)]
+pub struct AttnScratch {
+    q8: Vec<i8>,
+    scores: Vec<f32>,
+    weights: Vec<f32>,
+    w8: Vec<i8>,
+}
+
+impl AttnScratch {
+    /// Creates empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Computes attention for `head_range` of the query `q`.
@@ -48,6 +70,47 @@ pub fn attend_heads(
     d_head: usize,
     valid_len: usize,
 ) -> Vec<f32> {
+    // Scratch persists per thread across calls, so steady-state decode
+    // loops (one attend per node per layer per token) stop allocating
+    // working memory entirely; only the returned vector is fresh.
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<AttnScratch> =
+            std::cell::RefCell::new(AttnScratch::new());
+    }
+    let mut out = Vec::new();
+    SCRATCH.with(|scratch| {
+        attend_heads_into(
+            q,
+            cache,
+            head_range,
+            cache_head_offset,
+            d_head,
+            valid_len,
+            &mut scratch.borrow_mut(),
+            &mut out,
+        );
+    });
+    out
+}
+
+/// [`attend_heads`] writing into a caller-provided output buffer (cleared
+/// and resized) with caller-provided scratch — the fully allocation-free
+/// decode path.
+///
+/// # Panics
+///
+/// Panics if geometry is inconsistent or `valid_len` exceeds the cache.
+#[allow(clippy::too_many_arguments)]
+pub fn attend_heads_into(
+    q: &[f32],
+    cache: &LayerKvCache,
+    head_range: Range<usize>,
+    cache_head_offset: usize,
+    d_head: usize,
+    valid_len: usize,
+    scratch: &mut AttnScratch,
+    out: &mut Vec<f32>,
+) {
     assert_eq!(
         q.len(),
         head_range.len() * d_head,
@@ -62,41 +125,54 @@ pub fn attend_heads(
     );
 
     let inv_sqrt = 1.0 / (d_head as f32).sqrt();
-    let mut out = Vec::with_capacity(head_range.len() * d_head);
+    out.clear();
+    out.reserve(head_range.len() * d_head);
+    let AttnScratch {
+        q8,
+        scores,
+        weights,
+        w8: w8_buf,
+    } = scratch;
 
     for (local_idx, h) in head_range.clone().enumerate() {
         let cache_h = h - cache_head_offset;
-        // --- first MAC array: integer attention scores from the key cache
-        let q_h: QuantizedVector = quantize_vec(&q[local_idx * d_head..(local_idx + 1) * d_head]);
-        let mut scores: Vec<f32> = (0..valid_len)
-            .map(|t| {
-                let k = cache.key_head(t, cache_h);
-                let acc = dot_i8(q_h.data(), k.data());
-                acc as f32 * q_h.scale() * k.scale() * inv_sqrt
-            })
-            .collect();
+        // --- first MAC array: integer attention scores from the key
+        // cache, the query head requantized once into scratch.
+        let q_scale = quantize_into(&q[local_idx * d_head..(local_idx + 1) * d_head], q8);
+        let keys = cache.key_strip(cache_h);
+        let key_scales = cache.key_scales(cache_h);
+        scores.clear();
+        scores.extend(
+            keys.chunks_exact(d_head)
+                .zip(key_scales)
+                .take(valid_len)
+                .map(|(k, &k_scale)| {
+                    let acc = dot_i8(q8, k);
+                    acc as f32 * q_scale * k_scale * inv_sqrt
+                }),
+        );
         // --- mask unit: only forward attention survives
-        causal_mask(&mut scores, valid_len);
+        causal_mask(scores, valid_len);
         // --- softmax unit (two phases internally)
-        let weights = softmax(&scores);
+        softmax_into(scores, weights);
         // --- second MAC array: token mixing over the value cache.
         // Attention weights are requantized to int8 so the mixing MACs stay
         // on the integer path; each cached head has its own value scale.
-        let wq = quantize_vec(&weights);
-        let mut acc = vec![0.0f32; d_head];
-        for (t, &w8) in wq.data().iter().enumerate().take(valid_len) {
+        let w_scale = quantize_into(weights, w8_buf);
+        let base = out.len();
+        out.resize(base + d_head, 0.0);
+        let acc = &mut out[base..];
+        let values = cache.value_strip(cache_h);
+        let value_scales = cache.value_scales(cache_h);
+        for (t, &w8) in w8_buf.iter().enumerate().take(valid_len) {
             if w8 == 0 {
                 continue;
             }
-            let v = cache.value_head(t, cache_h);
-            let vs = v.scale() * wq.scale() * w8 as f32;
-            for (a, &v8) in acc.iter_mut().zip(v.data()) {
-                *a += v8 as f32 * vs;
-            }
+            let v = &values[t * d_head..(t + 1) * d_head];
+            let vs = value_scales[t] * w_scale * w8 as f32;
+            accumulate_scaled_i8(acc, v, vs);
         }
-        out.extend_from_slice(&acc);
     }
-    out
 }
 
 /// Full-width attention over all heads of a full cache.
@@ -184,6 +260,29 @@ mod tests {
         let hi = attend_heads(&q[d / 2..], &hi_cache, 2..4, 2, d_head, 3);
         let stitched: Vec<f32> = lo.into_iter().chain(hi).collect();
         assert_eq!(reference, stitched, "partitioned attention must be exact");
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_calls() {
+        // One scratch serving many shapes must never leak state between
+        // calls: results match fresh-scratch calls exactly.
+        let d_head = 4;
+        let cache = cache_with(
+            d_head,
+            &[
+                (&[0.3, -0.1, 0.8, 0.5, 1.0, -0.7, 0.2, 0.9], &[0.4; 8]),
+                (&[0.1, 0.6, -0.3, 0.2, -0.5, 0.8, 0.1, -0.2], &[-0.6; 8]),
+                (&[0.9, 0.2, 0.1, -0.8, 0.3, 0.3, -0.4, 0.7], &[0.2; 8]),
+            ],
+        );
+        let q: Vec<f32> = (0..8).map(|i| (i as f32 * 0.41).cos()).collect();
+        let mut scratch = AttnScratch::new();
+        let mut out = Vec::new();
+        for valid in [3usize, 1, 2, 3] {
+            attend_heads_into(&q, &cache, 0..2, 0, d_head, valid, &mut scratch, &mut out);
+            let fresh = attend_heads(&q, &cache, 0..2, 0, d_head, valid);
+            assert_eq!(out, fresh, "valid_len {valid}");
+        }
     }
 
     #[test]

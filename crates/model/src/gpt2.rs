@@ -34,6 +34,14 @@ impl Gpt2Model {
     }
 
     /// Wraps existing weights.
+    ///
+    /// The KV arenas start lazy (first append allocates, then doubling
+    /// growth re-strides — a handful of copies over a model lifetime):
+    /// this model also serves as `DistributedGpt2`'s host-side embedder,
+    /// which never touches the cache, so eagerly reserving
+    /// `layers × heads × max_seq × d_head × 2` bytes here would be dead
+    /// weight per engine. The distributed engine preallocates the caches
+    /// it actually appends to (per node, head-sliced) to `max_seq`.
     pub fn from_weights(cfg: ModelConfig, weights: Gpt2Weights) -> Self {
         let cache = KvCache::new(cfg.layers, cfg.d_head());
         Gpt2Model {

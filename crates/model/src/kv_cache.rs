@@ -1,4 +1,5 @@
-//! Quantized key/value cache with head-wise granularity.
+//! Quantized key/value cache with head-wise granularity, stored as one
+//! contiguous head-major arena per layer.
 //!
 //! "During the prefill stage, the LLM processes user input prompts to fill
 //! the KV cache … during decoding, the accumulated KV cache avoids
@@ -8,22 +9,102 @@
 //! because quantization granularity aligns with the partition boundary, a
 //! node holding a subset of heads stores bit-identical data to the
 //! corresponding slice of a single-node cache.
+//!
+//! # Arena layout
+//!
+//! Instead of `keys[token][head]: Vec<Vec<QuantizedVector>>` (two heap
+//! allocations per head per token), each layer owns a single `Vec<i8>`
+//! arena per side laid out **head-major**:
+//!
+//! ```text
+//! keys[h * capacity * d_head + t * d_head + j]      (int8 payload)
+//! key_scales[h * capacity + t]                      (f32, per head/token)
+//! ```
+//!
+//! so head `h`'s keys for tokens `0..len` are one contiguous strip —
+//! exactly the access pattern of the decode attention loop, which dots a
+//! query head over every cached token of that head. Preallocating
+//! `capacity` tokens (via [`LayerKvCache::with_capacity`]) makes decode
+//! appends pure writes: no reallocation, no per-token heap traffic.
 
 use serde::{Deserialize, Serialize};
 
-use looplynx_tensor::quant::{quantize_vec, QuantizedVector};
+use looplynx_tensor::quant::{scale_for, QuantizedVector};
+
+/// Token capacity a growable cache starts with when the first append
+/// arrives without an explicit capacity.
+const DEFAULT_CAPACITY: usize = 64;
+
+/// A borrowed view of one head's quantized vector for one token: the int8
+/// strip plus its scale. The arena-backed replacement for handing out
+/// `&QuantizedVector`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizedView<'a> {
+    data: &'a [i8],
+    scale: f32,
+}
+
+impl<'a> QuantizedView<'a> {
+    /// The int8 payload.
+    pub fn data(&self) -> &'a [i8] {
+        self.data
+    }
+
+    /// The symmetric scale (`real = q * scale`).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reconstructs the real-valued vector.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.data.iter().map(|&q| q as f32 * self.scale).collect()
+    }
+
+    /// Copies the view into an owned [`QuantizedVector`].
+    pub fn to_owned_vector(&self) -> QuantizedVector {
+        QuantizedVector::new(self.data.to_vec(), self.scale)
+    }
+}
 
 /// KV cache of one transformer layer (or one node's head-slice of it).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+//
+// NOTE on the serde derives: the workspace's vendored `serde` exposes
+// marker traits only, so nothing actually serializes this type today. A
+// real serializer would naively emit the full preallocated arena
+// (capacity, not len); switch to a manual impl that writes only the live
+// `len`-token prefix per head before adopting a real serde backend.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LayerKvCache {
     d_head: usize,
-    /// `keys[token][head]`.
-    keys: Vec<Vec<QuantizedVector>>,
-    values: Vec<Vec<QuantizedVector>>,
+    /// Heads per token; 0 until the first append fixes the geometry.
+    heads: usize,
+    /// Cached tokens.
+    len: usize,
+    /// Token capacity of the arenas (the per-head stride).
+    capacity: usize,
+    /// Head-major int8 key arena (`heads * capacity * d_head` bytes).
+    keys: Vec<i8>,
+    values: Vec<i8>,
+    /// Head-major per-(head, token) key scales (`heads * capacity`).
+    key_scales: Vec<f32>,
+    value_scales: Vec<f32>,
 }
 
 impl LayerKvCache {
     /// Creates an empty cache for vectors divisible into `d_head` chunks.
+    /// The arena is allocated lazily at the first append and grows (by
+    /// re-striding) if the sequence outruns it; prefer
+    /// [`LayerKvCache::with_capacity`] on hot paths.
     ///
     /// # Panics
     ///
@@ -32,8 +113,59 @@ impl LayerKvCache {
         assert!(d_head > 0, "d_head must be positive");
         LayerKvCache {
             d_head,
+            heads: 0,
+            len: 0,
+            capacity: 0,
             keys: Vec::new(),
             values: Vec::new(),
+            key_scales: Vec::new(),
+            value_scales: Vec::new(),
+        }
+    }
+
+    /// Creates a cache with the arena preallocated for `heads` heads and
+    /// `capacity` tokens, so appends up to `capacity` never reallocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_head` or `heads` is zero.
+    pub fn with_capacity(d_head: usize, heads: usize, capacity: usize) -> Self {
+        assert!(d_head > 0, "d_head must be positive");
+        assert!(heads > 0, "heads must be positive");
+        let mut cache = LayerKvCache::new(d_head);
+        cache.heads = heads;
+        cache.allocate(capacity.max(1));
+        cache
+    }
+
+    fn allocate(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.keys = vec![0; self.heads * capacity * self.d_head];
+        self.values = vec![0; self.heads * capacity * self.d_head];
+        self.key_scales = vec![0.0; self.heads * capacity];
+        self.value_scales = vec![0.0; self.heads * capacity];
+    }
+
+    /// Re-strides the arenas to a larger token capacity, copying each
+    /// head's live strip. Rare (only when a sequence outruns the
+    /// preallocation); appends within capacity never move data.
+    fn grow(&mut self, capacity: usize) {
+        debug_assert!(capacity > self.capacity);
+        let old = std::mem::replace(self, LayerKvCache::new(self.d_head));
+        self.heads = old.heads;
+        self.len = old.len;
+        self.allocate(capacity);
+        let d = self.d_head;
+        for h in 0..self.heads {
+            let live = old.len * d;
+            let (osrc, odst) = (h * old.capacity * d, h * capacity * d);
+            self.keys[odst..odst + live].copy_from_slice(&old.keys[osrc..osrc + live]);
+            self.values[odst..odst + live].copy_from_slice(&old.values[osrc..osrc + live]);
+            let (ssrc, sdst) = (h * old.capacity, h * capacity);
+            self.key_scales[sdst..sdst + old.len]
+                .copy_from_slice(&old.key_scales[ssrc..ssrc + old.len]);
+            self.value_scales[sdst..sdst + old.len]
+                .copy_from_slice(&old.value_scales[ssrc..ssrc + old.len]);
         }
     }
 
@@ -44,21 +176,32 @@ impl LayerKvCache {
 
     /// Number of cached tokens.
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.len
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.len == 0
     }
 
-    /// Heads per cached vector (0 when empty).
+    /// Heads per cached vector (0 when the geometry is not yet fixed).
     pub fn heads(&self) -> usize {
-        self.keys.first().map_or(0, Vec::len)
+        if self.len == 0 && self.capacity == 0 {
+            0
+        } else {
+            self.heads
+        }
+    }
+
+    /// Token capacity before the next append reallocates.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Quantizes and appends one token's key and value vectors, one scale
-    /// per `d_head` chunk.
+    /// per `d_head` chunk — identical quantization math to the former
+    /// nested-Vec cache (`quantize_vec` per head), but writing int8
+    /// straight into the arena.
     ///
     /// # Panics
     ///
@@ -67,20 +210,28 @@ impl LayerKvCache {
     pub fn append(&mut self, k: &[f32], v: &[f32]) {
         assert_eq!(k.len(), v.len(), "key/value length mismatch");
         assert_eq!(k.len() % self.d_head, 0, "vector not divisible by d_head");
-        if let Some(first) = self.keys.first() {
-            assert_eq!(
-                k.len() / self.d_head,
-                first.len(),
-                "head count changed between appends"
-            );
+        let heads = k.len() / self.d_head;
+        assert!(heads > 0, "vector not divisible by d_head");
+        if self.heads == 0 {
+            self.heads = heads;
+        } else {
+            assert_eq!(heads, self.heads, "head count changed between appends");
         }
-        let quantize_heads = |x: &[f32]| {
-            x.chunks_exact(self.d_head)
-                .map(quantize_vec)
-                .collect::<Vec<_>>()
-        };
-        self.keys.push(quantize_heads(k));
-        self.values.push(quantize_heads(v));
+        if self.capacity == 0 {
+            self.allocate(DEFAULT_CAPACITY);
+        } else if self.len == self.capacity {
+            self.grow((self.capacity * 2).max(DEFAULT_CAPACITY));
+        }
+        let (d, t, cap) = (self.d_head, self.len, self.capacity);
+        for h in 0..heads {
+            let src = h * d..(h + 1) * d;
+            let dst = (h * cap + t) * d;
+            self.key_scales[h * cap + t] =
+                quantize_chunk(&k[src.clone()], &mut self.keys[dst..dst + d]);
+            self.value_scales[h * cap + t] =
+                quantize_chunk(&v[src], &mut self.values[dst..dst + d]);
+        }
+        self.len += 1;
     }
 
     /// Cached key of token `t`, head `h` (local head index).
@@ -88,8 +239,13 @@ impl LayerKvCache {
     /// # Panics
     ///
     /// Panics if out of range.
-    pub fn key_head(&self, t: usize, h: usize) -> &QuantizedVector {
-        &self.keys[t][h]
+    pub fn key_head(&self, t: usize, h: usize) -> QuantizedView<'_> {
+        assert!(t < self.len && h < self.heads, "key ({t},{h}) out of range");
+        let base = (h * self.capacity + t) * self.d_head;
+        QuantizedView {
+            data: &self.keys[base..base + self.d_head],
+            scale: self.key_scales[h * self.capacity + t],
+        }
     }
 
     /// Cached value of token `t`, head `h` (local head index).
@@ -97,24 +253,104 @@ impl LayerKvCache {
     /// # Panics
     ///
     /// Panics if out of range.
-    pub fn value_head(&self, t: usize, h: usize) -> &QuantizedVector {
-        &self.values[t][h]
+    pub fn value_head(&self, t: usize, h: usize) -> QuantizedView<'_> {
+        assert!(
+            t < self.len && h < self.heads,
+            "value ({t},{h}) out of range"
+        );
+        let base = (h * self.capacity + t) * self.d_head;
+        QuantizedView {
+            data: &self.values[base..base + self.d_head],
+            scale: self.value_scales[h * self.capacity + t],
+        }
+    }
+
+    /// Head `h`'s keys for all cached tokens as one contiguous strip of
+    /// `len() * d_head` int8 values (token `t` at `t * d_head`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn key_strip(&self, h: usize) -> &[i8] {
+        assert!(h < self.heads, "head {h} out of range");
+        let base = h * self.capacity * self.d_head;
+        &self.keys[base..base + self.len * self.d_head]
+    }
+
+    /// Head `h`'s values for all cached tokens as one contiguous strip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn value_strip(&self, h: usize) -> &[i8] {
+        assert!(h < self.heads, "head {h} out of range");
+        let base = h * self.capacity * self.d_head;
+        &self.values[base..base + self.len * self.d_head]
+    }
+
+    /// Per-token key scales of head `h` (one per cached token).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn key_scales(&self, h: usize) -> &[f32] {
+        assert!(h < self.heads, "head {h} out of range");
+        &self.key_scales[h * self.capacity..h * self.capacity + self.len]
+    }
+
+    /// Per-token value scales of head `h` (one per cached token).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn value_scales(&self, h: usize) -> &[f32] {
+        assert!(h < self.heads, "head {h} out of range");
+        &self.value_scales[h * self.capacity..h * self.capacity + self.len]
     }
 
     /// Int8 bytes held by this layer's cache (keys + values).
     pub fn byte_len(&self) -> usize {
-        let per_token: usize = self
-            .keys
-            .first()
-            .map_or(0, |heads| heads.iter().map(QuantizedVector::byte_len).sum());
-        2 * per_token * self.keys.len()
+        2 * self.len * self.heads * self.d_head
     }
 
-    /// Clears all cached tokens.
+    /// Clears all cached tokens (the arena allocation is retained).
     pub fn clear(&mut self) {
-        self.keys.clear();
-        self.values.clear();
+        self.len = 0;
     }
+}
+
+/// Content equality: two caches are equal when they hold the same logical
+/// tokens (geometry, int8 payloads, scales), regardless of how much spare
+/// arena capacity each one carries.
+impl PartialEq for LayerKvCache {
+    fn eq(&self, other: &Self) -> bool {
+        if self.d_head != other.d_head || self.len != other.len {
+            return false;
+        }
+        if self.len == 0 {
+            // Two empty caches are equal however they were preallocated
+            // (the nested-Vec cache had no geometry at all when empty).
+            return true;
+        }
+        if self.heads() != other.heads() {
+            return false;
+        }
+        (0..self.heads()).all(|h| {
+            self.key_strip(h) == other.key_strip(h)
+                && self.value_strip(h) == other.value_strip(h)
+                && self.key_scales(h) == other.key_scales(h)
+                && self.value_scales(h) == other.value_scales(h)
+        })
+    }
+}
+
+/// Quantizes one head's chunk into the arena slot, returning the scale —
+/// the same math as `quantize_vec` (absmax → symmetric scale →
+/// round-to-nearest-even), minus the allocation.
+fn quantize_chunk(src: &[f32], dst: &mut [i8]) -> f32 {
+    let scale = scale_for(looplynx_tensor::simd::absmax(src));
+    looplynx_tensor::simd::quantize_slice(src, scale, dst);
+    scale
 }
 
 /// KV caches of every layer of a model.
@@ -124,10 +360,21 @@ pub struct KvCache {
 }
 
 impl KvCache {
-    /// Creates caches for `layers` layers with the given head dimension.
+    /// Creates caches for `layers` layers with the given head dimension
+    /// (arena allocated lazily; see [`KvCache::with_capacity`]).
     pub fn new(layers: usize, d_head: usize) -> Self {
         KvCache {
             layers: (0..layers).map(|_| LayerKvCache::new(d_head)).collect(),
+        }
+    }
+
+    /// Creates caches with every layer's arena preallocated for `heads`
+    /// heads and `capacity` tokens.
+    pub fn with_capacity(layers: usize, d_head: usize, heads: usize, capacity: usize) -> Self {
+        KvCache {
+            layers: (0..layers)
+                .map(|_| LayerKvCache::with_capacity(d_head, heads, capacity))
+                .collect(),
         }
     }
 
@@ -255,5 +502,80 @@ mod tests {
         c.clear();
         assert_eq!(c.seq_len(), 0);
         assert_eq!(c.byte_len(), 0);
+    }
+
+    #[test]
+    fn strips_are_token_major_within_head() {
+        let mut c = LayerKvCache::with_capacity(2, 2, 8);
+        c.append(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]);
+        c.append(&[-1.0, -2.0, -3.0, -4.0], &[-5.0, -6.0, -7.0, -8.0]);
+        for h in 0..2 {
+            let strip = c.key_strip(h);
+            assert_eq!(strip.len(), 2 * 2);
+            assert_eq!(&strip[..2], c.key_head(0, h).data());
+            assert_eq!(&strip[2..], c.key_head(1, h).data());
+            assert_eq!(c.key_scales(h).len(), 2);
+            assert_eq!(c.key_scales(h)[1], c.key_head(1, h).scale());
+            assert_eq!(c.value_scales(h)[0], c.value_head(0, h).scale());
+        }
+    }
+
+    #[test]
+    fn preallocated_appends_never_move_the_arena() {
+        let mut c = LayerKvCache::with_capacity(4, 2, 16);
+        c.append(&[0.5; 8], &[0.5; 8]);
+        let before = c.key_strip(0).as_ptr();
+        for _ in 1..16 {
+            c.append(&[0.5; 8], &[0.5; 8]);
+        }
+        assert_eq!(c.len(), 16);
+        assert_eq!(before, c.key_strip(0).as_ptr(), "arena reallocated");
+    }
+
+    #[test]
+    fn growth_preserves_content_and_equality() {
+        // A cache that outgrows its arena must hold the same logical
+        // content as one preallocated large enough from the start.
+        let mk = |t: usize| -> (Vec<f32>, Vec<f32>) {
+            (
+                (0..8).map(|i| ((i + t) as f32 * 0.31).sin()).collect(),
+                (0..8).map(|i| ((i * t + 1) as f32 * 0.17).cos()).collect(),
+            )
+        };
+        let mut small = LayerKvCache::with_capacity(4, 2, 2);
+        let mut big = LayerKvCache::with_capacity(4, 2, 128);
+        for t in 0..70 {
+            let (k, v) = mk(t);
+            small.append(&k, &v);
+            big.append(&k, &v);
+        }
+        assert!(small.capacity() >= 70);
+        assert_eq!(small, big, "content equality across capacities");
+        assert_eq!(small.key_head(69, 1), big.key_head(69, 1));
+    }
+
+    #[test]
+    fn equality_ignores_capacity_but_not_content() {
+        let mut a = LayerKvCache::new(2);
+        let mut b = LayerKvCache::with_capacity(2, 2, 99);
+        a.append(&[1.0, 2.0, 3.0, 4.0], &[1.0; 4]);
+        b.append(&[1.0, 2.0, 3.0, 4.0], &[1.0; 4]);
+        assert_eq!(a, b);
+        b.append(&[1.0; 4], &[1.0; 4]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clear_retains_arena_allocation() {
+        let mut c = LayerKvCache::with_capacity(4, 2, 8);
+        c.append(&[1.0; 8], &[2.0; 8]);
+        let cap = c.capacity();
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.byte_len(), 0);
+        assert_eq!(c.capacity(), cap);
+        // reusable after clear
+        c.append(&[3.0; 8], &[4.0; 8]);
+        assert_eq!(c.len(), 1);
     }
 }

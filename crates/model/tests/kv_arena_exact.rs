@@ -1,0 +1,155 @@
+//! Bit-exactness suite for the KV-cache arena: the contiguous head-major
+//! layout must preserve the *semantics* of the nested-Vec cache it
+//! replaced — `append`/`key_head`/`value_head`/`byte_len` behave
+//! identically, with the nested reference reimplemented here from the
+//! original definition (`quantize_vec` per `d_head` chunk).
+
+use proptest::prelude::*;
+
+use looplynx_model::attention::attend_all;
+use looplynx_model::kv_cache::LayerKvCache;
+use looplynx_tensor::quant::{quantize_vec, QuantizedVector};
+
+/// The pre-arena cache: `keys[token][head]`, one `QuantizedVector` per
+/// head per token, exactly as `LayerKvCache` stored it before.
+struct NestedVecCache {
+    d_head: usize,
+    keys: Vec<Vec<QuantizedVector>>,
+    values: Vec<Vec<QuantizedVector>>,
+}
+
+impl NestedVecCache {
+    fn new(d_head: usize) -> Self {
+        NestedVecCache {
+            d_head,
+            keys: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    fn append(&mut self, k: &[f32], v: &[f32]) {
+        let quantize_heads = |x: &[f32]| {
+            x.chunks_exact(self.d_head)
+                .map(quantize_vec)
+                .collect::<Vec<_>>()
+        };
+        self.keys.push(quantize_heads(k));
+        self.values.push(quantize_heads(v));
+    }
+
+    fn byte_len(&self) -> usize {
+        let per_token: usize = self
+            .keys
+            .first()
+            .map_or(0, |heads| heads.iter().map(QuantizedVector::byte_len).sum());
+        2 * per_token * self.keys.len()
+    }
+}
+
+fn arb_vec(d: usize, seed: u64) -> Vec<f32> {
+    (0..d)
+        .map(|i| {
+            (((seed as usize).wrapping_mul(29).wrapping_add(i * 23)) % 300) as f32 / 40.0 - 3.75
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arena cache ≡ nested-Vec cache: every per-(token, head) payload,
+    /// scale and the byte accounting agree for arbitrary geometries and
+    /// sequence lengths — including sequences that outgrow a small
+    /// preallocated arena mid-stream.
+    #[test]
+    fn arena_matches_nested_vec_semantics(
+        heads in 1usize..5,
+        d_head in prop::sample::select(vec![1usize, 3, 8, 16]),
+        tokens in 1usize..40,
+        capacity in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let d = heads * d_head;
+        let mut arena = LayerKvCache::with_capacity(d_head, heads, capacity);
+        let mut lazy = LayerKvCache::new(d_head);
+        let mut reference = NestedVecCache::new(d_head);
+        for t in 0..tokens {
+            let k = arb_vec(d, seed.wrapping_add(t as u64 * 5));
+            let v = arb_vec(d, seed.wrapping_add(t as u64 * 11 + 1));
+            arena.append(&k, &v);
+            lazy.append(&k, &v);
+            reference.append(&k, &v);
+        }
+        prop_assert_eq!(arena.len(), tokens);
+        prop_assert_eq!(arena.heads(), heads);
+        prop_assert_eq!(arena.byte_len(), reference.byte_len());
+        prop_assert_eq!(lazy.byte_len(), reference.byte_len());
+        for t in 0..tokens {
+            for h in 0..heads {
+                let rk = &reference.keys[t][h];
+                let rv = &reference.values[t][h];
+                prop_assert_eq!(arena.key_head(t, h).data(), rk.data(), "key {t}/{h}");
+                prop_assert_eq!(arena.key_head(t, h).scale(), rk.scale());
+                prop_assert_eq!(arena.value_head(t, h).data(), rv.data(), "value {t}/{h}");
+                prop_assert_eq!(arena.value_head(t, h).scale(), rv.scale());
+                prop_assert_eq!(lazy.key_head(t, h).data(), rk.data());
+                prop_assert_eq!(lazy.value_head(t, h).scale(), rv.scale());
+            }
+        }
+        // the growable and preallocated arenas are interchangeable
+        prop_assert_eq!(arena, lazy);
+    }
+
+    /// The contiguous strips the attention loop consumes agree with the
+    /// per-token views (same arena, two access paths).
+    #[test]
+    fn strips_agree_with_views(
+        heads in 1usize..4,
+        tokens in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let d_head = 8;
+        let d = heads * d_head;
+        let mut cache = LayerKvCache::with_capacity(d_head, heads, 4);
+        for t in 0..tokens {
+            cache.append(
+                &arb_vec(d, seed.wrapping_add(t as u64)),
+                &arb_vec(d, seed.wrapping_add(400 + t as u64)),
+            );
+        }
+        for h in 0..heads {
+            let ks = cache.key_strip(h);
+            let vs = cache.value_strip(h);
+            prop_assert_eq!(ks.len(), tokens * d_head);
+            for t in 0..tokens {
+                prop_assert_eq!(&ks[t * d_head..(t + 1) * d_head], cache.key_head(t, h).data());
+                prop_assert_eq!(&vs[t * d_head..(t + 1) * d_head], cache.value_head(t, h).data());
+                prop_assert_eq!(cache.key_scales(h)[t], cache.key_head(t, h).scale());
+                prop_assert_eq!(cache.value_scales(h)[t], cache.value_head(t, h).scale());
+            }
+        }
+    }
+
+    /// Attention over a cache that grew through several reallocations is
+    /// bit-identical to attention over a fully preallocated cache.
+    #[test]
+    fn attention_unaffected_by_arena_growth(
+        tokens in 2usize..30,
+        seed in any::<u64>(),
+    ) {
+        let (heads, d_head) = (2usize, 8usize);
+        let d = heads * d_head;
+        let mut grown = LayerKvCache::with_capacity(d_head, heads, 1);
+        let mut fixed = LayerKvCache::with_capacity(d_head, heads, 64);
+        for t in 0..tokens {
+            let k = arb_vec(d, seed.wrapping_add(t as u64 * 3));
+            let v = arb_vec(d, seed.wrapping_add(t as u64 * 13 + 7));
+            grown.append(&k, &v);
+            fixed.append(&k, &v);
+        }
+        let q = arb_vec(d, seed ^ 0x5A5A);
+        let a = attend_all(&q, &grown, heads, d_head, tokens);
+        let b = attend_all(&q, &fixed, heads, d_head, tokens);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -20,6 +20,14 @@ pub fn gelu_vec(xs: &[f32]) -> Vec<f32> {
     xs.iter().map(|&x| gelu(x)).collect()
 }
 
+/// Applies GELU elementwise in place (same math as [`gelu_vec`], no
+/// allocation).
+pub fn gelu_in_place(xs: &mut [f32]) {
+    for x in xs.iter_mut() {
+        *x = gelu(*x);
+    }
+}
+
 /// Intermediate state after softmax phase 1: shifted exponentials and their
 /// global sum.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,6 +79,25 @@ pub fn softmax(scores: &[f32]) -> Vec<f32> {
     softmax_phase2(&softmax_phase1(scores))
 }
 
+/// Complete softmax into a caller-provided buffer (cleared and resized).
+///
+/// Performs the identical operations of [`softmax`] in the identical
+/// order — shifted exponentials, global sum, multiply by the reciprocal —
+/// so results are bit-identical, just without the two allocations.
+pub fn softmax_into(scores: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    if scores.is_empty() {
+        return;
+    }
+    let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    out.extend(scores.iter().map(|&s| (s - max).exp()));
+    let sum: f32 = out.iter().sum();
+    let inv = 1.0 / sum;
+    for e in out.iter_mut() {
+        *e *= inv;
+    }
+}
+
 /// Causal mask: positions after `valid_len` are forced to `-inf` so the
 /// subsequent softmax assigns them zero weight — "the mask unit ensures
 /// that only forward attention is kept" (paper Section III-D).
@@ -116,6 +143,24 @@ mod tests {
         let w = softmax(&[1000.0, 999.0]);
         assert!(w.iter().all(|v| v.is_finite()));
         assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_into_is_bit_identical_to_softmax() {
+        // The hot path's single-buffer variant must never drift from the
+        // two-phase composition (the attention bit-exactness suite's
+        // premise).
+        for scores in [
+            vec![],
+            vec![0.0f32],
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1000.0, 999.0, -1000.0],
+            (0..257).map(|i| (i as f32 * 0.37).sin() * 9.0).collect(),
+        ] {
+            let mut out = vec![7.0f32; 3]; // dirty buffer
+            softmax_into(&scores, &mut out);
+            assert_eq!(out, softmax(&scores), "len {}", scores.len());
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod linear;
 pub mod matrix;
 pub mod norm;
 pub mod quant;
+pub mod simd;
 
 pub use error::ShapeError;
 pub use linear::QuantLinear;

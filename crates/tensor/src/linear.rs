@@ -17,29 +17,68 @@ use crate::quant::{
     quantize_matrix_per_row, quantize_vec_with_scale, QuantizedMatrix, QuantizedVector,
 };
 
+/// Rows per weight block in the tiled [`gemm_i32`]: 32 int8 rows of a
+/// 1024-wide layer are 32 KiB — small enough to stay resident in L1/L2
+/// while every token row of the activation batch is swept over them.
+pub const GEMM_ROW_BLOCK: usize = 32;
+
+use crate::simd::dot_i8_i32;
+
 /// Integer matrix-vector product: `y[r] = Σ_c w[r,c] · x[c]` in i32.
 ///
 /// # Errors
 ///
 /// Returns [`ShapeError`] if `x.len() != w.cols()`.
 pub fn gemv_i32(w: &Matrix<i8>, x: &[i8]) -> Result<Vec<i32>, ShapeError> {
+    let mut out = Vec::new();
+    gemv_i32_into(w, x, &mut out)?;
+    Ok(out)
+}
+
+/// [`gemv_i32`] writing into a caller-provided buffer (cleared and
+/// resized), so steady-state decode loops allocate nothing.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `x.len() != w.cols()`.
+pub fn gemv_i32_into(w: &Matrix<i8>, x: &[i8], out: &mut Vec<i32>) -> Result<(), ShapeError> {
     if x.len() != w.cols() {
         return Err(ShapeError::new("gemv", (w.rows(), w.cols()), (1, x.len())));
     }
-    Ok(w.iter_rows()
-        .map(|row| {
-            row.iter()
-                .zip(x)
-                .map(|(&a, &b)| a as i32 * b as i32)
-                .sum::<i32>()
-        })
-        .collect())
+    out.clear();
+    out.extend(w.iter_rows().map(|row| dot_i8_i32(row, x)));
+    Ok(())
+}
+
+/// Unblocked reference GEMM — one full dot product per output element in
+/// storage order. Kept as the oracle the tiled [`gemm_i32`] is tested
+/// against (the two are exactly equal: i32 accumulation is associative
+/// and the tiling never splits a dot product).
+pub fn gemm_i32_naive(w: &Matrix<i8>, x: &Matrix<i8>) -> Result<Matrix<i32>, ShapeError> {
+    if x.cols() != w.cols() {
+        return Err(ShapeError::new(
+            "gemm",
+            (w.rows(), w.cols()),
+            (x.rows(), x.cols()),
+        ));
+    }
+    let mut out = Matrix::<i32>::zeros(x.rows(), w.rows());
+    for (t, xrow) in x.iter_rows().enumerate() {
+        for (r, wrow) in w.iter_rows().enumerate() {
+            out.set(t, r, dot_i8_i32(wrow, xrow));
+        }
+    }
+    Ok(out)
 }
 
 /// Integer matrix-matrix product `W · Xᵀ` where `X` holds one activation
 /// vector per row: `y[r][t] = Σ_c w[r,c] · x[t,c]`.
 ///
-/// This is the prefill-stage shape: `t` indexes prompt tokens.
+/// This is the prefill-stage shape: `t` indexes prompt tokens. The loop
+/// is tiled over blocks of [`GEMM_ROW_BLOCK`] weight rows: each block is
+/// streamed from memory once and reused across *all* token rows before
+/// the next block is touched, instead of re-streaming the whole weight
+/// matrix per token. Results are bit-identical to [`gemm_i32_naive`].
 ///
 /// # Errors
 ///
@@ -53,15 +92,16 @@ pub fn gemm_i32(w: &Matrix<i8>, x: &Matrix<i8>) -> Result<Matrix<i32>, ShapeErro
         ));
     }
     let mut out = Matrix::<i32>::zeros(x.rows(), w.rows());
-    for (t, xrow) in x.iter_rows().enumerate() {
-        for (r, wrow) in w.iter_rows().enumerate() {
-            let acc: i32 = wrow
-                .iter()
-                .zip(xrow)
-                .map(|(&a, &b)| a as i32 * b as i32)
-                .sum();
-            out.set(t, r, acc);
+    let mut block_start = 0;
+    while block_start < w.rows() {
+        let block_end = (block_start + GEMM_ROW_BLOCK).min(w.rows());
+        for (t, xrow) in x.iter_rows().enumerate() {
+            let orow = &mut out.row_mut(t)[block_start..block_end];
+            for (o, r) in orow.iter_mut().zip(block_start..block_end) {
+                *o = dot_i8_i32(w.row(r), xrow);
+            }
         }
+        block_start = block_end;
     }
     Ok(out)
 }
@@ -157,12 +197,44 @@ impl QuantLinear {
     /// Panics if `x.len() != in_features()` (shape errors on the hot path
     /// indicate a programming bug, not recoverable input).
     pub fn forward(&self, x: &QuantizedVector) -> Vec<f32> {
-        let acc = gemv_i32(self.weight.data(), x.data()).expect("gemv shape");
-        acc.iter()
-            .zip(self.weight.row_scales())
-            .zip(&self.bias)
-            .map(|((&a, &ws), &b)| a as f32 * ws * x.scale() + b)
-            .collect()
+        let mut out = Vec::new();
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// [`QuantLinear::forward`] writing into a caller-provided buffer
+    /// (cleared and resized). The dequant epilogue is fused into the MAC
+    /// row loop — no intermediate `Vec<i32>` is materialized — with the
+    /// same per-element expression, so results are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_features()`.
+    pub fn forward_into(&self, x: &QuantizedVector, out: &mut Vec<f32>) {
+        self.forward_raw_into(x.data(), x.scale(), out);
+    }
+
+    /// [`QuantLinear::forward_into`] taking the int8 payload and scale as
+    /// raw parts, for callers that quantize into reused buffers rather
+    /// than owning a [`QuantizedVector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_features()`.
+    pub fn forward_raw_into(&self, x: &[i8], x_scale: f32, out: &mut Vec<f32>) {
+        assert_eq!(x.len(), self.in_features(), "gemv shape");
+        out.clear();
+        out.extend(
+            self.weight
+                .data()
+                .iter_rows()
+                .zip(self.weight.row_scales())
+                .zip(&self.bias)
+                .map(|((row, &ws), &b)| {
+                    let acc = dot_i8_i32(row, x);
+                    acc as f32 * ws * x_scale + b
+                }),
+        );
     }
 
     /// Forward pass followed by requantization at the given output scale —
@@ -180,9 +252,20 @@ impl QuantLinear {
     /// Panics if `x.cols() != in_features()`.
     pub fn forward_batch(&self, x: &Matrix<i8>, x_scale: f32) -> Matrix<f32> {
         let acc = gemm_i32(self.weight.data(), x).expect("gemm shape");
-        Matrix::from_fn(acc.rows(), acc.cols(), |t, r| {
-            acc.get(t, r) as f32 * self.weight.row_scales()[r] * x_scale + self.bias[r]
-        })
+        let mut out = Matrix::<f32>::zeros(acc.rows(), acc.cols());
+        for t in 0..acc.rows() {
+            let arow = acc.row(t);
+            for (((o, &a), &ws), &b) in out
+                .row_mut(t)
+                .iter_mut()
+                .zip(arow)
+                .zip(self.weight.row_scales())
+                .zip(&self.bias)
+            {
+                *o = a as f32 * ws * x_scale + b;
+            }
+        }
+        out
     }
 
     /// Batched forward where each token row of `x` carries its own
@@ -197,9 +280,20 @@ impl QuantLinear {
     pub fn forward_batch_scaled(&self, x: &Matrix<i8>, x_scales: &[f32]) -> Matrix<f32> {
         assert_eq!(x_scales.len(), x.rows(), "one scale per token row");
         let acc = gemm_i32(self.weight.data(), x).expect("gemm shape");
-        Matrix::from_fn(acc.rows(), acc.cols(), |t, r| {
-            acc.get(t, r) as f32 * self.weight.row_scales()[r] * x_scales[t] + self.bias[r]
-        })
+        let mut out = Matrix::<f32>::zeros(acc.rows(), acc.cols());
+        for (t, &x_scale) in x_scales.iter().enumerate() {
+            let arow = acc.row(t);
+            for (((o, &a), &ws), &b) in out
+                .row_mut(t)
+                .iter_mut()
+                .zip(arow)
+                .zip(self.weight.row_scales())
+                .zip(&self.bias)
+            {
+                *o = a as f32 * ws * x_scale + b;
+            }
+        }
+        out
     }
 
     /// Splits this layer by output rows into `parts` equal shards — the

@@ -156,8 +156,18 @@ impl<T: Copy + Default> Matrix<T> {
     }
 
     /// Transposed copy.
+    ///
+    /// Walks the source row by row (each source row scatters into one
+    /// destination column) instead of per-element bounds-checked `get`
+    /// calls — the source side, at least, streams contiguously.
     pub fn transposed(&self) -> Matrix<T> {
-        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for (r, row) in self.iter_rows().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                out.data[c * self.rows + r] = v;
+            }
+        }
+        out
     }
 
     /// Underlying row-major buffer.

@@ -63,15 +63,30 @@ impl LayerNormParams {
 ///
 /// Panics if `x.len() != params.dim()`.
 pub fn layernorm(x: &[f32], params: &LayerNormParams) -> Vec<f32> {
+    let mut out = Vec::new();
+    layernorm_into(x, params, &mut out);
+    out
+}
+
+/// [`layernorm`] writing into a caller-provided buffer (cleared and
+/// resized) — identical operations in identical order, no allocation on
+/// the steady-state path.
+///
+/// # Panics
+///
+/// Panics if `x.len() != params.dim()`.
+pub fn layernorm_into(x: &[f32], params: &LayerNormParams, out: &mut Vec<f32>) {
     assert_eq!(x.len(), params.dim(), "layernorm dimension mismatch");
     let n = x.len() as f32;
     let mean = x.iter().sum::<f32>() / n;
     let var = x.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
     let inv = 1.0 / (var + params.eps).sqrt();
-    x.iter()
-        .zip(params.gamma.iter().zip(&params.beta))
-        .map(|(&v, (&g, &b))| g * (v - mean) * inv + b)
-        .collect()
+    out.clear();
+    out.extend(
+        x.iter()
+            .zip(params.gamma.iter().zip(&params.beta))
+            .map(|(&v, (&g, &b))| g * (v - mean) * inv + b),
+    );
 }
 
 /// Residual connection `y = x + r`.
@@ -80,8 +95,21 @@ pub fn layernorm(x: &[f32], params: &LayerNormParams) -> Vec<f32> {
 ///
 /// Panics if lengths differ.
 pub fn residual_add(x: &[f32], r: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    residual_add_into(x, r, &mut out);
+    out
+}
+
+/// [`residual_add`] writing into a caller-provided buffer (cleared and
+/// resized).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn residual_add_into(x: &[f32], r: &[f32], out: &mut Vec<f32>) {
     assert_eq!(x.len(), r.len(), "residual length mismatch");
-    x.iter().zip(r).map(|(a, b)| a + b).collect()
+    out.clear();
+    out.extend(x.iter().zip(r).map(|(a, b)| a + b));
 }
 
 /// Fused residual + layernorm (`layernorm(x + r)`), the combined operation

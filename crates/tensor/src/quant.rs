@@ -18,7 +18,7 @@ pub const QMAX: f32 = 127.0;
 
 /// Returns the largest absolute value of the slice (0.0 when empty).
 pub fn absmax(xs: &[f32]) -> f32 {
-    xs.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    crate::simd::absmax(xs)
 }
 
 /// Computes the symmetric scale mapping `[-absmax, absmax]` onto ±127.
@@ -97,19 +97,28 @@ impl QuantizedVector {
 /// Quantizes a vector with a per-tensor symmetric scale.
 pub fn quantize_vec(xs: &[f32]) -> QuantizedVector {
     let scale = scale_for(absmax(xs));
-    QuantizedVector {
-        data: xs.iter().map(|&x| quantize_value(x, scale)).collect(),
-        scale,
-    }
+    let mut data = vec![0i8; xs.len()];
+    crate::simd::quantize_slice(xs, scale, &mut data);
+    QuantizedVector { data, scale }
+}
+
+/// Quantizes a vector into a caller-provided buffer (cleared and
+/// resized), returning the per-tensor scale — the exact math of
+/// [`quantize_vec`] without the allocation, for steady-state hot loops.
+pub fn quantize_into(xs: &[f32], out: &mut Vec<i8>) -> f32 {
+    let scale = scale_for(absmax(xs));
+    out.clear();
+    out.resize(xs.len(), 0);
+    crate::simd::quantize_slice(xs, scale, out);
+    scale
 }
 
 /// Quantizes a vector reusing a caller-provided (e.g. calibrated) scale.
 pub fn quantize_vec_with_scale(xs: &[f32], scale: f32) -> QuantizedVector {
     assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
-    QuantizedVector {
-        data: xs.iter().map(|&x| quantize_value(x, scale)).collect(),
-        scale,
-    }
+    let mut data = vec![0i8; xs.len()];
+    crate::simd::quantize_slice(xs, scale, &mut data);
+    QuantizedVector { data, scale }
 }
 
 /// A weight matrix quantized with one symmetric scale per row

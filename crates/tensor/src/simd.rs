@@ -1,0 +1,367 @@
+//! Runtime-dispatched SIMD inner kernel for the int8 MAC loop.
+//!
+//! Every hot kernel in this crate (GEMV, GEMM, attention scores) bottoms
+//! out in the same operation the accelerator's MAC array performs: an
+//! `i8 × i8 → i32` dot product. Integer addition is associative, so a
+//! vectorized accumulation is **bit-identical** to the scalar loop — this
+//! module only changes how fast the exact same number is produced.
+//!
+//! On x86-64 the AVX2 path widens 16 int8 lanes to int16
+//! (`vpmovsxbw`), multiply-accumulates pairs into int32 (`vpmaddwd` —
+//! products of int8 values fit int16 pairs losslessly: |x·y| ≤ 16384,
+//! and the pairwise add of two such products fits int32), and folds the
+//! vector accumulator horizontally at the end. Feature detection is a
+//! cached atomic load, cheap enough to keep even on short head-dim dots.
+//! Other architectures (and CPUs without AVX2) use the scalar loop.
+
+/// Integer dot product with i32 accumulation: `Σ a[i]·b[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length (debug builds; release builds
+/// truncate to the shorter slice like `zip`, matching the scalar path).
+#[inline]
+pub fn dot_i8_i32(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len(), "dot operand length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if a.len() >= 16 && is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { dot_i8_i32_avx2(a, b) };
+        }
+    }
+    dot_i8_i32_scalar(a, b)
+}
+
+/// The scalar reference MAC loop (also the test oracle for the SIMD path).
+#[inline]
+pub fn dot_i8_i32_scalar(a: &[i8], b: &[i8]) -> i32 {
+    a.iter().zip(b).map(|(&x, &y)| x as i32 * y as i32).sum()
+}
+
+/// AVX2 dot product: 16 int8 lanes per iteration via sign-extend +
+/// `vpmaddwd`, exact i32 accumulation.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2 (e.g. via
+/// `is_x86_feature_detected!("avx2")`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i8_i32_avx2(a: &[i8], b: &[i8]) -> i32 {
+    use std::arch::x86_64::{
+        __m128i, _mm256_add_epi32, _mm256_castsi256_si128, _mm256_cvtepi8_epi16,
+        _mm256_extracti128_si256, _mm256_madd_epi16, _mm256_setzero_si256, _mm_add_epi32,
+        _mm_cvtsi128_si32, _mm_loadu_si128, _mm_shuffle_epi32,
+    };
+    let n = a.len().min(b.len());
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 16 <= n {
+        // SAFETY: i + 16 <= n keeps both 16-byte loads in bounds.
+        let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(i) as *const __m128i));
+        let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(i) as *const __m128i));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+        i += 16;
+    }
+    // Horizontal fold of the 8 i32 lanes.
+    let mut s = _mm_add_epi32(
+        _mm256_extracti128_si256(acc, 1),
+        _mm256_castsi256_si128(acc),
+    );
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+    let mut total = _mm_cvtsi128_si32(s);
+    while i < n {
+        total += a[i] as i32 * b[i] as i32;
+        i += 1;
+    }
+    total
+}
+
+/// Largest absolute value of the slice (0.0 when empty).
+///
+/// `max` over finite f32 values is associative and commutative, so the
+/// vectorized lane-fold returns the bit-identical result of the scalar
+/// left fold.
+#[inline]
+pub fn absmax(xs: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if xs.len() >= 8 && is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { absmax_avx2(xs) };
+        }
+    }
+    absmax_scalar(xs)
+}
+
+/// Scalar reference absmax (also the test oracle for the SIMD path).
+#[inline]
+pub fn absmax_scalar(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn absmax_avx2(xs: &[f32]) -> f32 {
+    use std::arch::x86_64::{
+        _mm256_andnot_ps, _mm256_castps256_ps128, _mm256_extractf128_ps, _mm256_loadu_ps,
+        _mm256_max_ps, _mm256_set1_ps, _mm256_setzero_ps, _mm_cvtss_f32, _mm_max_ps, _mm_movehl_ps,
+        _mm_shuffle_ps,
+    };
+    let sign_mask = _mm256_set1_ps(-0.0);
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= xs.len() {
+        // SAFETY: i + 8 <= len keeps the 32-byte load in bounds.
+        let v = _mm256_loadu_ps(xs.as_ptr().add(i));
+        // Operand order matters for NaN parity with the scalar fold:
+        // maxps returns its *second* operand when either is NaN, so the
+        // data must be first and the accumulator second — a NaN element
+        // is then ignored (like `f32::max`) instead of poisoning the
+        // lane for the rest of the fold.
+        acc = _mm256_max_ps(_mm256_andnot_ps(sign_mask, v), acc);
+        i += 8;
+    }
+    let mut m = _mm_max_ps(_mm256_extractf128_ps(acc, 1), _mm256_castps256_ps128(acc));
+    m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+    m = _mm_max_ps(m, _mm_shuffle_ps(m, m, 0b01));
+    let mut best = _mm_cvtss_f32(m);
+    while i < xs.len() {
+        best = best.max(xs[i].abs());
+        i += 1;
+    }
+    best
+}
+
+/// Quantizes `src` under `scale` into `dst` with round-to-nearest-even
+/// and saturation to ±127 — element-for-element the math of
+/// `quant::quantize_value` (`(x / scale).round_ties_even().clamp(…)`),
+/// vectorized. Division, rounding and clamping are lane-wise, so each
+/// output byte is bit-identical to the scalar loop.
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` lengths differ.
+#[inline]
+pub fn quantize_slice(src: &[f32], scale: f32, dst: &mut [i8]) {
+    assert_eq!(src.len(), dst.len(), "quantize operand length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if src.len() >= 8 && is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { quantize_slice_avx2(src, scale, dst) };
+            return;
+        }
+    }
+    quantize_slice_scalar(src, scale, dst);
+}
+
+/// Scalar reference quantization loop (also the SIMD test oracle).
+#[inline]
+pub fn quantize_slice_scalar(src: &[f32], scale: f32, dst: &mut [i8]) {
+    for (d, &x) in dst.iter_mut().zip(src) {
+        let q = (x / scale).round_ties_even();
+        *d = q.clamp(-127.0, 127.0) as i8;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_slice_avx2(src: &[f32], scale: f32, dst: &mut [i8]) {
+    use std::arch::x86_64::{
+        _mm256_cvtps_epi32, _mm256_div_ps, _mm256_loadu_ps, _mm256_max_ps, _mm256_min_ps,
+        _mm256_round_ps, _mm256_set1_ps, _mm256_storeu_si256, _MM_FROUND_NO_EXC,
+        _MM_FROUND_TO_NEAREST_INT,
+    };
+    let vscale = _mm256_set1_ps(scale);
+    let lo = _mm256_set1_ps(-127.0);
+    let hi = _mm256_set1_ps(127.0);
+    let n = src.len();
+    let mut i = 0;
+    let mut lanes = [0i32; 8];
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n keeps the load in bounds; `lanes` is 32 bytes.
+        let v = _mm256_loadu_ps(src.as_ptr().add(i));
+        let q = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(
+            _mm256_div_ps(v, vscale),
+        );
+        let c = _mm256_max_ps(lo, _mm256_min_ps(hi, q));
+        // The value is already integral and within i8 range, so the
+        // i32 conversion and narrowing cast are exact.
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut _, _mm256_cvtps_epi32(c));
+        for (d, &l) in dst[i..i + 8].iter_mut().zip(&lanes) {
+            *d = l as i8;
+        }
+        i += 8;
+    }
+    quantize_slice_scalar(&src[i..], scale, &mut dst[i..]);
+}
+
+/// `acc[j] += v[j] as f32 * s` — the attention value-mixing update. The
+/// `d_head` accumulator lanes are independent, so vectorizing across `j`
+/// preserves each lane's scalar operation order exactly (one multiply
+/// rounding, one add rounding per element; no FMA contraction).
+///
+/// # Panics
+///
+/// Panics if `acc` and `v` lengths differ (debug builds).
+#[inline]
+pub fn accumulate_scaled_i8(acc: &mut [f32], v: &[i8], s: f32) {
+    debug_assert_eq!(acc.len(), v.len(), "accumulate operand length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if acc.len() >= 8 && is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { accumulate_scaled_i8_avx2(acc, v, s) };
+            return;
+        }
+    }
+    accumulate_scaled_i8_scalar(acc, v, s);
+}
+
+/// Scalar reference accumulate loop (also the SIMD test oracle).
+#[inline]
+pub fn accumulate_scaled_i8_scalar(acc: &mut [f32], v: &[i8], s: f32) {
+    for (a, &x) in acc.iter_mut().zip(v) {
+        *a += x as f32 * s;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn accumulate_scaled_i8_avx2(acc: &mut [f32], v: &[i8], s: f32) {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_cvtepi32_ps, _mm256_cvtepi8_epi32, _mm256_loadu_ps, _mm256_mul_ps,
+        _mm256_set1_ps, _mm256_storeu_ps, _mm_loadl_epi64,
+    };
+    let vs = _mm256_set1_ps(s);
+    let n = acc.len().min(v.len());
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n keeps the 8-byte int8 load and the 32-byte
+        // f32 load/store in bounds.
+        let v8 = _mm_loadl_epi64(v.as_ptr().add(i) as *const _);
+        let vf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(v8));
+        let a = _mm256_loadu_ps(acc.as_ptr().add(i));
+        _mm256_storeu_ps(
+            acc.as_mut_ptr().add(i),
+            _mm256_add_ps(a, _mm256_mul_ps(vf, vs)),
+        );
+        i += 8;
+    }
+    accumulate_scaled_i8_scalar(&mut acc[i..], &v[i..], s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(len: usize, seed: usize) -> (Vec<i8>, Vec<i8>) {
+        (
+            (0..len).map(|i| ((i * 37 + seed) % 255) as i8).collect(),
+            (0..len)
+                .map(|i| ((i * 91 + seed * 3) % 251) as i8)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn dispatch_matches_scalar_at_every_length() {
+        // Cover the vector body, the scalar tail, and sub-vector sizes.
+        for len in 0..=67 {
+            let (a, b) = vecs(len, len);
+            assert_eq!(dot_i8_i32(&a, &b), dot_i8_i32_scalar(&a, &b), "len {len}");
+        }
+        for len in [128usize, 192, 1024, 1025, 4096] {
+            let (a, b) = vecs(len, 7);
+            assert_eq!(dot_i8_i32(&a, &b), dot_i8_i32_scalar(&a, &b), "len {len}");
+        }
+    }
+
+    #[test]
+    fn saturating_inputs_accumulate_exactly() {
+        // ±127 everywhere: the largest magnitude the quantizer emits.
+        let a = vec![127i8; 1000];
+        let b = vec![-127i8; 1000];
+        assert_eq!(dot_i8_i32(&a, &b), -127 * 127 * 1000);
+        assert_eq!(dot_i8_i32(&a, &a), 127 * 127 * 1000);
+    }
+
+    #[test]
+    fn empty_dot_is_zero() {
+        assert_eq!(dot_i8_i32(&[], &[]), 0);
+    }
+
+    fn f32s(len: usize, seed: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * 13 + seed) as f32 * 0.177).sin() * (seed as f32 + 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn absmax_matches_scalar_at_every_length() {
+        for len in 0..=35 {
+            let xs = f32s(len, len + 1);
+            assert_eq!(absmax(&xs), absmax_scalar(&xs), "len {len}");
+        }
+        let big = f32s(1027, 3);
+        assert_eq!(absmax(&big), absmax_scalar(&big));
+    }
+
+    #[test]
+    fn absmax_ignores_nan_like_the_scalar_fold() {
+        // `f32::max` skips NaN operands; the vectorized fold must too,
+        // even when the NaN lands mid-lane after a peak was recorded.
+        let mut xs = vec![0.5f32; 32];
+        xs[2] = 1000.0;
+        xs[10] = f32::NAN; // same lane as the peak, later iteration
+        assert_eq!(absmax(&xs), absmax_scalar(&xs));
+        assert_eq!(absmax(&xs), 1000.0);
+    }
+
+    #[test]
+    fn absmax_sees_negative_peaks_and_tail() {
+        let mut xs = vec![0.25f32; 64];
+        xs[63] = -9.5; // last lane of the vector body
+        assert_eq!(absmax(&xs), 9.5);
+        let mut ys = vec![0.1f32; 65];
+        ys[64] = -3.25; // scalar tail element
+        assert_eq!(absmax(&ys), 3.25);
+    }
+
+    #[test]
+    fn quantize_slice_matches_scalar_bitwise() {
+        for len in [0usize, 1, 7, 8, 9, 16, 63, 64, 200] {
+            let xs = f32s(len, len + 2);
+            for scale in [0.01f32, 0.33, 1.0, 7.5] {
+                let mut a = vec![0i8; len];
+                let mut b = vec![0i8; len];
+                quantize_slice(&xs, scale, &mut a);
+                quantize_slice_scalar(&xs, scale, &mut b);
+                assert_eq!(a, b, "len {len} scale {scale}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_slice_saturates_and_rounds_ties_even() {
+        let xs = [1e9f32, -1e9, 0.5, 1.5, -0.5, -2.5, 0.0, 3.0, 4.4];
+        let mut out = vec![0i8; xs.len()];
+        quantize_slice(&xs, 1.0, &mut out);
+        assert_eq!(out, vec![127, -127, 0, 2, 0, -2, 0, 3, 4]);
+    }
+
+    #[test]
+    fn accumulate_scaled_matches_scalar_bitwise() {
+        for len in [1usize, 7, 8, 9, 16, 64, 129] {
+            let v = vecs(len, len).0;
+            let mut a = f32s(len, 4);
+            let mut b = a.clone();
+            accumulate_scaled_i8(&mut a, &v, 0.0173);
+            accumulate_scaled_i8_scalar(&mut b, &v, 0.0173);
+            assert_eq!(a, b, "len {len}");
+        }
+    }
+}
