@@ -25,3 +25,4 @@
 pub mod experiments;
 pub mod hotpath;
 pub mod paper;
+pub mod serve_functional;

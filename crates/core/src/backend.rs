@@ -1,0 +1,442 @@
+//! Execution backends: one serving contract, two substrates.
+//!
+//! The serving layer (`looplynx-serve`) schedules requests; *how* a
+//! prefill or a batched decode iteration actually executes is the
+//! backend's business. [`InferenceBackend`] is that seam:
+//!
+//! * [`SimBackend`] — the cycle-accurate [`LoopLynx`] timing engine.
+//!   Nothing is computed; every operation returns the simulated
+//!   accelerator wall-clock. Use it for scheduling studies, offered-load
+//!   sweeps and paper reproduction, where the metric is *modelled* time.
+//! * [`FunctionalBackend`] — the real W8A8 [`DistributedGpt2`] pipeline
+//!   over a multi-sequence slot arena. Tokens are actually produced
+//!   (per-request samplers over real logits), batched decode shares every
+//!   weight stream across residents, and operations report measured host
+//!   wall-clock. Use it to serve real prompts and to measure functional
+//!   throughput.
+//!
+//! The contract mirrors continuous batching's shape: admission runs one
+//! prompt (`prefill`, returning a slot and — for token-producing
+//! backends — the request's first output token, sampled from the prefill
+//! logits), each decode iteration advances a *batch* of resident slots by
+//! one token, and completed requests release their slots.
+
+use std::time::Instant;
+
+use looplynx_model::sampler::Sampler;
+
+use crate::engine::{DistributedGpt2, LoopLynx};
+
+/// Outcome of admitting one request's prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefillOutcome {
+    /// Slot the sequence now occupies (pass to
+    /// [`InferenceBackend::decode_batch`] / [`InferenceBackend::release`]).
+    pub slot: usize,
+    /// Time the prefill took, in the backend's clock domain (simulated
+    /// accelerator ms or measured host ms).
+    pub elapsed_ms: f64,
+    /// The request's first output token, sampled from the prefill logits
+    /// (`None` for timing-only backends).
+    pub first_token: Option<u32>,
+}
+
+/// Outcome of one batched decode iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeOutcome {
+    /// Time the iteration took, in the backend's clock domain.
+    pub elapsed_ms: f64,
+    /// Next token per requested slot, in call order (`None` for
+    /// timing-only backends).
+    pub tokens: Option<Vec<u32>>,
+}
+
+/// The execution substrate behind the serving schedulers.
+///
+/// Slot discipline: `prefill` claims a slot, every `decode_batch` may
+/// include it at most once, `release` frees it. A slot's sequence length
+/// grows by one per decode iteration; the backend enforces its own
+/// capacity bounds.
+pub trait InferenceBackend {
+    /// Short name for reports (`"sim"`, `"functional"`).
+    fn name(&self) -> &'static str;
+
+    /// Longest prompt + output a resident sequence can hold. The
+    /// scheduler must reject requests whose peak context exceeds this.
+    fn max_seq(&self) -> usize;
+
+    /// Sequences the backend can hold resident simultaneously (the
+    /// admission ceiling alongside the scheduler's own batch bound).
+    fn capacity(&self) -> usize;
+
+    /// Admits one prompt: claims a slot, processes `prompt_len` prompt
+    /// tokens, and (for token-producing backends) samples the first
+    /// output token with a sampler seeded by `sampler_seed`.
+    ///
+    /// `prompt` carries the real token ids when the workload has them;
+    /// timing-only backends ignore it, token-producing backends require
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot is free (call sites must respect
+    /// [`InferenceBackend::capacity`]) or a required prompt is missing.
+    fn prefill(
+        &mut self,
+        prompt_len: usize,
+        prompt: Option<&[u32]>,
+        sampler_seed: u64,
+    ) -> PrefillOutcome;
+
+    /// One decode iteration: every slot in `slots` advances by one token,
+    /// sharing every weight pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty, repeats a slot, or names a free slot.
+    fn decode_batch(&mut self, slots: &[usize]) -> DecodeOutcome;
+
+    /// Frees a completed request's slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not resident.
+    fn release(&mut self, slot: usize);
+}
+
+// ------------------------------------------------------------ SimBackend
+
+/// The timing substrate: scheduling against the cycle-accurate
+/// [`LoopLynx`] engine. Tracks one context counter per resident slot and
+/// charges [`LoopLynx::simulate_prefill`] /
+/// [`LoopLynx::simulate_decode_batch`] time; no tokens are produced.
+#[derive(Debug)]
+pub struct SimBackend<'a> {
+    engine: &'a LoopLynx,
+    /// Per-slot KV context (prompt + produced-but-one tokens); `None`
+    /// marks a free slot. Grows on demand up to [`SimBackend::capacity`].
+    contexts: Vec<Option<usize>>,
+}
+
+impl<'a> SimBackend<'a> {
+    /// Wraps a timing engine.
+    pub fn new(engine: &'a LoopLynx) -> Self {
+        SimBackend {
+            engine,
+            contexts: Vec::new(),
+        }
+    }
+
+    /// The underlying timing engine.
+    pub fn engine(&self) -> &LoopLynx {
+        self.engine
+    }
+}
+
+impl InferenceBackend for SimBackend<'_> {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn max_seq(&self) -> usize {
+        self.engine.model().max_seq
+    }
+
+    fn capacity(&self) -> usize {
+        // One decode iteration shares weight passes across all residents,
+        // bounded by the on-chip activation buffer.
+        crate::config::MAX_WEIGHT_SHARING_BATCH
+    }
+
+    fn prefill(
+        &mut self,
+        prompt_len: usize,
+        _prompt: Option<&[u32]>,
+        _sampler_seed: u64,
+    ) -> PrefillOutcome {
+        let slot = match self.contexts.iter().position(Option::is_none) {
+            Some(free) => free,
+            None => {
+                assert!(self.contexts.len() < self.capacity(), "no free slot");
+                self.contexts.push(None);
+                self.contexts.len() - 1
+            }
+        };
+        self.contexts[slot] = Some(prompt_len);
+        PrefillOutcome {
+            slot,
+            elapsed_ms: self
+                .engine
+                .simulate_prefill(prompt_len)
+                .to_millis(self.engine.arch()),
+            first_token: None,
+        }
+    }
+
+    fn decode_batch(&mut self, slots: &[usize]) -> DecodeOutcome {
+        // Context of each pass is the post-append cache length, exactly as
+        // the pre-trait scheduler computed it.
+        let contexts: Vec<usize> = slots
+            .iter()
+            .map(|&s| self.contexts[s].expect("decode on free slot") + 1)
+            .collect();
+        let elapsed_ms = self
+            .engine
+            .simulate_decode_batch(&contexts)
+            .to_millis(self.engine.arch());
+        for &s in slots {
+            *self.contexts[s].as_mut().expect("decode on free slot") += 1;
+        }
+        DecodeOutcome {
+            elapsed_ms,
+            tokens: None,
+        }
+    }
+
+    fn release(&mut self, slot: usize) {
+        assert!(
+            self.contexts[slot].take().is_some(),
+            "slot {slot} not resident"
+        );
+    }
+}
+
+// ----------------------------------------------------- FunctionalBackend
+
+/// How the functional backend samples each request's tokens. Every
+/// request gets its *own* sampler (seeded by the scheduler, normally with
+/// the request id), so batching order cannot perturb any request's output
+/// stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SamplerSpec {
+    /// Deterministic arg-max decoding.
+    Greedy,
+    /// Top-k sampling at a temperature, seeded per request.
+    TopK {
+        /// Candidates kept.
+        k: usize,
+        /// Softmax temperature (> 0).
+        temperature: f32,
+    },
+}
+
+impl SamplerSpec {
+    fn build(self, seed: u64) -> Sampler {
+        match self {
+            SamplerSpec::Greedy => Sampler::greedy(),
+            SamplerSpec::TopK { k, temperature } => Sampler::top_k(k, temperature, seed),
+        }
+    }
+}
+
+/// One resident sequence's generation state.
+#[derive(Debug)]
+struct Resident {
+    sampler: Sampler,
+    /// Most recently sampled token — fed to the model by the next decode
+    /// pass (the pass that makes it part of the KV history).
+    last_token: u32,
+}
+
+/// The functional substrate: real W8A8 inference on a [`DistributedGpt2`]
+/// built with [`DistributedGpt2::with_slots`]. Prefill runs the prompt
+/// into the request's slot and samples its first output token; each
+/// decode iteration feeds every resident's last token through the batched
+/// pipeline (one weight stream per layer per step, shared by all) and
+/// samples the next. Reported times are measured host wall-clock.
+#[derive(Debug)]
+pub struct FunctionalBackend {
+    engine: DistributedGpt2,
+    spec: SamplerSpec,
+    residents: Vec<Option<Resident>>,
+}
+
+impl FunctionalBackend {
+    /// Wraps a slot-capable engine. All slots must be free (build the
+    /// engine with [`DistributedGpt2::with_slots`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot is already resident.
+    pub fn new(engine: DistributedGpt2, spec: SamplerSpec) -> Self {
+        assert_eq!(
+            engine.free_slots(),
+            engine.slots(),
+            "functional backend needs an engine with all slots free \
+             (DistributedGpt2::with_slots)"
+        );
+        let slots = engine.slots();
+        FunctionalBackend {
+            engine,
+            spec,
+            residents: (0..slots).map(|_| None).collect(),
+        }
+    }
+
+    /// The underlying functional engine.
+    pub fn engine(&self) -> &DistributedGpt2 {
+        &self.engine
+    }
+}
+
+impl InferenceBackend for FunctionalBackend {
+    fn name(&self) -> &'static str {
+        "functional"
+    }
+
+    fn max_seq(&self) -> usize {
+        self.engine.slot_capacity()
+    }
+
+    fn capacity(&self) -> usize {
+        self.engine.slots()
+    }
+
+    fn prefill(
+        &mut self,
+        prompt_len: usize,
+        prompt: Option<&[u32]>,
+        sampler_seed: u64,
+    ) -> PrefillOutcome {
+        let prompt = prompt.expect(
+            "functional backend needs real prompt tokens \
+             (Request::with_prompt / ArrivalProcess::workload_with_prompts)",
+        );
+        assert_eq!(prompt.len(), prompt_len, "prompt length mismatch");
+        let start = Instant::now();
+        let slot = self.engine.acquire_slot().expect("no free slot");
+        let logits = self.engine.prefill_slot(slot, prompt);
+        let mut sampler = self.spec.build(sampler_seed);
+        let first = sampler.sample(&logits);
+        self.residents[slot] = Some(Resident {
+            sampler,
+            last_token: first,
+        });
+        PrefillOutcome {
+            slot,
+            elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+            first_token: Some(first),
+        }
+    }
+
+    fn decode_batch(&mut self, slots: &[usize]) -> DecodeOutcome {
+        let entries: Vec<(usize, u32)> = slots
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    self.residents[s]
+                        .as_ref()
+                        .expect("decode on free slot")
+                        .last_token,
+                )
+            })
+            .collect();
+        let start = Instant::now();
+        let logits = self.engine.decode_step_batch(&entries);
+        let tokens: Vec<u32> = slots
+            .iter()
+            .zip(&logits)
+            .map(|(&s, row)| {
+                let resident = self.residents[s].as_mut().expect("decode on free slot");
+                let next = resident.sampler.sample(row);
+                resident.last_token = next;
+                next
+            })
+            .collect();
+        // Sampling is part of the serving pipeline's critical path, so it
+        // bills to the clock here exactly as prefill bills its first-token
+        // sample.
+        DecodeOutcome {
+            elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+            tokens: Some(tokens),
+        }
+    }
+
+    fn release(&mut self, slot: usize) {
+        assert!(
+            self.residents[slot].take().is_some(),
+            "slot {slot} not resident"
+        );
+        self.engine.release_slot(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArchConfig;
+    use crate::router::RingMode;
+    use looplynx_model::config::ModelConfig;
+    use looplynx_model::generate::Autoregressive;
+    use looplynx_model::gpt2::Gpt2Model;
+
+    #[test]
+    fn sim_backend_charges_engine_time_exactly() {
+        let engine = LoopLynx::new(
+            ModelConfig::gpt2_medium(),
+            ArchConfig::builder().nodes(2).build().unwrap(),
+        )
+        .unwrap();
+        let mut backend = SimBackend::new(&engine);
+        let p = backend.prefill(16, None, 0);
+        assert_eq!(
+            p.elapsed_ms,
+            engine.simulate_prefill(16).to_millis(engine.arch())
+        );
+        assert_eq!(p.first_token, None);
+        let d = backend.decode_batch(&[p.slot]);
+        assert_eq!(
+            d.elapsed_ms,
+            engine.simulate_decode_batch(&[17]).to_millis(engine.arch())
+        );
+        // context advanced: next pass is one longer
+        let d2 = backend.decode_batch(&[p.slot]);
+        assert_eq!(
+            d2.elapsed_ms,
+            engine.simulate_decode_batch(&[18]).to_millis(engine.arch())
+        );
+        backend.release(p.slot);
+        // slot is recyclable
+        let p2 = backend.prefill(8, None, 1);
+        assert_eq!(p2.slot, p.slot);
+    }
+
+    #[test]
+    fn functional_backend_matches_lone_generation() {
+        let cfg = ModelConfig::tiny();
+        let model = Gpt2Model::synthetic(&cfg, 1234);
+        let engine = DistributedGpt2::with_slots(&model, 2, RingMode::Exact, 3, 32).unwrap();
+        let mut backend = FunctionalBackend::new(engine, SamplerSpec::Greedy);
+
+        let prompts = [vec![1u32, 2, 3], vec![7u32, 6], vec![9u32, 9, 1, 4]];
+        let outs: Vec<PrefillOutcome> = prompts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| backend.prefill(p.len(), Some(p), i as u64))
+            .collect();
+        let mut produced: Vec<Vec<u32>> =
+            outs.iter().map(|o| vec![o.first_token.unwrap()]).collect();
+        let slots: Vec<usize> = outs.iter().map(|o| o.slot).collect();
+        for _ in 0..4 {
+            let d = backend.decode_batch(&slots);
+            for (seq, &tok) in produced.iter_mut().zip(d.tokens.as_ref().unwrap()) {
+                seq.push(tok);
+            }
+        }
+        for (i, prompt) in prompts.iter().enumerate() {
+            let mut lone = model.clone();
+            let expected = lone.generate(prompt, 5, &mut Sampler::greedy());
+            assert_eq!(produced[i], expected, "sequence {i} diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "real prompt tokens")]
+    fn functional_backend_requires_prompts() {
+        let model = Gpt2Model::synthetic(&ModelConfig::tiny(), 9);
+        let engine = DistributedGpt2::with_slots(&model, 1, RingMode::Exact, 1, 8).unwrap();
+        let mut backend = FunctionalBackend::new(engine, SamplerSpec::Greedy);
+        let _ = backend.prefill(4, None, 0);
+    }
+}

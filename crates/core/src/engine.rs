@@ -19,17 +19,19 @@ use serde::{Deserialize, Serialize};
 
 use looplynx_model::attention::{attend_heads_into, AttnScratch};
 use looplynx_model::config::ModelConfig;
+use looplynx_model::generate::Autoregressive;
 use looplynx_model::gpt2::Gpt2Model;
-use looplynx_model::kv_cache::LayerKvCache;
-use looplynx_model::sampler::Sampler;
+use looplynx_model::kv_cache::SlotKvArena;
 use looplynx_tensor::activation::gelu_in_place;
-use looplynx_tensor::norm::{layernorm_into, residual_add_into};
+use looplynx_tensor::matrix::Matrix;
+use looplynx_tensor::norm::{layernorm_into, residual_add, residual_add_into, LayerNormParams};
 use looplynx_tensor::quant::quantize_into;
 
 use crate::config::ArchConfig;
 use crate::energy::{fpga_energy, EnergyReport};
 use crate::latency::LatencyBreakdown;
 use crate::parallel::{shard_weights, NodeWeights, PartitionError};
+use crate::pool::WorkerPool;
 use crate::router::{RingMode, Router};
 use crate::scheduler::{Scheduler, TokenTiming};
 
@@ -291,52 +293,53 @@ impl LoopLynx {
     }
 }
 
-/// Per-node functional state: weight shards, head-sliced KV caches, and
-/// the node's persistent attention working memory (kept here so both the
-/// sequential loop and per-stage spawned threads reuse the same buffers
-/// across layers and tokens instead of reallocating).
+/// Per-node functional state: weight shards, the node's head-slice of the
+/// multi-sequence KV slot arena, and persistent working memory (attention
+/// scratch plus batched-GEMM buffers) reused across layers, tokens and
+/// decode steps instead of reallocating.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct NodeState {
     weights: NodeWeights,
-    caches: Vec<LayerKvCache>,
+    arena: SlotKvArena,
     scratch: AttnScratch,
+    /// Batched-GEMM i32 accumulator scratch (`forward_batch_scaled_into`).
+    gemm_acc: Vec<i32>,
+    /// Batched-GEMM f32 output scratch, row-major.
+    gemm_out: Vec<f32>,
 }
 
 /// Scratch holds no semantic state (every buffer is overwritten before
-/// use), so node equality is weights + caches only.
+/// use), so node equality is weights + arena only.
 impl PartialEq for NodeState {
     fn eq(&self, other: &Self) -> bool {
-        self.weights == other.weights && self.caches == other.caches
+        self.weights == other.weights && self.arena == other.arena
     }
 }
 
 /// Runs `f` once per node — the data-parallel section between two ring
 /// synchronizations. Nodes are data-independent there (each touches only
-/// its own shard and cache), so when `threaded` the closures run under
-/// [`std::thread::scope`], one OS thread per node. Results are collected
-/// in node order (join order equals spawn order), which makes the
-/// threaded path bit-identical to the sequential one: the per-node
-/// computation is untouched and gathers see shards in the same order.
+/// its own shard and slot arena), so when a [`WorkerPool`] is supplied the
+/// closures run on its persistent per-node threads (spawned once per
+/// engine, not per section — the old `std::thread::scope` paid a
+/// spawn/join `layers × stages` times per token). Results are collected
+/// in node order, which makes the pooled path bit-identical to the
+/// sequential one: the per-node computation is untouched and gathers see
+/// shards in the same order.
 fn par_map_nodes<T: Send>(
     nodes: &mut [NodeState],
-    threaded: bool,
+    pool: Option<&WorkerPool>,
     f: impl Fn(usize, &mut NodeState) -> T + Sync,
 ) -> Vec<T> {
-    if !threaded || nodes.len() < 2 {
-        return nodes.iter_mut().enumerate().map(|(i, n)| f(i, n)).collect();
+    match pool {
+        Some(pool) if nodes.len() >= 2 => {
+            let f = &f;
+            pool.run(nodes.iter_mut().enumerate().map(|(i, n)| {
+                let job: Box<dyn FnOnce() -> T + Send + '_> = Box::new(move || f(i, n));
+                job
+            }))
+        }
+        _ => nodes.iter_mut().enumerate().map(|(i, n)| f(i, n)).collect(),
     }
-    std::thread::scope(|s| {
-        let f = &f;
-        let handles: Vec<_> = nodes
-            .iter_mut()
-            .enumerate()
-            .map(|(i, n)| s.spawn(move || f(i, n)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("node thread panicked"))
-            .collect()
-    })
 }
 
 /// Smallest `d_model` for which threading per-node stages pays for the
@@ -345,6 +348,22 @@ fn par_map_nodes<T: Send>(
 const THREADING_MIN_D_MODEL: usize = 256;
 
 /// Functionally-correct multi-node W8A8 inference over the simulated ring.
+///
+/// Two surfaces share one set of weight shards and one slot arena per
+/// node:
+///
+/// * the **single-sequence** API ([`DistributedGpt2::prefill`],
+///   [`DistributedGpt2::decode_step`], the [`Autoregressive`] driver),
+///   which always runs in slot 0 — engines built with
+///   [`DistributedGpt2::new`] pre-acquire it;
+/// * the **multi-sequence** API ([`DistributedGpt2::acquire_slot`],
+///   [`DistributedGpt2::prefill_slot`],
+///   [`DistributedGpt2::decode_step_batch`]), the continuous-batching
+///   substrate, available on engines built with
+///   [`DistributedGpt2::with_slots`].
+///
+/// Do not drive slot 0 through both surfaces at once: on a `with_slots`
+/// engine, use the slot API exclusively.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DistributedGpt2 {
     model_cfg: ModelConfig,
@@ -352,48 +371,91 @@ pub struct DistributedGpt2 {
     nodes: Vec<NodeState>,
     // Host-side tables (embedding + final LN replicated to every node).
     host: Gpt2Model,
-    pos: usize,
-    /// Execute per-node stages on scoped threads (bit-identical either
-    /// way; see [`DistributedGpt2::set_threaded`]).
+    /// Execute per-node stages on the persistent worker pool
+    /// (bit-identical either way; see [`DistributedGpt2::set_threaded`]).
     threaded: bool,
+    /// Long-lived per-node workers; `Some` iff `threaded` and the ring has
+    /// more than one node.
+    pool: Option<WorkerPool>,
 }
 
 impl DistributedGpt2 {
-    /// Partitions `model`'s weights across `nodes` ring nodes.
+    /// Partitions `model`'s weights across `nodes` ring nodes with a
+    /// single resident sequence (slot 0, pre-acquired, `max_seq`
+    /// capacity) — the paper's one-generation-at-a-time operating point.
     ///
     /// Node-parallel threading defaults to on when there is more than one
     /// node, the host has more than one core, and the model is large
-    /// enough for a per-node stage to outweigh thread dispatch; override
+    /// enough for a per-node stage to outweigh job dispatch; override
     /// with [`DistributedGpt2::set_threaded`].
     ///
     /// # Errors
     ///
     /// Returns [`PartitionError`] if the model does not divide.
     pub fn new(model: &Gpt2Model, nodes: usize, mode: RingMode) -> Result<Self, PartitionError> {
+        let max_seq = model.config().max_seq;
+        let mut engine = Self::with_slots(model, nodes, mode, 1, max_seq)?;
+        for n in &mut engine.nodes {
+            let slot = n.arena.acquire().expect("fresh arena has a free slot");
+            debug_assert_eq!(slot, 0);
+        }
+        Ok(engine)
+    }
+
+    /// Partitions `model`'s weights across `nodes` ring nodes with
+    /// `slots` resident-sequence slots of `capacity` tokens each on every
+    /// node — the substrate the functional serving backend batches over.
+    /// All slots start free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError`] if the model does not divide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero or `capacity` is zero or exceeds the
+    /// model's `max_seq`.
+    pub fn with_slots(
+        model: &Gpt2Model,
+        nodes: usize,
+        mode: RingMode,
+        slots: usize,
+        capacity: usize,
+    ) -> Result<Self, PartitionError> {
         let cfg = model.config().clone();
+        assert!(
+            capacity > 0 && capacity <= cfg.max_seq,
+            "slot capacity must be 1..={}",
+            cfg.max_seq
+        );
         let shards = shard_weights(model.weights(), &cfg, nodes)?;
         let d_head = cfg.d_head();
         let node_states: Vec<NodeState> = shards
             .into_iter()
             .map(|weights| NodeState {
-                caches: (0..cfg.layers)
-                    .map(|_| {
-                        LayerKvCache::with_capacity(d_head, weights.head_range.len(), cfg.max_seq)
-                    })
-                    .collect(),
+                arena: SlotKvArena::new(
+                    cfg.layers,
+                    d_head,
+                    weights.head_range.len(),
+                    slots,
+                    capacity,
+                ),
                 weights,
                 scratch: AttnScratch::new(),
+                gemm_acc: Vec::new(),
+                gemm_out: Vec::new(),
             })
             .collect();
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let threaded = nodes > 1 && cores > 1 && cfg.d_model >= THREADING_MIN_D_MODEL;
+        let pool = (threaded && nodes > 1).then(|| WorkerPool::new(nodes));
         Ok(DistributedGpt2 {
             router: Router::new(nodes, mode),
             nodes: node_states,
             host: model.clone(),
             model_cfg: cfg,
-            pos: 0,
             threaded,
+            pool,
         })
     }
 
@@ -402,56 +464,117 @@ impl DistributedGpt2 {
         self.nodes.len()
     }
 
-    /// Whether per-node stages run on scoped threads.
+    /// Whether per-node stages run on the persistent worker pool.
     pub fn threaded(&self) -> bool {
         self.threaded
     }
 
     /// Forces node-parallel threading on or off. Results are bit-identical
-    /// in both modes (pinned by tests); only wall-clock changes.
+    /// in both modes (pinned by tests); only wall-clock changes. Turning
+    /// threading on creates the worker pool if absent; turning it off
+    /// tears the pool down.
     pub fn set_threaded(&mut self, threaded: bool) {
         self.threaded = threaded;
+        if threaded && self.nodes.len() > 1 {
+            if self.pool.is_none() {
+                self.pool = Some(WorkerPool::new(self.nodes.len()));
+            }
+        } else {
+            self.pool = None;
+        }
     }
 
-    /// Tokens processed so far.
+    /// Resident-sequence slots per node.
+    pub fn slots(&self) -> usize {
+        self.nodes[0].arena.slots()
+    }
+
+    /// Slots currently free for admission.
+    pub fn free_slots(&self) -> usize {
+        self.nodes[0].arena.free_slots()
+    }
+
+    /// Token capacity of each slot.
+    pub fn slot_capacity(&self) -> usize {
+        self.nodes[0].arena.capacity()
+    }
+
+    /// Claims the lowest-index free slot on every node, or `None` when
+    /// all slots are resident.
+    pub fn acquire_slot(&mut self) -> Option<usize> {
+        if self.nodes[0].arena.free_slots() == 0 {
+            return None;
+        }
+        let acquired: Vec<usize> = self
+            .nodes
+            .iter_mut()
+            .map(|n| n.arena.acquire().expect("node arenas evolve in lockstep"))
+            .collect();
+        let slot = acquired[0];
+        debug_assert!(
+            acquired.iter().all(|&s| s == slot),
+            "arenas out of lockstep"
+        );
+        Some(slot)
+    }
+
+    /// Returns `slot` to the free list on every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or not in use.
+    pub fn release_slot(&mut self, slot: usize) {
+        for n in &mut self.nodes {
+            n.arena.release(slot);
+        }
+    }
+
+    /// Tokens processed by the sequence resident in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn slot_pos(&self, slot: usize) -> usize {
+        self.nodes[0].arena.pos(slot)
+    }
+
+    /// Tokens processed so far by the single-sequence surface (slot 0).
     pub fn seq_len(&self) -> usize {
-        self.pos
+        self.slot_pos(0)
     }
 
-    /// Per-node int8 KV bytes currently cached (shows the head-wise
-    /// footprint reduction).
+    /// Per-node int8 KV bytes currently cached across all slots (shows
+    /// the head-wise footprint reduction).
     pub fn node_kv_bytes(&self, node: usize) -> usize {
-        self.nodes[node]
-            .caches
-            .iter()
-            .map(LayerKvCache::byte_len)
-            .sum()
+        self.nodes[node].arena.byte_len()
     }
 
-    /// Resets all node caches.
+    /// Resets the single-sequence surface: clears slot 0's caches on every
+    /// node and its position.
     pub fn reset(&mut self) {
         for n in &mut self.nodes {
-            for c in &mut n.caches {
-                c.clear();
+            if n.arena.in_use(0) {
+                n.arena.release(0);
+                let slot = n.arena.acquire().expect("slot 0 just freed");
+                debug_assert_eq!(slot, 0);
             }
         }
-        self.pos = 0;
     }
 
-    /// Runs one token through the distributed pipeline; returns logits when
-    /// requested.
+    /// Runs one token of the sequence in `slot` through the distributed
+    /// pipeline; returns logits when requested.
     ///
     /// Every per-node section between two ring synchronizations runs
-    /// through [`par_map_nodes`] — sequential or one scoped thread per
-    /// node depending on [`DistributedGpt2::threaded`], bit-identical
+    /// through [`par_map_nodes`] — sequential or on the persistent worker
+    /// pool depending on [`DistributedGpt2::threaded`], bit-identical
     /// either way.
-    fn forward_token(&mut self, token: u32, want_logits: bool) -> Option<Vec<f32>> {
+    fn forward_token_in(&mut self, slot: usize, token: u32, want_logits: bool) -> Option<Vec<f32>> {
         let cfg = &self.model_cfg;
         let d = cfg.d_model;
         let d_head = cfg.d_head();
         let n = self.nodes.len();
-        let pos = self.pos;
-        let threaded = self.threaded;
+        let pos = self.nodes[0].arena.pos(slot);
+        let pool = self.pool.as_ref();
 
         // Host distributes the same full embedding vector to all nodes.
         let mut x = self.host.embed(token, pos);
@@ -469,19 +592,19 @@ impl DistributedGpt2 {
             let h_scale = quantize_into(&h, &mut q8);
 
             // QKV projection: head-aligned shards, attention node-local.
-            let attn_shards = par_map_nodes(&mut self.nodes, threaded, |_, node| {
+            let attn_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
                 let shard = &node.weights.layers[layer];
                 let w = d / n;
                 let mut qkv = Vec::new();
                 shard.qkv.forward_raw_into(&q8, h_scale, &mut qkv);
                 let (q, kv) = qkv.split_at(w);
                 let (k, v) = kv.split_at(w);
-                node.caches[layer].append(k, v);
+                node.arena.layer_mut(slot, layer).append(k, v);
                 let head_range = node.weights.head_range.clone();
                 let mut attn = Vec::new();
                 attend_heads_into(
                     q,
-                    &node.caches[layer],
+                    node.arena.layer(slot, layer),
                     head_range.clone(),
                     head_range.start,
                     d_head,
@@ -495,7 +618,7 @@ impl DistributedGpt2 {
 
             // Output projection shards + gather, then residual.
             let a_scale = quantize_into(&attn, &mut q8);
-            let proj_shards = par_map_nodes(&mut self.nodes, threaded, |_, node| {
+            let proj_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
                 let mut out = Vec::new();
                 node.weights.layers[layer]
                     .proj
@@ -508,7 +631,7 @@ impl DistributedGpt2 {
             // MLP: FC1 + node-local GELU, gather, FC2, gather, residual.
             layernorm_into(&x1, &self.nodes[0].weights.layers[layer].ln2, &mut h);
             let h2_scale = quantize_into(&h, &mut q8);
-            let gelu_shards = par_map_nodes(&mut self.nodes, threaded, |_, node| {
+            let gelu_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
                 let mut f1 = Vec::new();
                 node.weights.layers[layer]
                     .fc1
@@ -518,7 +641,7 @@ impl DistributedGpt2 {
             });
             let g = self.router.all_gather_owned(gelu_shards);
             let g_scale = quantize_into(&g, &mut q8);
-            let f2_shards = par_map_nodes(&mut self.nodes, threaded, |_, node| {
+            let f2_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
                 let mut out = Vec::new();
                 node.weights.layers[layer]
                     .fc2
@@ -528,7 +651,9 @@ impl DistributedGpt2 {
             let f2 = self.router.all_gather_owned(f2_shards);
             residual_add_into(&x1, &f2, &mut x);
         }
-        self.pos += 1;
+        for node in &mut self.nodes {
+            node.arena.advance(slot, 1);
+        }
         if !want_logits {
             return None;
         }
@@ -537,7 +662,7 @@ impl DistributedGpt2 {
         // concatenates logit shards in node order over PCIe.
         layernorm_into(&x, &self.nodes[0].weights.ln_f, &mut h);
         let hf_scale = quantize_into(&h, &mut q8);
-        let logits: Vec<f32> = par_map_nodes(&mut self.nodes, threaded, |_, node| {
+        let logits: Vec<f32> = par_map_nodes(&mut self.nodes, pool, |_, node| {
             let mut out = Vec::new();
             node.weights
                 .lm_head
@@ -550,63 +675,414 @@ impl DistributedGpt2 {
         Some(logits)
     }
 
-    /// Prefill: processes the prompt, returns last-token logits.
+    /// Prefill: processes the prompt in slot 0, returns last-token logits.
     ///
     /// # Panics
     ///
     /// Panics if `prompt` is empty.
     pub fn prefill(&mut self, prompt: &[u32]) -> Vec<f32> {
-        assert!(!prompt.is_empty(), "prompt must not be empty");
-        let (last, rest) = prompt.split_last().expect("non-empty");
-        for &t in rest {
-            self.forward_token(t, false);
-        }
-        self.forward_token(*last, true).expect("logits requested")
+        self.prefill_slot(0, prompt)
     }
 
-    /// Decode step: one token in, next-token logits out.
+    /// Decode step on slot 0: one token in, next-token logits out.
     pub fn decode_step(&mut self, token: u32) -> Vec<f32> {
-        self.forward_token(token, true).expect("logits requested")
+        self.forward_token_in(0, token, true)
+            .expect("logits requested")
     }
 
-    /// Generates up to `n` tokens after prefilling `prompt`.
+    /// Prefill `prompt` into `slot` with **shared weight passes**: every
+    /// prompt token is a row of one batched GEMM per linear per node (the
+    /// functional counterpart of the accelerator's batched-prefill
+    /// extension), while attention stays causal per token. Each row is
+    /// quantized with its own scale and gathers run per row in node
+    /// order, so the logits and the resulting caches are bit-identical
+    /// to feeding the prompt token by token.
     ///
-    /// The final sampled token is *not* fed back through the pipeline —
-    /// its successor's logits would be discarded, and a full distributed
-    /// forward pass per call was exactly the waste this guards against —
-    /// so after a full generation `seq_len()` is
-    /// `prompt.len() + n - 1`.
+    /// Returns the logits after the final prompt token.
     ///
-    /// The returned vector's length is the number of tokens actually
-    /// produced: it is shorter than `n` when the KV cache reaches the
-    /// model's `max_seq` (generation stops early because no further token
-    /// can be forwarded).
+    /// # Panics
     ///
-    /// Because the last token is never forwarded, it is also absent from
-    /// the KV caches. To continue a conversation, start the next call's
-    /// prompt with the previous call's final output token (the natural
-    /// chat flow) so prefill appends it before any new text.
-    pub fn generate(&mut self, prompt: &[u32], n: usize, sampler: &mut Sampler) -> Vec<u32> {
-        let mut logits = self.prefill(prompt);
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            let next = sampler.sample(&logits);
-            out.push(next);
-            // The last requested token needs no forward pass (nothing
-            // consumes its logits), and a token that would overflow the
-            // cache cannot run one.
-            if i + 1 == n || self.pos >= self.model_cfg.max_seq {
-                break;
-            }
-            logits = self.decode_step(next);
+    /// Panics if `prompt` is empty or the slot would overflow its
+    /// capacity.
+    pub fn prefill_slot(&mut self, slot: usize, prompt: &[u32]) -> Vec<f32> {
+        assert!(!prompt.is_empty(), "prompt must not be empty");
+        let cfg = &self.model_cfg;
+        let d = cfg.d_model;
+        let d_head = cfg.d_head();
+        let n = self.nodes.len();
+        let b = prompt.len();
+        let start = self.nodes[0].arena.pos(slot);
+
+        // Host embeds every prompt token at its absolute position.
+        let mut xs: Vec<Vec<f32>> = prompt
+            .iter()
+            .enumerate()
+            .map(|(t, &token)| self.host.embed(token, start + t))
+            .collect();
+
+        let mut scratch = StackScratch::default();
+        for layer in 0..cfg.layers {
+            // Shared QKV GEMM per node; append the whole prompt's K/V to
+            // the slot, then attend each token causally over its prefix.
+            let xmat = scratch.stack(&xs, Some(&self.nodes[0].weights.layers[layer].ln1), d);
+            let scales = &scratch.scales;
+            let pool = self.pool.as_ref();
+            let attn_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
+                let w = d / n;
+                let NodeState {
+                    weights,
+                    arena,
+                    scratch,
+                    gemm_acc,
+                    gemm_out,
+                } = node;
+                weights.layers[layer]
+                    .qkv
+                    .forward_batch_scaled_into(&xmat, scales, gemm_acc, gemm_out);
+                for t in 0..b {
+                    let row = &gemm_out[t * 3 * w..(t + 1) * 3 * w];
+                    let (k, v) = row[w..].split_at(w);
+                    arena.layer_mut(slot, layer).append(k, v);
+                }
+                let head_range = weights.head_range.clone();
+                let cache = arena.layer(slot, layer);
+                (0..b)
+                    .map(|t| {
+                        let q = &gemm_out[t * 3 * w..t * 3 * w + w];
+                        let mut attn = Vec::new();
+                        attend_heads_into(
+                            q,
+                            cache,
+                            head_range.clone(),
+                            head_range.start,
+                            d_head,
+                            start + t + 1,
+                            scratch,
+                            &mut attn,
+                        );
+                        attn
+                    })
+                    .collect::<Vec<Vec<f32>>>()
+            });
+            let attn_rows = gather_rows(&self.router, attn_shards);
+            scratch.reclaim(xmat);
+            xs = self.finish_layer_batch(layer, &xs, &attn_rows, &mut scratch);
         }
-        out
+        for node in &mut self.nodes {
+            node.arena.advance(slot, b);
+        }
+
+        // LM head for the final prompt token only (non-final outputs are
+        // discarded, paper Fig. 1).
+        let last = xs.last().expect("non-empty prompt");
+        layernorm_into(last, &self.nodes[0].weights.ln_f, &mut scratch.h);
+        let hf_scale = quantize_into(&scratch.h, &mut scratch.q8);
+        let q8 = &scratch.q8;
+        let pool = self.pool.as_ref();
+        par_map_nodes(&mut self.nodes, pool, |_, node| {
+            let mut out = Vec::new();
+            node.weights
+                .lm_head
+                .forward_raw_into(q8, hf_scale, &mut out);
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// One decode step for a batch of resident sequences: entry `t` feeds
+    /// `token` to the sequence in `slot` and receives its next-token
+    /// logits, bit-identical to decoding each sequence alone through
+    /// [`DistributedGpt2::decode_step`].
+    ///
+    /// This is the continuous-batching hot path: on every node, each
+    /// linear runs once per step as a batched GEMM over all entry rows
+    /// (each 32-row weight block is tiled across the whole batch before
+    /// the next block streams — one weight pass per layer per step,
+    /// shared by every resident sequence), while attention stays
+    /// per-sequence over each slot's own head-sliced cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty, a slot repeats within the batch, or
+    /// any slot would overflow its capacity.
+    pub fn decode_step_batch(&mut self, entries: &[(usize, u32)]) -> Vec<Vec<f32>> {
+        assert!(!entries.is_empty(), "batch must not be empty");
+        let slots: Vec<usize> = entries.iter().map(|&(s, _)| s).collect();
+        assert!(
+            slots
+                .iter()
+                .enumerate()
+                .all(|(i, s)| !slots[..i].contains(s)),
+            "a sequence cannot decode two tokens in one step"
+        );
+        let cfg = &self.model_cfg;
+        let d = cfg.d_model;
+        let d_head = cfg.d_head();
+        let n = self.nodes.len();
+        let b = entries.len();
+
+        // Host embeds each sequence's token at its own position.
+        let mut xs: Vec<Vec<f32>> = entries
+            .iter()
+            .map(|&(slot, token)| self.host.embed(token, self.nodes[0].arena.pos(slot)))
+            .collect();
+
+        let mut scratch = StackScratch::default();
+        for layer in 0..cfg.layers {
+            // LN1 + per-row quantize (replicated), one shared QKV GEMM per
+            // node, then per-sequence cache append + attention.
+            let xmat = scratch.stack(&xs, Some(&self.nodes[0].weights.layers[layer].ln1), d);
+            let scales = &scratch.scales;
+            let pool = self.pool.as_ref();
+            let attn_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
+                let w = d / n;
+                let NodeState {
+                    weights,
+                    arena,
+                    scratch,
+                    gemm_acc,
+                    gemm_out,
+                } = node;
+                weights.layers[layer]
+                    .qkv
+                    .forward_batch_scaled_into(&xmat, scales, gemm_acc, gemm_out);
+                let head_range = weights.head_range.clone();
+                slots
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &slot)| {
+                        let row = &gemm_out[t * 3 * w..(t + 1) * 3 * w];
+                        let (q, kv) = row.split_at(w);
+                        let (k, v) = kv.split_at(w);
+                        arena.layer_mut(slot, layer).append(k, v);
+                        let cache = arena.layer(slot, layer);
+                        let mut attn = Vec::new();
+                        attend_heads_into(
+                            q,
+                            cache,
+                            head_range.clone(),
+                            head_range.start,
+                            d_head,
+                            cache.len(),
+                            scratch,
+                            &mut attn,
+                        );
+                        attn
+                    })
+                    .collect::<Vec<Vec<f32>>>()
+            });
+            let attn_rows = gather_rows(&self.router, attn_shards);
+            scratch.reclaim(xmat);
+            xs = self.finish_layer_batch(layer, &xs, &attn_rows, &mut scratch);
+        }
+        for node in &mut self.nodes {
+            for &slot in &slots {
+                node.arena.advance(slot, 1);
+            }
+        }
+
+        // Final LN (replicated) and vocabulary-sharded LM head, one shared
+        // GEMM per node; the host concatenates logit shards in node order.
+        let fmat = scratch.stack(&xs, Some(&self.nodes[0].weights.ln_f), d);
+        let scales = &scratch.scales;
+        let pool = self.pool.as_ref();
+        let logit_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
+            node.weights.lm_head.forward_batch_scaled_into(
+                &fmat,
+                scales,
+                &mut node.gemm_acc,
+                &mut node.gemm_out,
+            );
+            split_rows(&node.gemm_out, b)
+        });
+        let mut per_node: Vec<std::vec::IntoIter<Vec<f32>>> =
+            logit_shards.into_iter().map(Vec::into_iter).collect();
+        (0..b)
+            .map(|_| {
+                per_node
+                    .iter_mut()
+                    .flat_map(|it| it.next().expect("one row per entry"))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Shared tail of one batched layer — output projection + residual,
+    /// then the MLP (FC1 + node-local GELU, FC2) with a residual — over
+    /// `b` stacked rows, given the already-gathered attention rows.
+    ///
+    /// Batched prefill (rows = one slot's prompt tokens) and batched
+    /// decode (rows = resident sequences) differ only in their
+    /// QKV/attention stage; everything after it lives here exactly once,
+    /// so the two paths cannot drift apart (the generate-loop lesson).
+    fn finish_layer_batch(
+        &mut self,
+        layer: usize,
+        xs: &[Vec<f32>],
+        attn_rows: &[Vec<f32>],
+        scratch: &mut StackScratch,
+    ) -> Vec<Vec<f32>> {
+        let b = xs.len();
+        let d = self.model_cfg.d_model;
+        let d_ff = self.model_cfg.d_ff;
+
+        // Shared projection GEMM per node, gather per row, residual.
+        let amat = scratch.stack(attn_rows, None, d);
+        let scales = &scratch.scales;
+        let pool = self.pool.as_ref();
+        let proj_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
+            node.weights.layers[layer].proj.forward_batch_scaled_into(
+                &amat,
+                scales,
+                &mut node.gemm_acc,
+                &mut node.gemm_out,
+            );
+            split_rows(&node.gemm_out, b)
+        });
+        let proj_rows = gather_rows(&self.router, proj_shards);
+        scratch.reclaim(amat);
+        let x1: Vec<Vec<f32>> = (0..b)
+            .map(|t| residual_add(&xs[t], &proj_rows[t]))
+            .collect();
+
+        // MLP: shared FC1 GEMM + node-local GELU, gather, shared FC2
+        // GEMM, gather, residual.
+        let h2mat = scratch.stack(&x1, Some(&self.nodes[0].weights.layers[layer].ln2), d);
+        let scales = &scratch.scales;
+        let pool = self.pool.as_ref();
+        let gelu_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
+            node.weights.layers[layer].fc1.forward_batch_scaled_into(
+                &h2mat,
+                scales,
+                &mut node.gemm_acc,
+                &mut node.gemm_out,
+            );
+            gelu_in_place(&mut node.gemm_out);
+            split_rows(&node.gemm_out, b)
+        });
+        let g_rows = gather_rows(&self.router, gelu_shards);
+        scratch.reclaim(h2mat);
+
+        let gmat = scratch.stack(&g_rows, None, d_ff);
+        let scales = &scratch.scales;
+        let pool = self.pool.as_ref();
+        let f2_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
+            node.weights.layers[layer].fc2.forward_batch_scaled_into(
+                &gmat,
+                scales,
+                &mut node.gemm_acc,
+                &mut node.gemm_out,
+            );
+            split_rows(&node.gemm_out, b)
+        });
+        let f2_rows = gather_rows(&self.router, f2_shards);
+        scratch.reclaim(gmat);
+        (0..b).map(|t| residual_add(&x1[t], &f2_rows[t])).collect()
+    }
+}
+
+/// Host-side row-stacking scratch for the batched stages: LN + per-row
+/// quantization buffers plus the stacked int8 storage.
+/// [`StackScratch::stack`] moves the storage into the returned matrix and
+/// [`StackScratch::reclaim`] takes it back, so per-stage stacking
+/// allocates nothing in steady state.
+#[derive(Debug, Default)]
+struct StackScratch {
+    h: Vec<f32>,
+    q8: Vec<i8>,
+    rows8: Vec<i8>,
+    /// Per-row activation scales of the most recent [`StackScratch::stack`].
+    scales: Vec<f32>,
+}
+
+impl StackScratch {
+    /// Stacks `ln(row)` (or the raw row when `ln` is `None`) quantized
+    /// per-row into a `rows.len() × width` int8 matrix — the host-side
+    /// replicated prologue of every sharded batched linear, one row per
+    /// token (batched prefill) or per resident sequence (batched decode).
+    /// Per-row scales land in `self.scales`.
+    fn stack(
+        &mut self,
+        rows: &[Vec<f32>],
+        ln: Option<&LayerNormParams>,
+        width: usize,
+    ) -> Matrix<i8> {
+        self.rows8.clear();
+        self.scales.clear();
+        for row in rows {
+            let scale = match ln {
+                Some(params) => {
+                    layernorm_into(row, params, &mut self.h);
+                    quantize_into(&self.h, &mut self.q8)
+                }
+                None => quantize_into(row, &mut self.q8),
+            };
+            self.rows8.extend_from_slice(&self.q8);
+            self.scales.push(scale);
+        }
+        Matrix::from_vec(rows.len(), width, std::mem::take(&mut self.rows8)).expect("stacked rows")
+    }
+
+    /// Returns a stacked matrix's storage for reuse by the next stage.
+    fn reclaim(&mut self, mat: Matrix<i8>) {
+        self.rows8 = mat.into_vec();
+    }
+}
+
+/// Splits a flat row-major buffer of `rows` rows into owned vectors.
+fn split_rows(flat: &[f32], rows: usize) -> Vec<Vec<f32>> {
+    let width = flat.len() / rows;
+    flat.chunks_exact(width).map(<[f32]>::to_vec).collect()
+}
+
+/// Transposes per-node row shards into per-row node shards and ring-
+/// gathers each row — the batched counterpart of one
+/// [`Router::all_gather_owned`] call per sequence, in the same node
+/// order (bit-identical per row to the single-sequence gather).
+fn gather_rows(router: &Router, shards: Vec<Vec<Vec<f32>>>) -> Vec<Vec<f32>> {
+    let rows = shards.first().map_or(0, Vec::len);
+    let mut per_node: Vec<std::vec::IntoIter<Vec<f32>>> =
+        shards.into_iter().map(Vec::into_iter).collect();
+    (0..rows)
+        .map(|_| {
+            let row_shards: Vec<Vec<f32>> = per_node
+                .iter_mut()
+                .map(|it| it.next().expect("one shard per row per node"))
+                .collect();
+            router.all_gather_owned(row_shards)
+        })
+        .collect()
+}
+
+impl Autoregressive for DistributedGpt2 {
+    fn prefill(&mut self, prompt: &[u32]) -> Vec<f32> {
+        DistributedGpt2::prefill(self, prompt)
+    }
+
+    fn decode_step(&mut self, token: u32) -> Vec<f32> {
+        DistributedGpt2::decode_step(self, token)
+    }
+
+    fn seq_len(&self) -> usize {
+        DistributedGpt2::seq_len(self)
+    }
+
+    fn max_seq(&self) -> usize {
+        // The generate driver's early-stop bound is slot 0's capacity:
+        // engines built with `new` preallocate it to the model's max_seq,
+        // but a `with_slots` engine may hold less, and overrunning it
+        // would panic in the arena instead of stopping early as the
+        // generate contract promises.
+        self.slot_capacity()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use looplynx_model::sampler::Sampler;
 
     fn engine(nodes: usize) -> LoopLynx {
         LoopLynx::new(
@@ -836,6 +1312,19 @@ mod tests {
         one.prefill(&[1, 2, 3, 4]);
         four.prefill(&[1, 2, 3, 4]);
         assert_eq!(one.node_kv_bytes(0), 4 * four.node_kv_bytes(0));
+    }
+
+    #[test]
+    fn generate_stops_early_at_slot_capacity() {
+        // On a with_slots engine the generate driver must stop when slot
+        // 0's arena fills (returning fewer tokens), not panic in the
+        // arena's capacity assert.
+        let cfg = ModelConfig::tiny();
+        let reference = Gpt2Model::synthetic(&cfg, 5);
+        let mut e = DistributedGpt2::with_slots(&reference, 1, RingMode::Exact, 2, 12).unwrap();
+        let out = e.generate(&[1, 2, 3, 4], 100, &mut Sampler::greedy());
+        assert!(!out.is_empty() && out.len() <= 12, "{} tokens", out.len());
+        assert!(e.seq_len() <= 12);
     }
 
     #[test]

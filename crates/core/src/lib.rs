@@ -41,6 +41,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod backend;
 pub mod config;
 pub mod datapack;
 pub mod energy;
@@ -50,6 +51,7 @@ pub mod kernels;
 pub mod latency;
 pub mod memory;
 pub mod parallel;
+pub mod pool;
 pub mod router;
 pub mod scheduler;
 

@@ -1,0 +1,288 @@
+//! A persistent per-node worker pool.
+//!
+//! The functional engine's data-parallel sections (one closure per ring
+//! node between two synchronizations) used to run under
+//! `std::thread::scope`, which spawns and joins one OS thread per node
+//! *per section* — a cost paid `layers × stages` times per token. The
+//! [`WorkerPool`] replaces that with long-lived threads created once per
+//! engine: each section sends one job per worker over a channel and
+//! blocks until every worker has answered, collecting results in worker
+//! order so downstream ring gathers see shards in exactly the order the
+//! scoped-thread implementation produced (bit-identical results).
+//!
+//! Jobs may borrow the caller's stack (the node states, the shared
+//! activation buffers): [`WorkerPool::run`] erases the borrow lifetime to
+//! ship the closure to a long-lived thread, which is sound because it
+//! never returns — not even by panic — before every dispatched job has
+//! reported back. A panicking job is caught on the worker (keeping the
+//! thread alive), carried home through the result channel, and re-thrown
+//! on the caller after all workers have finished, matching
+//! `thread::scope` semantics.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work shipped to a worker thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of long-lived worker threads, one per ring node.
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+}
+
+struct Worker {
+    tx: Sender<Job>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads that live until the pool is dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or a thread cannot be spawned.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "pool needs at least one worker");
+        let workers = (0..workers)
+            .map(|i| {
+                let (tx, rx) = channel::<Job>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("looplynx-node-{i}"))
+                    .spawn(move || {
+                        // Exits when the pool drops its sender.
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn pool worker");
+                Worker {
+                    tx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        WorkerPool { workers }
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs one job per worker concurrently (job `i` on worker `i`) and
+    /// returns their results in job order. Blocks until every job has
+    /// completed; if any job panicked, the panic is re-thrown here *after*
+    /// all jobs finished (so no job ever outlives the borrows it captured).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more jobs are supplied than workers exist, or re-throws
+    /// the first job panic.
+    pub fn run<'env, T, I>(&self, jobs: I) -> Vec<T>
+    where
+        T: Send + 'env,
+        I: IntoIterator<Item = Box<dyn FnOnce() -> T + Send + 'env>>,
+    {
+        // Drain the caller's iterator BEFORE dispatching anything: user
+        // code inside the iterator may panic, and once a single job is in
+        // flight an unwind past this frame would free the borrows that
+        // job captured. After this point, no caller-supplied code runs on
+        // this thread until the recv barrier below has joined every job.
+        let jobs: Vec<_> = jobs.into_iter().collect();
+        assert!(
+            jobs.len() <= self.workers.len(),
+            "more jobs than pool workers"
+        );
+        let mut receivers: Vec<Receiver<std::thread::Result<T>>> = Vec::new();
+        let mut worker_died = false;
+        for (worker, job) in self.workers.iter().zip(jobs) {
+            let (rtx, rrx) = channel();
+            let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(job));
+                // The receiver lives on our stack until we drained it; a
+                // send can only fail if the caller itself is unwinding.
+                let _ = rtx.send(result);
+            });
+            // SAFETY: `run` does not return (normally or by panic) before
+            // every receiver below has yielded, so the job — and every
+            // borrow of 'env it captures — is finished by the time the
+            // caller's frame can be torn down. Nothing between here and
+            // the barrier can unwind: dispatch is channel sends and Vec
+            // pushes only (allocation failure aborts, not unwinds).
+            let task: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(task) };
+            if worker.tx.send(task).is_err() {
+                // Worker thread died (it only exits when the pool drops);
+                // drain what we dispatched, then report.
+                worker_died = true;
+                break;
+            }
+            receivers.push(rrx);
+        }
+        // Barrier: every dispatched job completes before anything below
+        // can unwind out of this function.
+        let results: Vec<std::thread::Result<T>> = receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("pool worker died mid-job"))
+            .collect();
+        assert!(!worker_died, "pool worker died before dispatch");
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|payload| resume_unwind(payload)))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close every channel first so all workers see the hang-up...
+        for w in &mut self.workers {
+            let (dead_tx, _) = channel();
+            drop(std::mem::replace(&mut w.tx, dead_tx));
+        }
+        // ...then join them.
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Cloning an engine must not share worker threads: a clone gets a fresh
+/// pool of the same size.
+impl Clone for WorkerPool {
+    fn clone(&self) -> Self {
+        WorkerPool::new(self.workers.len())
+    }
+}
+
+/// Pools carry no semantic state; two pools are interchangeable when they
+/// have the same parallelism.
+impl PartialEq for WorkerPool {
+    fn eq(&self, other: &Self) -> bool {
+        self.workers.len() == other.workers.len()
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let pool = WorkerPool::new(4);
+        for _ in 0..50 {
+            let out = pool.run((0..4).map(|i| {
+                let job: Box<dyn FnOnce() -> usize + Send> = Box::new(move || i * 10);
+                job
+            }));
+            assert_eq!(out, vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn jobs_may_borrow_and_mutate_caller_state() {
+        let pool = WorkerPool::new(3);
+        let mut cells = [0u64, 0, 0];
+        let shared = 7u64;
+        pool.run(cells.iter_mut().enumerate().map(|(i, c)| {
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                *c = i as u64 + shared;
+            });
+            job
+        }));
+        assert_eq!(cells, [7, 8, 9]);
+    }
+
+    #[test]
+    fn fewer_jobs_than_workers_is_fine() {
+        let pool = WorkerPool::new(4);
+        let out = pool.run((0..2).map(|i| {
+            let job: Box<dyn FnOnce() -> i32 + Send> = Box::new(move || i);
+            job
+        }));
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn job_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run((0..2).map(|i| {
+                let job: Box<dyn FnOnce() -> i32 + Send> = Box::new(move || {
+                    assert!(i != 1, "job {i} exploded");
+                    i
+                });
+                job
+            }));
+        }));
+        assert!(attempt.is_err(), "panic must propagate");
+        // The worker that caught the panic is still serving jobs.
+        let out = pool.run((0..2).map(|i| {
+            let job: Box<dyn FnOnce() -> i32 + Send> = Box::new(move || i + 100);
+            job
+        }));
+        assert_eq!(out, vec![100, 101]);
+    }
+
+    #[test]
+    fn panicking_job_iterator_dispatches_nothing() {
+        // The jobs iterator is caller code and may panic; `run` must not
+        // have any job in flight when that unwind escapes (the borrows a
+        // dispatched job captures would dangle). The iterator is drained
+        // before dispatch, so the early job must never have started.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let pool = WorkerPool::new(2);
+        let ran = AtomicBool::new(false);
+        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run((0..2).map(|i| {
+                assert!(i == 0, "iterator exploded");
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(|| {
+                    ran.store(true, Ordering::SeqCst);
+                });
+                job
+            }));
+        }));
+        assert!(attempt.is_err(), "iterator panic must propagate");
+        assert!(!ran.load(Ordering::SeqCst), "job dispatched before drain");
+        // pool still serves jobs afterwards
+        let out = pool.run((0..2).map(|i| {
+            let job: Box<dyn FnOnce() -> i32 + Send> = Box::new(move || i);
+            job
+        }));
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more jobs than pool workers")]
+    fn overflow_is_rejected() {
+        let pool = WorkerPool::new(1);
+        let _ = pool.run((0..2).map(|i| {
+            let job: Box<dyn FnOnce() -> i32 + Send> = Box::new(move || i);
+            job
+        }));
+    }
+
+    #[test]
+    fn clone_makes_an_independent_pool() {
+        let a = WorkerPool::new(2);
+        let b = a.clone();
+        assert_eq!(a, b);
+        drop(a);
+        let out = b.run((0..2).map(|i| {
+            let job: Box<dyn FnOnce() -> i32 + Send> = Box::new(move || i);
+            job
+        }));
+        assert_eq!(out, vec![0, 1]);
+    }
+}

@@ -7,6 +7,7 @@
 use looplynx_core::engine::DistributedGpt2;
 use looplynx_core::router::RingMode;
 use looplynx_model::config::ModelConfig;
+use looplynx_model::generate::Autoregressive;
 use looplynx_model::gpt2::Gpt2Model;
 use looplynx_model::sampler::Sampler;
 

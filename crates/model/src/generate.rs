@@ -1,0 +1,57 @@
+//! The shared autoregressive generation driver.
+//!
+//! Both functional engines — the single-node [`crate::gpt2::Gpt2Model`]
+//! and the multi-node `DistributedGpt2` in `looplynx-core` — expose the
+//! same prefill/decode surface, and both used to carry their own copy of
+//! the `generate` loop. The copies drifted once already (the wasted
+//! final-decode bug had to be fixed in each), so the loop now lives here
+//! exactly once as a provided method of [`Autoregressive`].
+
+use crate::sampler::Sampler;
+
+/// A single-sequence autoregressive engine: prompt in, next-token logits
+/// out, one token at a time.
+///
+/// Implementors supply the four primitive operations; the `generate`
+/// driver is shared. (Batched multi-sequence execution is a different
+/// surface — see the `InferenceBackend` trait in `looplynx-core`.)
+pub trait Autoregressive {
+    /// Processes the prompt, filling the KV cache, and returns the logits
+    /// after the final prompt token.
+    fn prefill(&mut self, prompt: &[u32]) -> Vec<f32>;
+
+    /// Feeds one token and returns next-token logits.
+    fn decode_step(&mut self, token: u32) -> Vec<f32>;
+
+    /// Tokens currently in the KV cache.
+    fn seq_len(&self) -> usize;
+
+    /// Maximum sequence length the engine can hold.
+    fn max_seq(&self) -> usize;
+
+    /// Generates up to `n` tokens after prefilling `prompt`.
+    ///
+    /// Returns only the generated tokens. The final sampled token is not
+    /// fed back through the model (its successor's logits would be
+    /// discarded — one wasted forward pass per call), so after a full
+    /// generation [`Autoregressive::seq_len`] is `prompt.len() + n - 1`
+    /// and the final token is absent from the KV cache. To continue a
+    /// conversation, start the next call's prompt with the previous
+    /// call's final output token so prefill appends it before any new
+    /// text. The returned vector is shorter than `n` when the KV cache
+    /// reaches [`Autoregressive::max_seq`] (no further token can be
+    /// forwarded).
+    fn generate(&mut self, prompt: &[u32], n: usize, sampler: &mut Sampler) -> Vec<u32> {
+        let mut logits = self.prefill(prompt);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let next = sampler.sample(&logits);
+            out.push(next);
+            if i + 1 == n || self.seq_len() >= self.max_seq() {
+                break;
+            }
+            logits = self.decode_step(next);
+        }
+        out
+    }
+}

@@ -15,10 +15,15 @@
 //!
 //! * [`config`] — model hyper-parameters and derived byte counts.
 //! * [`weights`] — seeded synthetic weight generation.
-//! * [`kv_cache`] — the quantized key/value cache.
+//! * [`kv_cache`] — the quantized key/value cache, single-sequence
+//!   ([`kv_cache::KvCache`]) and multi-sequence
+//!   ([`kv_cache::SlotKvArena`], the continuous-batching slot arena).
 //! * [`attention`] — causal multi-head attention over the cache.
-//! * [`block`] — one transformer block.
-//! * [`gpt2`] — end-to-end model: prefill, decode, generate.
+//! * [`block`] — one transformer block (single-token, batched-prefill and
+//!   batched-decode paths).
+//! * [`gpt2`] — end-to-end model: prefill, decode, batched decode.
+//! * [`generate`] — the [`generate::Autoregressive`] trait and the one
+//!   shared generation driver.
 //! * [`sampler`] — greedy and top-k sampling.
 //! * [`tokenizer`] — byte-level tokenizer.
 //!
@@ -26,6 +31,7 @@
 //!
 //! ```
 //! use looplynx_model::config::ModelConfig;
+//! use looplynx_model::generate::Autoregressive;
 //! use looplynx_model::gpt2::Gpt2Model;
 //! use looplynx_model::sampler::Sampler;
 //!
@@ -42,6 +48,7 @@ pub mod attention;
 pub mod block;
 pub mod config;
 pub mod eval;
+pub mod generate;
 pub mod gpt2;
 pub mod kv_cache;
 pub mod sampler;
@@ -49,5 +56,7 @@ pub mod tokenizer;
 pub mod weights;
 
 pub use config::ModelConfig;
+pub use generate::Autoregressive;
 pub use gpt2::Gpt2Model;
+pub use kv_cache::SlotKvArena;
 pub use sampler::Sampler;

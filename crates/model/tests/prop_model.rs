@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use looplynx_model::attention::{attend_all, attend_heads};
 use looplynx_model::config::ModelConfig;
+use looplynx_model::generate::Autoregressive;
 use looplynx_model::gpt2::Gpt2Model;
 use looplynx_model::kv_cache::LayerKvCache;
 use looplynx_model::sampler::Sampler;

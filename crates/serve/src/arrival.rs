@@ -119,6 +119,36 @@ impl ArrivalProcess {
             })
             .collect()
     }
+
+    /// Like [`ArrivalProcess::workload`], but every request also carries
+    /// deterministic synthetic prompt tokens in `0..vocab` (seeded by
+    /// `prompt_seed` and the request id), so the workload can run on a
+    /// token-producing backend. Identical `(process, shapes, vocab,
+    /// prompt_seed)` always yields the identical workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shapes` is empty, `vocab` is zero, or the arrival
+    /// generation panics.
+    pub fn workload_with_prompts(
+        &self,
+        n: usize,
+        shapes: &[(usize, usize)],
+        vocab: usize,
+        prompt_seed: u64,
+    ) -> Vec<Request> {
+        assert!(vocab > 0, "vocab must be positive");
+        self.workload(n, shapes)
+            .into_iter()
+            .map(|req| {
+                let mut rng = StdRng::seed_from_u64(prompt_seed ^ req.id.wrapping_mul(0x9E37_79B9));
+                let prompt: Vec<u32> = (0..req.prefill_tokens)
+                    .map(|_| (rng.random::<u64>() % vocab as u64) as u32)
+                    .collect();
+                req.with_prompt(prompt)
+            })
+            .collect()
+    }
 }
 
 /// One exponential inter-arrival gap in milliseconds at `rate_per_s`.

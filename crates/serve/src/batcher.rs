@@ -1,32 +1,38 @@
 //! The serving schedulers: continuous batching and the sequential
-//! baseline.
+//! baseline, generic over the execution substrate.
 //!
-//! Both run on the cycle-accurate [`LoopLynx`] timing engine and share the
-//! same per-request cost model, so their difference is purely scheduling:
+//! Scheduling policy lives here; *how* a prefill or a batched decode
+//! iteration executes lives behind
+//! [`looplynx_core::backend::InferenceBackend`]:
 //!
-//! * [`serve_sequential`] — one request at a time, start to finish. The
-//!   accelerator streams every weight pass for a single token.
-//! * [`serve_continuous`] — *continuous batching*: new requests are
-//!   admitted into the decode loop between iterations (prefill runs on the
-//!   existing batched-prefill path), and each decode iteration advances
-//!   every active request by one token while sharing every weight pass
-//!   ([`looplynx_core::scheduler::Scheduler::schedule_decode_batch`]).
+//! * [`serve_continuous_on`] / [`serve_sequential_on`] — the schedulers,
+//!   generic over any backend. On the
+//!   [`looplynx_core::backend::SimBackend`] they time the cycle-accurate
+//!   accelerator model; on the
+//!   [`looplynx_core::backend::FunctionalBackend`] they drive real W8A8
+//!   inference, and the report carries every request's generated tokens.
+//! * [`serve_continuous`] / [`serve_sequential`] — convenience wrappers
+//!   pinning the sim backend (the pre-trait API, reports unchanged).
 //!
-//! A request's first output token is sampled from its prefill logits, so
-//! TTFT = queue wait + prefill; the remaining `decode_tokens - 1` tokens
-//! each take one decode iteration. Admission is strictly FIFO in arrival
-//! order, which makes starvation impossible: every admitted request stays
-//! resident until it completes, and the queue head is always admitted
-//! first.
+//! Under continuous batching, new requests are admitted into the decode
+//! loop between iterations (prefill runs once at admission), and each
+//! decode iteration advances every active request by one token while
+//! sharing every weight pass. A request's first output token is sampled
+//! from its prefill logits, so TTFT = queue wait + prefill; the remaining
+//! `decode_tokens - 1` tokens each take one decode iteration. Admission
+//! is strictly FIFO in arrival order, which makes starvation impossible:
+//! every admitted request stays resident until it completes, and the
+//! queue head is always admitted first.
 
 use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
+use looplynx_core::backend::{InferenceBackend, SimBackend};
 use looplynx_core::engine::LoopLynx;
 use looplynx_sim::stats::Summary;
 
-use crate::metrics::ServingReport;
+use crate::metrics::{GeneratedOutput, ServingReport};
 use crate::request::{Request, RequestMetrics};
 
 /// Serving-policy knobs.
@@ -52,7 +58,8 @@ impl ServeConfig {
         ServeConfig { max_batch }
     }
 
-    /// Maximum concurrent requests in one decode iteration.
+    /// Maximum concurrent requests in one decode iteration (the backend's
+    /// own slot capacity caps this further).
     pub fn max_batch(&self) -> usize {
         self.max_batch
     }
@@ -70,24 +77,19 @@ impl Default for ServeConfig {
 #[derive(Debug)]
 struct Active {
     req: Request,
+    /// Backend slot the request occupies.
+    slot: usize,
     first_token_ms: f64,
+    /// Tokens emitted so far (token-producing backends only).
+    tokens: Vec<u32>,
     /// Output tokens emitted so far (≥ 1 — the prefill emits the first).
     produced: usize,
 }
 
-impl Active {
-    /// KV-cache length after the *next* decode pass appends its token
-    /// (the cache holds the prompt plus every emitted token but the
-    /// latest, which the pass itself appends).
-    fn next_context(&self) -> usize {
-        self.req.prefill_tokens + self.produced
-    }
-}
-
 /// Sorts requests by arrival (stable: ties keep workload order) and
-/// validates them against the engine's model.
-fn admission_queue(engine: &LoopLynx, requests: &[Request]) -> VecDeque<Request> {
-    let max_seq = engine.model().max_seq;
+/// validates them against the backend's sequence bound.
+fn admission_queue<B: InferenceBackend>(backend: &B, requests: &[Request]) -> VecDeque<Request> {
+    let max_seq = backend.max_seq();
     for r in requests {
         assert!(
             r.peak_context() <= max_seq,
@@ -106,39 +108,61 @@ fn admission_queue(engine: &LoopLynx, requests: &[Request]) -> VecDeque<Request>
     sorted.into()
 }
 
-/// Runs one request's prefill at the current clock; returns the updated
-/// clock (= its first-token timestamp).
-fn run_prefill(engine: &LoopLynx, req: &Request, clock: f64) -> f64 {
-    let start = clock.max(req.arrival_ms);
-    start
-        + engine
-            .simulate_prefill(req.prefill_tokens)
-            .to_millis(engine.arch())
+/// Completes a request: releases its slot and records metrics + tokens.
+fn finish<B: InferenceBackend>(
+    backend: &mut B,
+    done: &mut Vec<RequestMetrics>,
+    outputs: &mut Vec<GeneratedOutput>,
+    active: Active,
+    completion_ms: f64,
+) {
+    backend.release(active.slot);
+    done.push(RequestMetrics {
+        id: active.req.id,
+        arrival_ms: active.req.arrival_ms,
+        first_token_ms: active.first_token_ms,
+        completion_ms,
+        prefill_tokens: active.req.prefill_tokens,
+        decode_tokens: active.req.decode_tokens,
+    });
+    if !active.tokens.is_empty() {
+        outputs.push(GeneratedOutput {
+            id: active.req.id,
+            tokens: active.tokens,
+        });
+    }
 }
 
-/// Serves the workload with continuous batching.
+/// Serves the workload with continuous batching on any backend.
 ///
 /// Between decode iterations the scheduler admits every arrived request
-/// (FIFO) up to `cfg.max_batch()` residents; admission runs the prompt
-/// through the batched-prefill path and emits the request's first token.
-/// Each decode iteration then advances all residents by one token on the
-/// shared weight stream. When the loop is empty the clock jumps to the
-/// next arrival.
+/// (FIFO) up to `min(cfg.max_batch(), backend.capacity())` residents;
+/// admission runs the prompt through the backend's prefill and emits the
+/// request's first token. Each decode iteration then advances all
+/// residents by one token on the shared weight stream. When the loop is
+/// empty the clock jumps to the next arrival.
+///
+/// The clock advances by whatever the backend reports — simulated
+/// accelerator milliseconds on the sim backend, measured host wall-clock
+/// on the functional backend — so latency percentiles are consistent
+/// within one backend but not comparable across backends.
 ///
 /// # Panics
 ///
-/// Panics if any request would overflow the model's `max_seq`.
-pub fn serve_continuous(
-    engine: &LoopLynx,
+/// Panics if any request would overflow the backend's `max_seq`.
+pub fn serve_continuous_on<B: InferenceBackend>(
+    backend: &mut B,
     requests: &[Request],
     cfg: &ServeConfig,
 ) -> ServingReport {
-    let mut queue = admission_queue(engine, requests);
+    let mut queue = admission_queue(backend, requests);
     let mut active: Vec<Active> = Vec::new();
     let mut done: Vec<RequestMetrics> = Vec::new();
+    let mut outputs: Vec<GeneratedOutput> = Vec::new();
     let mut occupancy = Summary::new();
     let mut iterations = 0u64;
     let mut clock = 0.0f64;
+    let max_batch = cfg.max_batch().min(backend.capacity());
 
     while !queue.is_empty() || !active.is_empty() {
         // Idle: jump to the next arrival.
@@ -148,25 +172,22 @@ pub fn serve_continuous(
             }
         }
         // Admit every arrived request, FIFO, up to the batch ceiling.
-        while active.len() < cfg.max_batch() && queue.front().is_some_and(|r| r.arrival_ms <= clock)
-        {
+        while active.len() < max_batch && queue.front().is_some_and(|r| r.arrival_ms <= clock) {
             let req = queue.pop_front().expect("front checked");
-            clock = run_prefill(engine, &req, clock);
-            if req.decode_tokens == 1 {
-                done.push(RequestMetrics {
-                    id: req.id,
-                    arrival_ms: req.arrival_ms,
-                    first_token_ms: clock,
-                    completion_ms: clock,
-                    prefill_tokens: req.prefill_tokens,
-                    decode_tokens: 1,
-                });
+            let start = clock.max(req.arrival_ms);
+            let outcome = backend.prefill(req.prefill_tokens, req.prompt.as_deref(), req.id);
+            clock = start + outcome.elapsed_ms;
+            let entry = Active {
+                slot: outcome.slot,
+                first_token_ms: clock,
+                tokens: outcome.first_token.into_iter().collect(),
+                produced: 1,
+                req,
+            };
+            if entry.req.decode_tokens == 1 {
+                finish(backend, &mut done, &mut outputs, entry, clock);
             } else {
-                active.push(Active {
-                    first_token_ms: clock,
-                    produced: 1,
-                    req,
-                });
+                active.push(entry);
             }
         }
         if active.is_empty() {
@@ -174,79 +195,110 @@ pub fn serve_continuous(
         }
 
         // One decode iteration: every resident gains one token.
-        let contexts: Vec<usize> = active.iter().map(Active::next_context).collect();
-        clock += engine
-            .simulate_decode_batch(&contexts)
-            .to_millis(engine.arch());
+        let slots: Vec<usize> = active.iter().map(|a| a.slot).collect();
+        let outcome = backend.decode_batch(&slots);
+        clock += outcome.elapsed_ms;
         iterations += 1;
         occupancy.add(active.len() as f64);
-        for a in &mut active {
+        for (i, a) in active.iter_mut().enumerate() {
             a.produced += 1;
-        }
-        active.retain(|a| {
-            if a.produced == a.req.decode_tokens {
-                done.push(RequestMetrics {
-                    id: a.req.id,
-                    arrival_ms: a.req.arrival_ms,
-                    first_token_ms: a.first_token_ms,
-                    completion_ms: clock,
-                    prefill_tokens: a.req.prefill_tokens,
-                    decode_tokens: a.req.decode_tokens,
-                });
-                false
-            } else {
-                true
+            if let Some(tokens) = &outcome.tokens {
+                a.tokens.push(tokens[i]);
             }
-        });
+        }
+        let mut still_active = Vec::with_capacity(active.len());
+        for a in active {
+            if a.produced == a.req.decode_tokens {
+                finish(backend, &mut done, &mut outputs, a, clock);
+            } else {
+                still_active.push(a);
+            }
+        }
+        active = still_active;
     }
-    ServingReport::new(done, iterations, occupancy)
+    ServingReport::with_outputs(done, outputs, iterations, occupancy)
 }
 
-/// Serves the workload one request at a time (the baseline continuous
-/// batching is measured against): each request runs prefill and its full
-/// decode before the next request starts.
+/// Serves the workload one request at a time on any backend (the baseline
+/// continuous batching is measured against): each request runs prefill
+/// and its full decode before the next request starts.
 ///
 /// # Panics
 ///
-/// Panics if any request would overflow the model's `max_seq`.
-pub fn serve_sequential(engine: &LoopLynx, requests: &[Request]) -> ServingReport {
-    let queue = admission_queue(engine, requests);
+/// Panics if any request would overflow the backend's `max_seq`.
+pub fn serve_sequential_on<B: InferenceBackend>(
+    backend: &mut B,
+    requests: &[Request],
+) -> ServingReport {
+    let queue = admission_queue(backend, requests);
     let mut done: Vec<RequestMetrics> = Vec::new();
+    let mut outputs: Vec<GeneratedOutput> = Vec::new();
     let mut occupancy = Summary::new();
     let mut iterations = 0u64;
     let mut clock = 0.0f64;
 
     for req in queue {
-        clock = run_prefill(engine, &req, clock);
-        let first_token_ms = clock;
+        let start = clock.max(req.arrival_ms);
+        let outcome = backend.prefill(req.prefill_tokens, req.prompt.as_deref(), req.id);
+        clock = start + outcome.elapsed_ms;
+        let mut entry = Active {
+            slot: outcome.slot,
+            first_token_ms: clock,
+            tokens: outcome.first_token.into_iter().collect(),
+            produced: 1,
+            req,
+        };
         // Decode passes for tokens 2..=decode_tokens, one at a time on the
         // same cost model as the batched path (a singleton batch is
         // cycle-identical to a plain decode token).
-        for t in 1..req.decode_tokens {
-            let ctx = req.prefill_tokens + t;
-            clock += engine
-                .simulate_decode_batch(&[ctx])
-                .to_millis(engine.arch());
+        for _ in 1..entry.req.decode_tokens {
+            let outcome = backend.decode_batch(&[entry.slot]);
+            clock += outcome.elapsed_ms;
             iterations += 1;
             occupancy.add(1.0);
+            if let Some(tokens) = &outcome.tokens {
+                entry.tokens.push(tokens[0]);
+            }
         }
-        done.push(RequestMetrics {
-            id: req.id,
-            arrival_ms: req.arrival_ms,
-            first_token_ms,
-            completion_ms: clock,
-            prefill_tokens: req.prefill_tokens,
-            decode_tokens: req.decode_tokens,
-        });
+        finish(backend, &mut done, &mut outputs, entry, clock);
     }
-    ServingReport::new(done, iterations, occupancy)
+    ServingReport::with_outputs(done, outputs, iterations, occupancy)
+}
+
+/// [`serve_continuous_on`] pinned to the cycle-accurate sim backend — the
+/// original serving API, reports unchanged by the backend refactor.
+///
+/// # Panics
+///
+/// Panics if any request would overflow the model's `max_seq`.
+pub fn serve_continuous(
+    engine: &LoopLynx,
+    requests: &[Request],
+    cfg: &ServeConfig,
+) -> ServingReport {
+    serve_continuous_on(&mut SimBackend::new(engine), requests, cfg)
+}
+
+/// [`serve_sequential_on`] pinned to the cycle-accurate sim backend.
+///
+/// # Panics
+///
+/// Panics if any request would overflow the model's `max_seq`.
+pub fn serve_sequential(engine: &LoopLynx, requests: &[Request]) -> ServingReport {
+    serve_sequential_on(&mut SimBackend::new(engine), requests)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use looplynx_core::backend::{FunctionalBackend, SamplerSpec};
     use looplynx_core::config::ArchConfig;
+    use looplynx_core::engine::DistributedGpt2;
+    use looplynx_core::router::RingMode;
     use looplynx_model::config::ModelConfig;
+    use looplynx_model::generate::Autoregressive;
+    use looplynx_model::gpt2::Gpt2Model;
+    use looplynx_model::sampler::Sampler;
 
     use crate::arrival::ArrivalProcess;
 
@@ -270,6 +322,7 @@ mod tests {
         let report = serve_continuous(&e, &reqs, &ServeConfig::default());
         assert_eq!(report.completed(), 6);
         assert_eq!(report.total_tokens(), 6 * 8);
+        assert!(report.outputs.is_empty(), "sim backend produces no tokens");
         for m in &report.requests {
             assert!(m.first_token_ms >= m.arrival_ms);
             assert!(m.completion_ms >= m.first_token_ms);
@@ -350,5 +403,76 @@ mod tests {
         let e = engine(1);
         let reqs = vec![Request::new(0, 0.0, 1000, 100)];
         let _ = serve_continuous(&e, &reqs, &ServeConfig::default());
+    }
+
+    fn functional_backend(slots: usize) -> (Gpt2Model, FunctionalBackend) {
+        let model = Gpt2Model::synthetic(&ModelConfig::tiny(), 2024);
+        let dist = DistributedGpt2::with_slots(&model, 2, RingMode::Exact, slots, 48).unwrap();
+        (model, FunctionalBackend::new(dist, SamplerSpec::Greedy))
+    }
+
+    #[test]
+    fn functional_serving_produces_per_request_tokens() {
+        let (model, mut backend) = functional_backend(4);
+        let reqs = ArrivalProcess::Trace(vec![0.0; 5]).workload_with_prompts(
+            5,
+            &[(6, 5), (4, 7)],
+            model.config().vocab,
+            0xFEED,
+        );
+        let report = serve_continuous_on(&mut backend, &reqs, &ServeConfig::new(4));
+        assert_eq!(report.completed(), 5);
+        assert_eq!(report.outputs.len(), 5);
+        // Every request's token stream is byte-identical to generating it
+        // alone on the reference model.
+        for req in &reqs {
+            let tokens = report.output_tokens(req.id).expect("tokens recorded");
+            assert_eq!(tokens.len(), req.decode_tokens);
+            let mut lone = model.clone();
+            let expected = lone.generate(
+                req.prompt.as_ref().unwrap(),
+                req.decode_tokens,
+                &mut Sampler::greedy(),
+            );
+            assert_eq!(tokens, expected, "request {} diverged", req.id);
+        }
+    }
+
+    #[test]
+    fn functional_sequential_matches_continuous_tokens() {
+        // Scheduling policy must never change what any request generates.
+        let (model, mut cb) = functional_backend(4);
+        let reqs = ArrivalProcess::Trace(vec![0.0, 0.5, 1.0, 1.5]).workload_with_prompts(
+            4,
+            &[(5, 6)],
+            model.config().vocab,
+            7,
+        );
+        let batched = serve_continuous_on(&mut cb, &reqs, &ServeConfig::new(4));
+        let (_, mut seq) = functional_backend(4);
+        let serial = serve_sequential_on(&mut seq, &reqs);
+        for req in &reqs {
+            assert_eq!(
+                batched.output_tokens(req.id),
+                serial.output_tokens(req.id),
+                "request {} tokens depend on schedule",
+                req.id
+            );
+        }
+    }
+
+    #[test]
+    fn backend_capacity_caps_admission() {
+        // 2 slots, batch ceiling 8: occupancy can never exceed 2.
+        let (model, mut backend) = functional_backend(2);
+        let reqs = ArrivalProcess::Trace(vec![0.0; 6]).workload_with_prompts(
+            6,
+            &[(4, 6)],
+            model.config().vocab,
+            3,
+        );
+        let report = serve_continuous_on(&mut backend, &reqs, &ServeConfig::new(8));
+        assert_eq!(report.completed(), 6);
+        assert!(report.batch_occupancy.max().unwrap_or(0.0) <= 2.0);
     }
 }

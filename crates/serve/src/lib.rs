@@ -2,20 +2,25 @@
 //!
 //! The LoopLynx paper evaluates single-generation latency; a deployed
 //! accelerator serves a *stream* of requests. This crate adds the serving
-//! tier on top of the cycle-accurate [`looplynx_core::engine::LoopLynx`]
-//! timing engine:
+//! tier, generic over the execution substrate
+//! ([`looplynx_core::backend::InferenceBackend`]): the same schedulers
+//! drive the cycle-accurate [`looplynx_core::engine::LoopLynx`] timing
+//! engine (scheduling studies, paper reproduction) and the functional
+//! W8A8 [`looplynx_core::engine::DistributedGpt2`] pipeline (real tokens,
+//! measured host throughput).
 //!
 //! * [`arrival`] — offered-load generators: Poisson, bursty, and
-//!   fixed-trace arrival processes.
+//!   fixed-trace arrival processes (with or without real prompt tokens).
 //! * [`request`] — requests and per-request latency records (TTFT, TPOT,
 //!   end-to-end).
-//! * [`batcher`] — the schedulers: [`batcher::serve_continuous`]
+//! * [`batcher`] — the schedulers: [`batcher::serve_continuous_on`]
 //!   (continuous batching — requests join the decode loop between
 //!   iterations and share every weight pass) and
-//!   [`batcher::serve_sequential`] (the one-request-at-a-time baseline).
-//! * [`metrics`] — [`metrics::ServingReport`]: throughput plus
-//!   p50/p95/p99 latency percentiles via
-//!   [`looplynx_sim::stats::Percentiles`].
+//!   [`batcher::serve_sequential_on`] (the one-request-at-a-time
+//!   baseline), plus sim-pinned convenience wrappers.
+//! * [`metrics`] — [`metrics::ServingReport`]: throughput, p50/p95/p99
+//!   latency percentiles via [`looplynx_sim::stats::Percentiles`], and —
+//!   on token-producing backends — every request's generated tokens.
 //!
 //! # Example
 //!
@@ -48,6 +53,8 @@ pub mod metrics;
 pub mod request;
 
 pub use arrival::ArrivalProcess;
-pub use batcher::{serve_continuous, serve_sequential, ServeConfig};
-pub use metrics::ServingReport;
+pub use batcher::{
+    serve_continuous, serve_continuous_on, serve_sequential, serve_sequential_on, ServeConfig,
+};
+pub use metrics::{GeneratedOutput, ServingReport};
 pub use request::{Request, RequestMetrics};

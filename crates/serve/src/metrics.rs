@@ -8,12 +8,27 @@ use looplynx_sim::stats::{Percentiles, Summary};
 
 use crate::request::RequestMetrics;
 
+/// The tokens one request actually generated (token-producing backends
+/// only; timing-only runs have no outputs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedOutput {
+    /// Request identifier.
+    pub id: u64,
+    /// Output tokens in generation order (first token sampled from the
+    /// prefill logits, the rest one per decode iteration).
+    pub tokens: Vec<u32>,
+}
+
 /// Outcome of serving one workload: per-request records plus the
 /// latency-percentile aggregates serving systems are judged by.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingReport {
     /// One record per completed request, in completion order.
     pub requests: Vec<RequestMetrics>,
+    /// Generated tokens per request, in completion order — empty when the
+    /// backend is timing-only (the sim engine schedules passes, it does
+    /// not compute logits).
+    pub outputs: Vec<GeneratedOutput>,
     /// Decode iterations the scheduler ran.
     pub decode_iterations: u64,
     /// Concurrent requests per decode iteration (mean is the effective
@@ -29,9 +44,20 @@ pub struct ServingReport {
 }
 
 impl ServingReport {
-    /// Aggregates per-request records into a report.
+    /// Aggregates per-request records into a report (no generated
+    /// tokens — the timing-backend shape).
     pub fn new(
         requests: Vec<RequestMetrics>,
+        decode_iterations: u64,
+        batch_occupancy: Summary,
+    ) -> Self {
+        Self::with_outputs(requests, Vec::new(), decode_iterations, batch_occupancy)
+    }
+
+    /// Aggregates per-request records plus their generated tokens.
+    pub fn with_outputs(
+        requests: Vec<RequestMetrics>,
+        outputs: Vec<GeneratedOutput>,
         decode_iterations: u64,
         batch_occupancy: Summary,
     ) -> Self {
@@ -47,12 +73,21 @@ impl ServingReport {
         }
         ServingReport {
             requests,
+            outputs,
             decode_iterations,
             batch_occupancy,
             ttft_ms,
             tpot_ms,
             e2e_ms,
         }
+    }
+
+    /// The generated tokens of request `id`, if the backend produced any.
+    pub fn output_tokens(&self, id: u64) -> Option<&[u32]> {
+        self.outputs
+            .iter()
+            .find(|o| o.id == id)
+            .map(|o| o.tokens.as_slice())
     }
 
     /// Completed requests.

@@ -3,9 +3,10 @@
 use serde::{Deserialize, Serialize};
 
 /// One generation request offered to the serving layer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
-    /// Caller-chosen identifier (unique within a workload).
+    /// Caller-chosen identifier (unique within a workload; also seeds the
+    /// request's sampler on token-producing backends).
     pub id: u64,
     /// Arrival timestamp in milliseconds since the workload epoch.
     pub arrival_ms: f64,
@@ -13,10 +14,14 @@ pub struct Request {
     pub prefill_tokens: usize,
     /// Output tokens requested.
     pub decode_tokens: usize,
+    /// Real prompt token ids. Timing-only backends ignore them;
+    /// token-producing backends require them (see
+    /// [`Request::with_prompt`]).
+    pub prompt: Option<Vec<u32>>,
 }
 
 impl Request {
-    /// Creates a request.
+    /// Creates a request without prompt tokens (timing-only workloads).
     ///
     /// # Panics
     ///
@@ -36,7 +41,22 @@ impl Request {
             arrival_ms,
             prefill_tokens,
             decode_tokens,
+            prompt: None,
         }
+    }
+
+    /// Attaches real prompt tokens (and syncs `prefill_tokens` to their
+    /// count) so the request can run on a token-producing backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty.
+    #[must_use]
+    pub fn with_prompt(mut self, prompt: Vec<u32>) -> Self {
+        assert!(!prompt.is_empty(), "prompt must not be empty");
+        self.prefill_tokens = prompt.len();
+        self.prompt = Some(prompt);
+        self
     }
 
     /// Prompt plus requested output tokens. The KV cache peaks one short

@@ -74,11 +74,15 @@ pub fn gemm_i32_naive(w: &Matrix<i8>, x: &Matrix<i8>) -> Result<Matrix<i32>, Sha
 /// Integer matrix-matrix product `W · Xᵀ` where `X` holds one activation
 /// vector per row: `y[r][t] = Σ_c w[r,c] · x[t,c]`.
 ///
-/// This is the prefill-stage shape: `t` indexes prompt tokens. The loop
-/// is tiled over blocks of [`GEMM_ROW_BLOCK`] weight rows: each block is
-/// streamed from memory once and reused across *all* token rows before
-/// the next block is touched, instead of re-streaming the whole weight
-/// matrix per token. Results are bit-identical to [`gemm_i32_naive`].
+/// This is the weight-sharing shape of both batched prefill (`t` indexes
+/// prompt tokens) and continuous-batching decode (`t` indexes resident
+/// sequences). The loop is tiled over blocks of [`GEMM_ROW_BLOCK`] weight
+/// rows — each block is streamed from memory once and reused across
+/// *all* token rows before the next block is touched — and token rows
+/// run in groups through the batched MAC kernel
+/// ([`crate::simd::dot_i8_i32_batch`]), which amortizes the weight-side
+/// widening across the group. Results are bit-identical to
+/// [`gemm_i32_naive`].
 ///
 /// # Errors
 ///
@@ -91,19 +95,204 @@ pub fn gemm_i32(w: &Matrix<i8>, x: &Matrix<i8>) -> Result<Matrix<i32>, ShapeErro
             (x.rows(), x.cols()),
         ));
     }
-    let mut out = Matrix::<i32>::zeros(x.rows(), w.rows());
-    let mut block_start = 0;
-    while block_start < w.rows() {
-        let block_end = (block_start + GEMM_ROW_BLOCK).min(w.rows());
-        for (t, xrow) in x.iter_rows().enumerate() {
-            let orow = &mut out.row_mut(t)[block_start..block_end];
-            for (o, r) in orow.iter_mut().zip(block_start..block_end) {
-                *o = dot_i8_i32(w.row(r), xrow);
+    let mut flat = vec![0i32; x.rows() * w.rows()];
+    gemm_tiled_flat(w, None, x, &mut flat);
+    Matrix::from_vec(x.rows(), w.rows(), flat)
+}
+
+/// [`gemm_i32`] writing into a caller-provided flat row-major buffer
+/// (cleared and resized to `x.rows() × w.rows()`, token row `t` at
+/// `t * w.rows()`), so batched decode loops allocate nothing per step.
+/// Same tiling and token grouping, bit-identical results.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `x.cols() != w.cols()`.
+pub fn gemm_i32_into(w: &Matrix<i8>, x: &Matrix<i8>, out: &mut Vec<i32>) -> Result<(), ShapeError> {
+    if x.cols() != w.cols() {
+        return Err(ShapeError::new(
+            "gemm",
+            (w.rows(), w.cols()),
+            (x.rows(), x.cols()),
+        ));
+    }
+    out.clear();
+    out.resize(x.rows() * w.rows(), 0);
+    gemm_tiled_flat(w, None, x, out);
+    Ok(())
+}
+
+/// The shared tiled GEMM core writing into a flat `x.rows() × w.rows()`
+/// row-major buffer (shapes pre-validated and the buffer pre-sized by the
+/// public entry points). `w_row_sums` is the cached biased-dot correction
+/// when the caller holds a [`QuantizedMatrix`] (`None` computes it on the
+/// fly — only the raw-`Matrix` entry points pay that).
+///
+/// Multi-row activations run in groups of up to 8 through a batched MAC
+/// kernel — the biased `vpdpbusd` path
+/// ([`crate::simd::dot_biased_i8_i32_batch`], exact for all i8) on VNNI
+/// hardware, else the `vpmaddubsw` path ([`crate::simd::dot_i8_i32_batch`],
+/// exact for activations above `-128`, which quantized activations
+/// always are — raw inputs containing `-128` fall back per row). Single
+/// rows take the per-row [`dot_i8_i32`] GEMV path. Integer accumulation
+/// makes every grouping bit-identical.
+fn gemm_tiled_flat(w: &Matrix<i8>, w_row_sums: Option<&[i32]>, x: &Matrix<i8>, out: &mut [i32]) {
+    use crate::simd::{bias_to_unsigned, row_sum_i8, vnni512_available};
+
+    let rows = x.rows();
+    let width = x.cols();
+    debug_assert_eq!(out.len(), rows * w.rows());
+
+    let path = if rows > 1 && vnni512_available() && width >= 64 {
+        Path::Vnni
+    } else if rows > 1 && !x.as_slice().contains(&i8::MIN) {
+        Path::Maddubs
+    } else {
+        Path::PerRow
+    };
+
+    // VNNI prologue: rebias the whole activation matrix once and make
+    // sure row sums exist (cached by QuantizedMatrix on the hot path).
+    // The rebias buffer is thread-local so steady-state decode loops —
+    // including the engine's long-lived pool workers — allocate nothing
+    // per call once it reaches its high-water mark.
+    thread_local! {
+        static XU: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    XU.with(|cell| {
+        let mut xu = cell.borrow_mut();
+        let mut computed_sums: Vec<i32> = Vec::new();
+        let sums: &[i32] = if matches!(path, Path::Vnni) {
+            bias_to_unsigned(x.as_slice(), &mut xu);
+            match w_row_sums {
+                Some(s) => s,
+                None => {
+                    computed_sums.extend(w.iter_rows().map(row_sum_i8));
+                    &computed_sums
+                }
             }
+        } else {
+            &[]
+        };
+        gemm_tiled_blocks(w, x, out, &path, &xu, sums);
+    });
+}
+
+/// Which MAC kernel [`gemm_tiled_flat`] selected for a call.
+enum Path {
+    /// Biased `vpdpbusd` batch kernel (VNNI hardware, any i8 input).
+    Vnni,
+    /// `vpmaddubsw` batch kernel (AVX2, activations above `-128`).
+    Maddubs,
+    /// Per-row [`dot_i8_i32`] GEMV.
+    PerRow,
+}
+
+/// The tiled block/group loop of [`gemm_tiled_flat`] (split out so the
+/// thread-local rebias buffer can be borrowed across it).
+fn gemm_tiled_blocks(
+    w: &Matrix<i8>,
+    x: &Matrix<i8>,
+    out: &mut [i32],
+    path: &Path,
+    xu: &[u8],
+    sums: &[i32],
+) {
+    use crate::simd::{dot_biased_i8_i32_batch, dot_i8_i32_batch};
+
+    let rows = x.rows();
+    let cols = w.rows();
+    let width = x.cols();
+
+    let mut block_start = 0;
+    while block_start < cols {
+        let block_end = (block_start + GEMM_ROW_BLOCK).min(cols);
+        let mut t = 0;
+        while t < rows {
+            let group = match path {
+                Path::PerRow => 1,
+                _ => match rows - t {
+                    n if n >= 8 => 8,
+                    n if n >= 4 => 4,
+                    n if n >= 2 => 2,
+                    _ => 1,
+                },
+            };
+            match (path, group) {
+                (Path::Vnni, 8) => {
+                    let rows8: [&[u8]; 8] =
+                        std::array::from_fn(|k| &xu[(t + k) * width..(t + k + 1) * width]);
+                    for r in block_start..block_end {
+                        let o = dot_biased_i8_i32_batch::<8>(w.row(r), sums[r], rows8);
+                        for (k, v) in o.into_iter().enumerate() {
+                            out[(t + k) * cols + r] = v;
+                        }
+                    }
+                }
+                (Path::Vnni, 4) => {
+                    let rows4: [&[u8]; 4] =
+                        std::array::from_fn(|k| &xu[(t + k) * width..(t + k + 1) * width]);
+                    for r in block_start..block_end {
+                        let o = dot_biased_i8_i32_batch::<4>(w.row(r), sums[r], rows4);
+                        for (k, v) in o.into_iter().enumerate() {
+                            out[(t + k) * cols + r] = v;
+                        }
+                    }
+                }
+                (Path::Vnni, 2) => {
+                    let rows2: [&[u8]; 2] =
+                        std::array::from_fn(|k| &xu[(t + k) * width..(t + k + 1) * width]);
+                    for r in block_start..block_end {
+                        let o = dot_biased_i8_i32_batch::<2>(w.row(r), sums[r], rows2);
+                        for (k, v) in o.into_iter().enumerate() {
+                            out[(t + k) * cols + r] = v;
+                        }
+                    }
+                }
+                (Path::Vnni, _) => {
+                    let rows1: [&[u8]; 1] = [&xu[t * width..(t + 1) * width]];
+                    for r in block_start..block_end {
+                        let o = dot_biased_i8_i32_batch::<1>(w.row(r), sums[r], rows1);
+                        out[t * cols + r] = o[0];
+                    }
+                }
+                (Path::Maddubs, 8) => {
+                    let rows8: [&[i8]; 8] = std::array::from_fn(|k| x.row(t + k));
+                    for r in block_start..block_end {
+                        let o = dot_i8_i32_batch::<8>(w.row(r), rows8);
+                        for (k, v) in o.into_iter().enumerate() {
+                            out[(t + k) * cols + r] = v;
+                        }
+                    }
+                }
+                (Path::Maddubs, 4) => {
+                    let rows4: [&[i8]; 4] = std::array::from_fn(|k| x.row(t + k));
+                    for r in block_start..block_end {
+                        let o = dot_i8_i32_batch::<4>(w.row(r), rows4);
+                        for (k, v) in o.into_iter().enumerate() {
+                            out[(t + k) * cols + r] = v;
+                        }
+                    }
+                }
+                (Path::Maddubs, 2) => {
+                    let rows2: [&[i8]; 2] = std::array::from_fn(|k| x.row(t + k));
+                    for r in block_start..block_end {
+                        let o = dot_i8_i32_batch::<2>(w.row(r), rows2);
+                        for (k, v) in o.into_iter().enumerate() {
+                            out[(t + k) * cols + r] = v;
+                        }
+                    }
+                }
+                _ => {
+                    for r in block_start..block_end {
+                        out[t * cols + r] = dot_i8_i32(w.row(r), x.row(t));
+                    }
+                }
+            }
+            t += group;
         }
         block_start = block_end;
     }
-    Ok(out)
 }
 
 /// A W8A8 linear layer: int8 weights with per-row scales and an f32 bias.
@@ -279,7 +468,15 @@ impl QuantLinear {
     /// `x_scales.len() != x.rows()`.
     pub fn forward_batch_scaled(&self, x: &Matrix<i8>, x_scales: &[f32]) -> Matrix<f32> {
         assert_eq!(x_scales.len(), x.rows(), "one scale per token row");
-        let acc = gemm_i32(self.weight.data(), x).expect("gemm shape");
+        assert_eq!(x.cols(), self.in_features(), "gemm shape");
+        let mut flat = vec![0i32; x.rows() * self.out_features()];
+        gemm_tiled_flat(
+            self.weight.data(),
+            Some(self.weight.row_sums()),
+            x,
+            &mut flat,
+        );
+        let acc = Matrix::from_vec(x.rows(), self.out_features(), flat).expect("gemm shape");
         let mut out = Matrix::<f32>::zeros(acc.rows(), acc.cols());
         for (t, &x_scale) in x_scales.iter().enumerate() {
             let arow = acc.row(t);
@@ -294,6 +491,46 @@ impl QuantLinear {
             }
         }
         out
+    }
+
+    /// [`QuantLinear::forward_batch_scaled`] writing the dequantized
+    /// output into a caller-provided flat row-major buffer (cleared and
+    /// resized to `x.rows() × out_features()`, token row `t` at
+    /// `t * out_features()`), with GEMM scratch in `acc`. The batched
+    /// continuous-decode hot path: one weight stream per call, shared by
+    /// every token row, and no per-step allocation. Bit-identical to
+    /// calling [`QuantLinear::forward`] per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_features()` or
+    /// `x_scales.len() != x.rows()`.
+    pub fn forward_batch_scaled_into(
+        &self,
+        x: &Matrix<i8>,
+        x_scales: &[f32],
+        acc: &mut Vec<i32>,
+        out: &mut Vec<f32>,
+    ) {
+        assert_eq!(x_scales.len(), x.rows(), "one scale per token row");
+        assert_eq!(x.cols(), self.in_features(), "gemm shape");
+        acc.clear();
+        acc.resize(x.rows() * self.out_features(), 0);
+        gemm_tiled_flat(self.weight.data(), Some(self.weight.row_sums()), x, acc);
+        let cols = self.out_features();
+        out.clear();
+        out.resize(x.rows() * cols, 0.0);
+        for (t, &x_scale) in x_scales.iter().enumerate() {
+            let arow = &acc[t * cols..(t + 1) * cols];
+            for (((o, &a), &ws), &b) in out[t * cols..(t + 1) * cols]
+                .iter_mut()
+                .zip(arow)
+                .zip(self.weight.row_scales())
+                .zip(&self.bias)
+            {
+                *o = a as f32 * ws * x_scale + b;
+            }
+        }
     }
 
     /// Splits this layer by output rows into `parts` equal shards — the
@@ -447,6 +684,36 @@ mod tests {
             for (r, &s) in single.iter().enumerate() {
                 assert_eq!(batch.get(t, r), s, "token {t} row {r}");
             }
+        }
+    }
+
+    #[test]
+    fn gemm_into_matches_gemm() {
+        let w = Matrix::from_fn(67, 9, |r, c| ((r * 9 + c) % 13) as i8 - 6);
+        let x = Matrix::from_fn(5, 9, |t, c| ((t * 9 + c) % 11) as i8 - 5);
+        let full = gemm_i32(&w, &x).unwrap();
+        let mut flat = vec![1i32; 3]; // dirty buffer must be overwritten
+        gemm_i32_into(&w, &x, &mut flat).unwrap();
+        assert_eq!(flat.len(), 5 * 67);
+        for t in 0..5 {
+            assert_eq!(&flat[t * 67..(t + 1) * 67], full.row(t));
+        }
+        let bad = Matrix::<i8>::zeros(2, 4);
+        assert!(gemm_i32_into(&w, &bad, &mut flat).is_err());
+    }
+
+    #[test]
+    fn scaled_batch_into_matches_scaled_batch() {
+        let w = Matrix::from_fn(6, 8, |r, c| ((r * 8 + c) as f32 * 0.017).sin() * 0.2);
+        let lin = QuantLinear::from_f32(&w, &[0.4, -0.1, 0.0, 0.2, -0.3, 0.7]).unwrap();
+        let x = Matrix::from_fn(3, 8, |t, c| ((t * 8 + c) % 17) as i8 - 8);
+        let scales = [0.01f32, 0.02, 0.005];
+        let reference = lin.forward_batch_scaled(&x, &scales);
+        let (mut acc, mut out) = (Vec::new(), Vec::new());
+        lin.forward_batch_scaled_into(&x, &scales, &mut acc, &mut out);
+        assert_eq!(out.len(), 3 * 6);
+        for t in 0..3 {
+            assert_eq!(&out[t * 6..(t + 1) * 6], reference.row(t), "token {t}");
         }
     }
 

@@ -127,6 +127,10 @@ pub fn quantize_vec_with_scale(xs: &[f32], scale: f32) -> QuantizedVector {
 pub struct QuantizedMatrix {
     data: Matrix<i8>,
     row_scales: Vec<f32>,
+    /// Per-row i8 sums, cached at construction: the correction term of
+    /// the biased VNNI dot (`crate::simd::dot_biased_i8_i32_batch`),
+    /// which the batched GEMM would otherwise recompute per call.
+    row_sums: Vec<i32>,
 }
 
 impl QuantizedMatrix {
@@ -142,7 +146,12 @@ impl QuantizedMatrix {
             row_scales.iter().all(|&s| s > 0.0 && s.is_finite()),
             "scales must be positive"
         );
-        QuantizedMatrix { data, row_scales }
+        let row_sums = data.iter_rows().map(crate::simd::row_sum_i8).collect();
+        QuantizedMatrix {
+            data,
+            row_scales,
+            row_sums,
+        }
     }
 
     /// The int8 weights.
@@ -153,6 +162,11 @@ impl QuantizedMatrix {
     /// Per-row scales.
     pub fn row_scales(&self) -> &[f32] {
         &self.row_scales
+    }
+
+    /// Per-row i8 sums (the biased-dot correction term).
+    pub fn row_sums(&self) -> &[i32] {
+        &self.row_sums
     }
 
     /// `(rows, cols)`.
@@ -179,6 +193,7 @@ impl QuantizedMatrix {
         QuantizedMatrix {
             data: self.data.slice_rows(start, end),
             row_scales: self.row_scales[start..end].to_vec(),
+            row_sums: self.row_sums[start..end].to_vec(),
         }
     }
 }
@@ -189,9 +204,11 @@ pub fn quantize_matrix_per_row(w: &Matrix<f32>) -> QuantizedMatrix {
     let data = Matrix::from_fn(w.rows(), w.cols(), |r, c| {
         quantize_value(w.get(r, c), scales[r])
     });
+    let row_sums = data.iter_rows().map(crate::simd::row_sum_i8).collect();
     QuantizedMatrix {
         data,
         row_scales: scales,
+        row_sums,
     }
 }
 

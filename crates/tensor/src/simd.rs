@@ -79,6 +79,269 @@ unsafe fn dot_i8_i32_avx2(a: &[i8], b: &[i8]) -> i32 {
     total
 }
 
+/// Batch-of-rows integer dot: `out[t] = Σ w[i]·xs[t][i]` for `N`
+/// activation rows sharing **one pass over the weight row** — the
+/// continuous-batching MAC kernel. Amortizing the weight-side work across
+/// the batch lets the AVX2 path use the denser `vpmaddubsw` pipeline
+/// (32 MACs per instruction vs 16 for the sign-extend path), which is
+/// what makes batched decode faster than `N` separate GEMVs on a
+/// compute-bound host.
+///
+/// Activation values must lie in `[-127, 127]` — every quantizer in this
+/// workspace clamps there ([`crate::quant::QMAX`]); the weight row may
+/// use the full i8 range. Within that contract the result is
+/// **bit-identical** to calling [`dot_i8_i32`] per row: the `vpmaddubsw`
+/// trick computes `|w| · sign(x, w)` whose i16 pair sums are at most
+/// `2 · 128 · 127 < 2¹⁵` (no saturation), and i32 integer accumulation
+/// is exact in any order. (A `-128` *activation* would wrap in
+/// `vpsignb`; debug builds assert the range. Callers that cannot rule it
+/// out must use [`dot_i8_i32`] — see the fallback scan in
+/// `linear::gemm_i32`.)
+pub fn dot_i8_i32_batch<const N: usize>(w: &[i8], xs: [&[i8]; N]) -> [i32; N] {
+    debug_assert!(
+        xs.iter().all(|x| x.iter().all(|&v| v > i8::MIN)),
+        "dot_i8_i32_batch activations must be in [-127, 127]"
+    );
+    debug_assert!(
+        xs.iter().all(|x| x.len() == w.len()),
+        "dot_i8_i32_batch operand length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        if w.len() >= 32 {
+            if is_x86_feature_detected!("avx512vnni") && is_x86_feature_detected!("avx512vl") {
+                // SAFETY: VNNI + VL support was just verified at runtime.
+                return unsafe { dot_i8_i32_batch_vnni(w, xs) };
+            }
+            if is_x86_feature_detected!("avx2") {
+                // SAFETY: AVX2 support was just verified at runtime.
+                return unsafe { dot_i8_i32_batch_avx2(w, xs) };
+            }
+        }
+    }
+    let mut out = [0i32; N];
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o = dot_i8_i32_scalar(w, x);
+    }
+    out
+}
+
+/// Whether the 512-bit VNNI batched-dot path ([`dot_biased_i8_i32_batch`]
+/// with hardware acceleration) is available on this CPU.
+#[inline]
+pub fn vnni512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx512f")
+            && is_x86_feature_detected!("avx512bw")
+            && is_x86_feature_detected!("avx512vnni")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Rebias int8 activations to unsigned (`x ⊕ 0x80`, i.e. `x + 128`) —
+/// the input form of [`dot_biased_i8_i32_batch`]. `-128` maps to `0`, so
+/// the whole i8 range round-trips exactly.
+#[inline]
+pub fn bias_to_unsigned(src: &[i8], dst: &mut Vec<u8>) {
+    dst.clear();
+    dst.extend(src.iter().map(|&v| (v as u8) ^ 0x80));
+}
+
+/// Sum of an int8 row in i32 — the weight-side correction term of the
+/// biased dot (`Σ x·w = Σ (x+128)·w − 128·Σw`). Cached per weight row by
+/// `quant::QuantizedMatrix`.
+#[inline]
+pub fn row_sum_i8(row: &[i8]) -> i32 {
+    row.iter().map(|&v| v as i32).sum()
+}
+
+/// Batch-of-rows *biased* integer dot: `out[t] = Σ w[i]·(xs[t][i] − 128)`
+/// where `xs` carries activations rebias-ed by [`bias_to_unsigned`] and
+/// `w_row_sum` is `Σ w[i]` ([`row_sum_i8`]).
+///
+/// This is the widest MAC kernel: on AVX512-VNNI hardware, `vpdpbusd`
+/// fuses the u8×i8 multiply and the i32 accumulate — 64 MACs per
+/// instruction at 512 bits, with the weight chunk loaded once per batch.
+/// Unlike the `vpsignb` trick of [`dot_i8_i32_batch`], the bias identity
+/// is exact over the **entire** i8 range (including `-128`, which maps
+/// to unsigned `0`): `vpdpbusd` widens each lane's four u8×i8 products
+/// to i32 before summing, so no intermediate saturates, and the final
+/// `− 128·Σw` correction is exact i32 arithmetic. Bit-identical to
+/// [`dot_i8_i32`] against the un-biased activations, always.
+pub fn dot_biased_i8_i32_batch<const N: usize>(
+    w: &[i8],
+    w_row_sum: i32,
+    xs: [&[u8]; N],
+) -> [i32; N] {
+    debug_assert!(
+        xs.iter().all(|x| x.len() == w.len()),
+        "dot_biased_i8_i32_batch operand length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        if w.len() >= 64 && vnni512_available() {
+            // SAFETY: AVX512F/BW/VNNI support was just verified.
+            return unsafe { dot_biased_i8_i32_batch_vnni512(w, w_row_sum, xs) };
+        }
+    }
+    let mut out = [0i32; N];
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o = w
+            .iter()
+            .zip(x.iter())
+            .map(|(&wv, &xv)| wv as i32 * (xv as i32 - 128))
+            .sum();
+    }
+    // The scalar loop subtracts the bias per element; fold the identity
+    // the same way the SIMD path does so both derive from w_row_sum.
+    let _ = w_row_sum;
+    out
+}
+
+/// The 512-bit VNNI kernel behind [`dot_biased_i8_i32_batch`].
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX512F, AVX512BW and
+/// AVX512VNNI.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+unsafe fn dot_biased_i8_i32_batch_vnni512<const N: usize>(
+    w: &[i8],
+    w_row_sum: i32,
+    xs: [&[u8]; N],
+) -> [i32; N] {
+    use std::arch::x86_64::{
+        _mm512_dpbusd_epi32, _mm512_loadu_si512, _mm512_reduce_add_epi32, _mm512_setzero_si512,
+    };
+    let n = w.len();
+    let mut acc = [_mm512_setzero_si512(); N];
+    let mut i = 0;
+    while i + 64 <= n {
+        // SAFETY: i + 64 <= n keeps every 64-byte load in bounds (the
+        // debug assertion above pins xs lengths to w's).
+        let vw = _mm512_loadu_si512(w.as_ptr().add(i) as *const _);
+        for (t, x) in xs.iter().enumerate() {
+            let vx = _mm512_loadu_si512(x.as_ptr().add(i) as *const _);
+            acc[t] = _mm512_dpbusd_epi32(acc[t], vx, vw);
+        }
+        i += 64;
+    }
+    let mut out = [0i32; N];
+    for (o, (a, x)) in out.iter_mut().zip(acc.into_iter().zip(xs)) {
+        let mut s = _mm512_reduce_add_epi32(a);
+        for j in i..n {
+            s += w[j] as i32 * x[j] as i32;
+        }
+        *o = s - 128 * w_row_sum;
+    }
+    out
+}
+
+/// AVX512-VNNI batched dot (256-bit form): `vpdpbusd` fuses the unsigned
+/// × signed multiply and the i32 accumulate — 32 MACs per instruction,
+/// one `vpsignb + vpdpbusd` per activation row per chunk, with the
+/// weight-side `vpabsb` shared by the whole batch. Same `|w| · sign(x,
+/// w)` algebra as the AVX2 path (`vpdpbusd` widens the four u8×i8
+/// products of each lane to i32 before summing, so there is no
+/// intermediate saturation at all): bit-identical to the scalar dot for
+/// activations in `[-127, 127]`.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX512VNNI and AVX512VL.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,avx512vnni,avx512vl")]
+unsafe fn dot_i8_i32_batch_vnni<const N: usize>(w: &[i8], xs: [&[i8]; N]) -> [i32; N] {
+    use std::arch::x86_64::{
+        __m256i, _mm256_abs_epi8, _mm256_castsi256_si128, _mm256_dpbusd_epi32,
+        _mm256_extracti128_si256, _mm256_loadu_si256, _mm256_setzero_si256, _mm256_sign_epi8,
+        _mm_add_epi32, _mm_cvtsi128_si32, _mm_shuffle_epi32,
+    };
+    let n = w.len();
+    let mut acc = [_mm256_setzero_si256(); N];
+    let mut i = 0;
+    while i + 32 <= n {
+        // SAFETY: i + 32 <= n keeps every 32-byte load in bounds (the
+        // debug assertion above pins xs lengths to w's).
+        let vw = _mm256_loadu_si256(w.as_ptr().add(i) as *const __m256i);
+        let vwabs = _mm256_abs_epi8(vw);
+        for (t, x) in xs.iter().enumerate() {
+            let vx = _mm256_loadu_si256(x.as_ptr().add(i) as *const __m256i);
+            acc[t] = _mm256_dpbusd_epi32(acc[t], vwabs, _mm256_sign_epi8(vx, vw));
+        }
+        i += 32;
+    }
+    let mut out = [0i32; N];
+    for (o, a) in out.iter_mut().zip(acc) {
+        let mut s = _mm_add_epi32(_mm256_extracti128_si256(a, 1), _mm256_castsi256_si128(a));
+        s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+        s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+        *o = _mm_cvtsi128_si32(s);
+    }
+    for (o, x) in out.iter_mut().zip(xs) {
+        for j in i..n {
+            *o += w[j] as i32 * x[j] as i32;
+        }
+    }
+    out
+}
+
+/// AVX2 batched dot: per 32-byte weight chunk, `vpabsb` widens the weight
+/// side once and every activation row pays one
+/// `vpsignb + vpmaddubsw + vpmaddwd(1̄) + vpaddd` — 32 exact MACs per row
+/// per chunk with the weight-side work shared by the whole batch.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2 (e.g. via
+/// `is_x86_feature_detected!("avx2")`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i8_i32_batch_avx2<const N: usize>(w: &[i8], xs: [&[i8]; N]) -> [i32; N] {
+    use std::arch::x86_64::{
+        __m256i, _mm256_abs_epi8, _mm256_add_epi32, _mm256_castsi256_si128,
+        _mm256_extracti128_si256, _mm256_loadu_si256, _mm256_madd_epi16, _mm256_maddubs_epi16,
+        _mm256_set1_epi16, _mm256_setzero_si256, _mm256_sign_epi8, _mm_add_epi32,
+        _mm_cvtsi128_si32, _mm_shuffle_epi32,
+    };
+    let n = w.len();
+    let ones = _mm256_set1_epi16(1);
+    let mut acc = [_mm256_setzero_si256(); N];
+    let mut i = 0;
+    while i + 32 <= n {
+        // SAFETY: i + 32 <= n keeps every 32-byte load in bounds (the
+        // debug assertion above pins xs lengths to w's).
+        let vw = _mm256_loadu_si256(w.as_ptr().add(i) as *const __m256i);
+        let vwabs = _mm256_abs_epi8(vw);
+        for (t, x) in xs.iter().enumerate() {
+            let vx = _mm256_loadu_si256(x.as_ptr().add(i) as *const __m256i);
+            // |w| · sign(x, w) == w · x element-wise for |x| ≤ 127.
+            let signed = _mm256_sign_epi8(vx, vw);
+            let pairs = _mm256_maddubs_epi16(vwabs, signed);
+            acc[t] = _mm256_add_epi32(acc[t], _mm256_madd_epi16(pairs, ones));
+        }
+        i += 32;
+    }
+    let mut out = [0i32; N];
+    for (o, a) in out.iter_mut().zip(acc) {
+        let mut s = _mm_add_epi32(_mm256_extracti128_si256(a, 1), _mm256_castsi256_si128(a));
+        s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+        s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+        *o = _mm_cvtsi128_si32(s);
+    }
+    for (o, x) in out.iter_mut().zip(xs) {
+        for j in i..n {
+            *o += w[j] as i32 * x[j] as i32;
+        }
+    }
+    out
+}
+
 /// Largest absolute value of the slice (0.0 when empty).
 ///
 /// `max` over finite f32 values is associative and commutative, so the
@@ -199,6 +462,96 @@ unsafe fn quantize_slice_avx2(src: &[f32], scale: f32, dst: &mut [i8]) {
     quantize_slice_scalar(&src[i..], scale, &mut dst[i..]);
 }
 
+/// Applies GELU elementwise in place — the vectorized twin of
+/// [`crate::activation::gelu`]. The workspace compiles for baseline
+/// x86-64 (SSE2), where the branchless polynomial cannot auto-vectorize
+/// (`roundps` is SSE4.1+), so the AVX2 path spells out the identical
+/// operation sequence with intrinsics: every lane performs the exact f32
+/// multiplies, adds, min, division, ties-even round and sign transfer of
+/// the scalar formula, so results are **bit-identical** to the scalar
+/// loop.
+#[inline]
+pub fn gelu_slice(xs: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if xs.len() >= 8 && is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { gelu_slice_avx2(xs) };
+            return;
+        }
+    }
+    for x in xs.iter_mut() {
+        *x = crate::activation::gelu(*x);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gelu_slice_avx2(xs: &mut [f32]) {
+    use std::arch::x86_64::{
+        _mm256_add_epi32, _mm256_add_ps, _mm256_and_ps, _mm256_andnot_ps, _mm256_castsi256_ps,
+        _mm256_cvtps_epi32, _mm256_div_ps, _mm256_loadu_ps, _mm256_min_ps, _mm256_mul_ps,
+        _mm256_or_ps, _mm256_round_ps, _mm256_set1_epi32, _mm256_set1_ps, _mm256_slli_epi32,
+        _mm256_storeu_ps, _mm256_sub_ps, _MM_FROUND_NO_EXC, _MM_FROUND_TO_NEAREST_INT,
+    };
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    let half = _mm256_set1_ps(0.5);
+    let one = _mm256_set1_ps(1.0);
+    let c = _mm256_set1_ps(0.044_715);
+    let k = _mm256_set1_ps(SQRT_2_OVER_PI);
+    let nine = _mm256_set1_ps(9.0);
+    let neg2 = _mm256_set1_ps(-2.0);
+    let log2e = _mm256_set1_ps(std::f32::consts::LOG2_E);
+    let ln2 = _mm256_set1_ps(std::f32::consts::LN_2);
+    let sign_mask = _mm256_set1_ps(-0.0);
+    let bias = _mm256_set1_epi32(127);
+    // Taylor coefficients of exp, innermost first (matching the scalar
+    // Horner nesting exactly).
+    let c6 = _mm256_set1_ps(1.0 / 720.0);
+    let c5 = _mm256_set1_ps(1.0 / 120.0);
+    let c4 = _mm256_set1_ps(1.0 / 24.0);
+    let c3 = _mm256_set1_ps(1.0 / 6.0);
+    let c2 = _mm256_set1_ps(0.5);
+
+    let n = xs.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n keeps the 32-byte load/store in bounds.
+        let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+        // u = K * (x + C·x·x·x), grouped ((C·x)·x)·x like the scalar.
+        let x3 = _mm256_mul_ps(_mm256_mul_ps(_mm256_mul_ps(c, x), x), x);
+        let u = _mm256_mul_ps(k, _mm256_add_ps(x, x3));
+        // a = min(|u|, 9); t = exp(-2a) via the shared polynomial.
+        let a = _mm256_min_ps(_mm256_andnot_ps(sign_mask, u), nine);
+        let y = _mm256_mul_ps(_mm256_mul_ps(neg2, a), log2e);
+        let nv = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(y);
+        let g = _mm256_mul_ps(_mm256_sub_ps(y, nv), ln2);
+        let mut p = _mm256_add_ps(c5, _mm256_mul_ps(g, c6));
+        p = _mm256_add_ps(c4, _mm256_mul_ps(g, p));
+        p = _mm256_add_ps(c3, _mm256_mul_ps(g, p));
+        p = _mm256_add_ps(c2, _mm256_mul_ps(g, p));
+        p = _mm256_add_ps(one, _mm256_mul_ps(g, p));
+        p = _mm256_add_ps(one, _mm256_mul_ps(g, p));
+        // 2^n through the exponent field (n is integral and in range, so
+        // the nearest-int conversion is exact).
+        let scale = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            _mm256_cvtps_epi32(nv),
+            bias,
+        )));
+        let t = _mm256_mul_ps(p, scale);
+        // tanh = copysign((1 - t) / (1 + t), u)
+        let r = _mm256_div_ps(_mm256_sub_ps(one, t), _mm256_add_ps(one, t));
+        let tanh = _mm256_or_ps(_mm256_andnot_ps(sign_mask, r), _mm256_and_ps(sign_mask, u));
+        // gelu = (0.5 · x) · (1 + tanh)
+        let out = _mm256_mul_ps(_mm256_mul_ps(half, x), _mm256_add_ps(one, tanh));
+        _mm256_storeu_ps(xs.as_mut_ptr().add(i), out);
+        i += 8;
+    }
+    for x in xs[i..].iter_mut() {
+        *x = crate::activation::gelu(*x);
+    }
+}
+
 /// `acc[j] += v[j] as f32 * s` — the attention value-mixing update. The
 /// `d_head` accumulator lanes are independent, so vectorizing across `j`
 /// preserves each lane's scalar operation order exactly (one multiply
@@ -265,6 +618,95 @@ mod tests {
                 .map(|i| ((i * 91 + seed * 3) % 251) as i8)
                 .collect(),
         )
+    }
+
+    #[test]
+    fn batch_dot_matches_per_row_dot_exactly() {
+        // The batched maddubs kernel must agree with the per-row dot for
+        // every group size, length (vector body + tail) and sign pattern;
+        // activations stay in [-127, 127] per the contract, the weight
+        // row exercises the full i8 range including -128.
+        for len in [0usize, 1, 31, 32, 33, 64, 100, 1024] {
+            let w: Vec<i8> = (0..len).map(|i| ((i * 37) % 256) as u8 as i8).collect();
+            let xs: Vec<Vec<i8>> = (0..8)
+                .map(|t| {
+                    (0..len)
+                        .map(|i| (((i * 91 + t * 13) % 255) as i16 - 127) as i8)
+                        .collect()
+                })
+                .collect();
+            let expect: Vec<i32> = xs.iter().map(|x| dot_i8_i32_scalar(&w, x)).collect();
+            let got8 = dot_i8_i32_batch::<8>(&w, std::array::from_fn(|k| xs[k].as_slice()));
+            assert_eq!(got8.to_vec(), expect, "x8 len {len}");
+            let got4 = dot_i8_i32_batch::<4>(&w, std::array::from_fn(|k| xs[k].as_slice()));
+            assert_eq!(got4.to_vec(), expect[..4].to_vec(), "x4 len {len}");
+            let got2 = dot_i8_i32_batch::<2>(&w, std::array::from_fn(|k| xs[k].as_slice()));
+            assert_eq!(got2.to_vec(), expect[..2].to_vec(), "x2 len {len}");
+        }
+    }
+
+    #[test]
+    fn biased_batch_dot_is_exact_over_full_i8_range() {
+        // The bias identity must hold for every i8 value — including
+        // -128 on both sides — at vector-body and tail lengths.
+        for len in [0usize, 1, 63, 64, 65, 128, 1000] {
+            let w: Vec<i8> = (0..len).map(|i| ((i * 37) % 256) as u8 as i8).collect();
+            let xs: Vec<Vec<i8>> = (0..8)
+                .map(|t| {
+                    (0..len)
+                        .map(|i| ((i * 91 + t * 13) % 256) as u8 as i8)
+                        .collect()
+                })
+                .collect();
+            let sum = row_sum_i8(&w);
+            let mut xu = Vec::new();
+            let biased: Vec<Vec<u8>> = xs
+                .iter()
+                .map(|x| {
+                    bias_to_unsigned(x, &mut xu);
+                    xu.clone()
+                })
+                .collect();
+            let expect: Vec<i32> = xs.iter().map(|x| dot_i8_i32_scalar(&w, x)).collect();
+            let got = dot_biased_i8_i32_batch::<8>(
+                &w,
+                sum,
+                std::array::from_fn(|k| biased[k].as_slice()),
+            );
+            assert_eq!(got.to_vec(), expect, "len {len}");
+        }
+    }
+
+    #[test]
+    fn gelu_slice_matches_scalar_gelu_bitwise() {
+        // Vector body + scalar tail, signs, zeros, saturation range.
+        for len in [0usize, 1, 7, 8, 9, 64, 1000] {
+            let mut buf: Vec<f32> = (0..len)
+                .map(|i| ((i as f32 * 0.37).sin() * 6.0) + if i % 3 == 0 { -0.5 } else { 0.25 })
+                .collect();
+            if len > 4 {
+                buf[1] = 0.0;
+                buf[2] = -0.0;
+                buf[3] = 42.0;
+                buf[4] = -42.0;
+            }
+            let expect: Vec<f32> = buf.iter().map(|&x| crate::activation::gelu(x)).collect();
+            gelu_slice(&mut buf);
+            for (i, (a, e)) in buf.iter().zip(&expect).enumerate() {
+                assert_eq!(a.to_bits(), e.to_bits(), "len {len} index {i}: {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_dot_saturation_corner_is_exact() {
+        // Worst-case magnitudes: |w| = 128 against |x| = 127 everywhere.
+        // Pair sums reach 2·128·127 = 32512 < 2^15: no i16 saturation.
+        let w = vec![-128i8; 64];
+        let hot = vec![127i8; 64];
+        let cold = vec![-127i8; 64];
+        let out = dot_i8_i32_batch::<2>(&w, [&hot, &cold]);
+        assert_eq!(out, [-128 * 127 * 64, 128 * 127 * 64]);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use looplynx::baselines::gpu::A100Model;
 use looplynx::core::{ArchConfig, LoopLynx};
 use looplynx::model::gpt2::Gpt2Model;
 use looplynx::model::tokenizer::ByteTokenizer;
-use looplynx::model::{ModelConfig, Sampler};
+use looplynx::model::{Autoregressive, ModelConfig, Sampler};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ModelConfig::gpt2_medium();

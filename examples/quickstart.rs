@@ -10,7 +10,7 @@ use looplynx::core::router::RingMode;
 use looplynx::core::{ArchConfig, LoopLynx};
 use looplynx::model::gpt2::Gpt2Model;
 use looplynx::model::tokenizer::ByteTokenizer;
-use looplynx::model::{ModelConfig, Sampler};
+use looplynx::model::{Autoregressive, ModelConfig, Sampler};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. Cycle-accurate timing of GPT-2 (345M) on a dual-node U50 ----

@@ -6,7 +6,7 @@ use looplynx::core::engine::DistributedGpt2;
 use looplynx::core::router::RingMode;
 use looplynx::model::gpt2::Gpt2Model;
 use looplynx::model::tokenizer::ByteTokenizer;
-use looplynx::model::{ModelConfig, Sampler};
+use looplynx::model::{Autoregressive, ModelConfig, Sampler};
 
 fn reference() -> Gpt2Model {
     Gpt2Model::synthetic(&ModelConfig::tiny(), 0xC0FFEE)
