@@ -1,0 +1,34 @@
+//! Chaos harness: replays bursty/overload traces through the serving
+//! gateway while injecting faults at 0/1/5/20%, writes
+//! `BENCH_robustness.json`, and exits non-zero on any invariant
+//! violation (pass `--quick` for the CI-sized workload, and an optional
+//! output path as the other argument).
+
+use std::env;
+use std::fs;
+
+use looplynx_bench::chaos;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_robustness.json");
+    for arg in env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}; usage: chaos [--quick] [output.json]");
+                std::process::exit(2);
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+    let report = chaos::measure(quick);
+    print!("{}", chaos::render(&report));
+    let json = chaos::to_json(&report);
+    fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+    if !report.passed() {
+        eprintln!("robustness invariants violated");
+        std::process::exit(1);
+    }
+}

@@ -19,9 +19,14 @@
 //! `serve_sweep`) measures the serving layer: sustained tokens/s and
 //! TTFT/TPOT/end-to-end latency percentiles vs Poisson arrival rate,
 //! continuous batching against a serve-one-request-at-a-time baseline.
+//! [`chaos`] (binary `chaos`) is the robustness gate: it replays
+//! bursty/overload traces through the fault-tolerant gateway under
+//! injected faults and verifies conservation, bit-exact completions,
+//! and graceful goodput degradation.
 
 #![deny(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod hotpath;
 pub mod paper;

@@ -251,18 +251,23 @@ fn decode_phase_tok_s(
         .map(|r| {
             backend
                 .prefill(r.prefill_tokens, r.prompt.as_deref(), r.id)
+                .expect("bench workload fits the arena")
                 .slot
         })
         .collect();
     let mut decode_ms = 0.0f64;
     let mut tokens = 0usize;
     for _ in 1..decode_tokens {
-        let out = backend.decode_batch(&slots);
+        let out = backend
+            .decode_batch(&slots)
+            .expect("bench decodes resident slots");
         decode_ms += out.elapsed_ms;
         tokens += slots.len();
     }
     for slot in slots {
-        backend.release(slot);
+        backend
+            .release(slot)
+            .expect("bench releases resident slots");
     }
     if decode_ms <= 0.0 {
         return 0.0;

@@ -21,11 +21,102 @@
 //! logits), each decode iteration advances a *batch* of resident slots by
 //! one token, and completed requests release their slots.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use looplynx_model::sampler::Sampler;
 
 use crate::engine::{DistributedGpt2, LoopLynx};
+
+/// Why a backend operation could not be carried out.
+///
+/// Failure is part of the serving contract: a gateway that admits
+/// millions of requests must be able to *observe* slot pressure, injected
+/// chaos faults, and crashed worker threads as values, not as process
+/// aborts. Every variant is either **transient** (retrying the same
+/// operation may succeed — see [`BackendError::is_transient`]) or
+/// **permanent** (the request, or the whole backend, is lost).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// Every resident-sequence slot is occupied: admission outran
+    /// completion. Not retryable *now*, but clears when a resident
+    /// releases — schedulers should hold the request, not drop it.
+    SlotsExhausted {
+        /// The backend's slot capacity at the time of the call.
+        capacity: usize,
+    },
+    /// A deterministic fault-injection wrapper
+    /// ([`crate::fault::FaultyBackend`]) vetoed the operation before the
+    /// inner backend ran. The inner state is untouched, so a retry is
+    /// exact: completed requests stay bit-identical to a fault-free run.
+    InjectedFault {
+        /// Operation the fault was injected into (`"prefill"`,
+        /// `"decode"`).
+        op: &'static str,
+    },
+    /// A token-producing backend was asked to prefill a request that
+    /// carries no prompt tokens.
+    MissingPrompt,
+    /// The declared prompt length disagrees with the prompt tokens
+    /// actually supplied.
+    PromptLengthMismatch {
+        /// `prefill_tokens` the caller declared.
+        declared: usize,
+        /// Tokens actually present in the prompt.
+        got: usize,
+    },
+    /// A node worker panicked mid-operation. The engine's KV/slot state
+    /// can no longer be trusted, so the backend poisons itself: every
+    /// subsequent operation fails with this error and the gateway must
+    /// drain its residents as failed.
+    WorkerPoisoned {
+        /// Rendered panic payload (best effort).
+        detail: String,
+    },
+    /// An operation named a slot no resident sequence owns.
+    SlotNotResident {
+        /// The offending slot index.
+        slot: usize,
+    },
+}
+
+impl BackendError {
+    /// Whether retrying the *same* operation can succeed: injected faults
+    /// veto one call, not the request. Slot exhaustion is wait-don't-retry
+    /// (it clears on release, not on retry), and the remaining variants
+    /// are permanent contract violations or lost engines.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, BackendError::InjectedFault { .. })
+    }
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::SlotsExhausted { capacity } => {
+                write!(f, "all {capacity} sequence slots are resident")
+            }
+            BackendError::InjectedFault { op } => write!(f, "injected {op} fault"),
+            BackendError::MissingPrompt => write!(
+                f,
+                "token-producing backend needs real prompt tokens \
+                 (Request::with_prompt / ArrivalProcess::workload_with_prompts)"
+            ),
+            BackendError::PromptLengthMismatch { declared, got } => {
+                write!(f, "prompt declared {declared} tokens but carries {got}")
+            }
+            BackendError::WorkerPoisoned { detail } => {
+                write!(f, "worker panicked, backend poisoned: {detail}")
+            }
+            BackendError::SlotNotResident { slot } => {
+                write!(f, "slot {slot} has no resident sequence")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
 
 /// Outcome of admitting one request's prompt.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +148,13 @@ pub struct DecodeOutcome {
 /// include it at most once, `release` frees it. A slot's sequence length
 /// grows by one per decode iteration; the backend enforces its own
 /// capacity bounds.
+///
+/// Every operation is fallible: slot pressure, injected chaos faults and
+/// crashed worker threads surface as [`BackendError`] values the serving
+/// gateway can retry, shed or fail — never as panics that take the
+/// process down. An `Err` means the operation did **not** happen (no slot
+/// claimed, no token produced, no clock advanced), except
+/// [`BackendError::WorkerPoisoned`], after which the backend is lost.
 pub trait InferenceBackend {
     /// Short name for reports (`"sim"`, `"functional"`).
     fn name(&self) -> &'static str;
@@ -67,6 +165,8 @@ pub trait InferenceBackend {
 
     /// Sequences the backend can hold resident simultaneously (the
     /// admission ceiling alongside the scheduler's own batch bound).
+    /// May *shrink* over a backend's lifetime — e.g. when a fault
+    /// wrapper leaks slot releases — so schedulers should re-read it.
     fn capacity(&self) -> usize;
 
     /// Admits one prompt: claims a slot, processes `prompt_len` prompt
@@ -77,31 +177,42 @@ pub trait InferenceBackend {
     /// timing-only backends ignore it, token-producing backends require
     /// it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no slot is free (call sites must respect
-    /// [`InferenceBackend::capacity`]) or a required prompt is missing.
+    /// [`BackendError::SlotsExhausted`] when no slot is free;
+    /// [`BackendError::MissingPrompt`] /
+    /// [`BackendError::PromptLengthMismatch`] on bad prompts;
+    /// [`BackendError::InjectedFault`] / [`BackendError::WorkerPoisoned`]
+    /// from fault wrappers and crashed workers. On error no slot is held.
     fn prefill(
         &mut self,
         prompt_len: usize,
         prompt: Option<&[u32]>,
         sampler_seed: u64,
-    ) -> PrefillOutcome;
+    ) -> Result<PrefillOutcome, BackendError>;
 
     /// One decode iteration: every slot in `slots` advances by one token,
     /// sharing every weight pass.
     ///
+    /// # Errors
+    ///
+    /// [`BackendError::SlotNotResident`] if a slot is free;
+    /// [`BackendError::InjectedFault`] / [`BackendError::WorkerPoisoned`]
+    /// from fault wrappers and crashed workers. On `Err` no slot
+    /// advanced, so retrying the identical call is exact.
+    ///
     /// # Panics
     ///
-    /// Panics if `slots` is empty, repeats a slot, or names a free slot.
-    fn decode_batch(&mut self, slots: &[usize]) -> DecodeOutcome;
+    /// May panic if `slots` is empty or repeats a slot — those are
+    /// scheduler bugs, not runtime conditions.
+    fn decode_batch(&mut self, slots: &[usize]) -> Result<DecodeOutcome, BackendError>;
 
     /// Frees a completed request's slot.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the slot is not resident.
-    fn release(&mut self, slot: usize);
+    /// [`BackendError::SlotNotResident`] if the slot is already free.
+    fn release(&mut self, slot: usize) -> Result<(), BackendError>;
 }
 
 // ------------------------------------------------------------ SimBackend
@@ -153,51 +264,62 @@ impl InferenceBackend for SimBackend<'_> {
         prompt_len: usize,
         _prompt: Option<&[u32]>,
         _sampler_seed: u64,
-    ) -> PrefillOutcome {
+    ) -> Result<PrefillOutcome, BackendError> {
         let slot = match self.contexts.iter().position(Option::is_none) {
             Some(free) => free,
             None => {
-                assert!(self.contexts.len() < self.capacity(), "no free slot");
+                if self.contexts.len() >= self.capacity() {
+                    return Err(BackendError::SlotsExhausted {
+                        capacity: self.capacity(),
+                    });
+                }
                 self.contexts.push(None);
                 self.contexts.len() - 1
             }
         };
         self.contexts[slot] = Some(prompt_len);
-        PrefillOutcome {
+        Ok(PrefillOutcome {
             slot,
             elapsed_ms: self
                 .engine
                 .simulate_prefill(prompt_len)
                 .to_millis(self.engine.arch()),
             first_token: None,
-        }
+        })
     }
 
-    fn decode_batch(&mut self, slots: &[usize]) -> DecodeOutcome {
+    fn decode_batch(&mut self, slots: &[usize]) -> Result<DecodeOutcome, BackendError> {
         // Context of each pass is the post-append cache length, exactly as
-        // the pre-trait scheduler computed it.
-        let contexts: Vec<usize> = slots
-            .iter()
-            .map(|&s| self.contexts[s].expect("decode on free slot") + 1)
-            .collect();
+        // the pre-trait scheduler computed it. Validate every slot before
+        // mutating any, so an `Err` leaves all contexts untouched.
+        let mut contexts = Vec::with_capacity(slots.len());
+        for &s in slots {
+            match self.contexts.get(s).copied().flatten() {
+                Some(ctx) => contexts.push(ctx + 1),
+                None => return Err(BackendError::SlotNotResident { slot: s }),
+            }
+        }
         let elapsed_ms = self
             .engine
             .simulate_decode_batch(&contexts)
             .to_millis(self.engine.arch());
         for &s in slots {
-            *self.contexts[s].as_mut().expect("decode on free slot") += 1;
+            *self.contexts[s].as_mut().expect("validated above") += 1;
         }
-        DecodeOutcome {
+        Ok(DecodeOutcome {
             elapsed_ms,
             tokens: None,
-        }
+        })
     }
 
-    fn release(&mut self, slot: usize) {
-        assert!(
-            self.contexts[slot].take().is_some(),
-            "slot {slot} not resident"
-        );
+    fn release(&mut self, slot: usize) -> Result<(), BackendError> {
+        match self.contexts.get_mut(slot) {
+            Some(ctx @ Some(_)) => {
+                *ctx = None;
+                Ok(())
+            }
+            _ => Err(BackendError::SlotNotResident { slot }),
+        }
     }
 }
 
@@ -249,6 +371,21 @@ pub struct FunctionalBackend {
     engine: DistributedGpt2,
     spec: SamplerSpec,
     residents: Vec<Option<Resident>>,
+    /// Set when a worker panic was caught mid-operation: the engine's
+    /// KV/slot state may be partially mutated, so every subsequent
+    /// operation fails rather than serving corrupt context.
+    poisoned: Option<String>,
+}
+
+/// Renders a caught panic payload for [`BackendError::WorkerPoisoned`].
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl FunctionalBackend {
@@ -270,12 +407,35 @@ impl FunctionalBackend {
             engine,
             spec,
             residents: (0..slots).map(|_| None).collect(),
+            poisoned: None,
         }
     }
 
     /// The underlying functional engine.
     pub fn engine(&self) -> &DistributedGpt2 {
         &self.engine
+    }
+
+    /// Whether a caught worker panic has poisoned this backend.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// Fails fast once the backend is poisoned.
+    fn check_poisoned(&self) -> Result<(), BackendError> {
+        match &self.poisoned {
+            Some(detail) => Err(BackendError::WorkerPoisoned {
+                detail: detail.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Marks the backend poisoned and returns the matching error.
+    fn poison(&mut self, payload: Box<dyn std::any::Any + Send>) -> BackendError {
+        let detail = panic_detail(payload);
+        self.poisoned = Some(detail.clone());
+        BackendError::WorkerPoisoned { detail }
     }
 }
 
@@ -297,48 +457,63 @@ impl InferenceBackend for FunctionalBackend {
         prompt_len: usize,
         prompt: Option<&[u32]>,
         sampler_seed: u64,
-    ) -> PrefillOutcome {
-        let prompt = prompt.expect(
-            "functional backend needs real prompt tokens \
-             (Request::with_prompt / ArrivalProcess::workload_with_prompts)",
-        );
-        assert_eq!(prompt.len(), prompt_len, "prompt length mismatch");
+    ) -> Result<PrefillOutcome, BackendError> {
+        self.check_poisoned()?;
+        let prompt = prompt.ok_or(BackendError::MissingPrompt)?;
+        if prompt.len() != prompt_len {
+            return Err(BackendError::PromptLengthMismatch {
+                declared: prompt_len,
+                got: prompt.len(),
+            });
+        }
         let start = Instant::now();
-        let slot = self.engine.acquire_slot().expect("no free slot");
-        let logits = self.engine.prefill_slot(slot, prompt);
+        let slot = self
+            .engine
+            .acquire_slot()
+            .ok_or(BackendError::SlotsExhausted {
+                capacity: self.engine.slots(),
+            })?;
+        // A panic below (worker thread or host path) leaves the slot's KV
+        // partially written; the backend poisons itself rather than serve
+        // from a cache it cannot trust.
+        let logits = match catch_unwind(AssertUnwindSafe(|| self.engine.prefill_slot(slot, prompt)))
+        {
+            Ok(logits) => logits,
+            Err(payload) => return Err(self.poison(payload)),
+        };
         let mut sampler = self.spec.build(sampler_seed);
         let first = sampler.sample(&logits);
         self.residents[slot] = Some(Resident {
             sampler,
             last_token: first,
         });
-        PrefillOutcome {
+        Ok(PrefillOutcome {
             slot,
             elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
             first_token: Some(first),
-        }
+        })
     }
 
-    fn decode_batch(&mut self, slots: &[usize]) -> DecodeOutcome {
-        let entries: Vec<(usize, u32)> = slots
-            .iter()
-            .map(|&s| {
-                (
-                    s,
-                    self.residents[s]
-                        .as_ref()
-                        .expect("decode on free slot")
-                        .last_token,
-                )
-            })
-            .collect();
+    fn decode_batch(&mut self, slots: &[usize]) -> Result<DecodeOutcome, BackendError> {
+        self.check_poisoned()?;
+        let mut entries = Vec::with_capacity(slots.len());
+        for &s in slots {
+            match self.residents.get(s).and_then(Option::as_ref) {
+                Some(r) => entries.push((s, r.last_token)),
+                None => return Err(BackendError::SlotNotResident { slot: s }),
+            }
+        }
         let start = Instant::now();
-        let logits = self.engine.decode_step_batch(&entries);
+        let logits =
+            match catch_unwind(AssertUnwindSafe(|| self.engine.decode_step_batch(&entries))) {
+                Ok(logits) => logits,
+                Err(payload) => return Err(self.poison(payload)),
+            };
         let tokens: Vec<u32> = slots
             .iter()
             .zip(&logits)
             .map(|(&s, row)| {
-                let resident = self.residents[s].as_mut().expect("decode on free slot");
+                let resident = self.residents[s].as_mut().expect("validated above");
                 let next = resident.sampler.sample(row);
                 resident.last_token = next;
                 next
@@ -347,18 +522,24 @@ impl InferenceBackend for FunctionalBackend {
         // Sampling is part of the serving pipeline's critical path, so it
         // bills to the clock here exactly as prefill bills its first-token
         // sample.
-        DecodeOutcome {
+        Ok(DecodeOutcome {
             elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
             tokens: Some(tokens),
-        }
+        })
     }
 
-    fn release(&mut self, slot: usize) {
-        assert!(
-            self.residents[slot].take().is_some(),
-            "slot {slot} not resident"
-        );
+    fn release(&mut self, slot: usize) -> Result<(), BackendError> {
+        self.check_poisoned()?;
+        if self
+            .residents
+            .get_mut(slot)
+            .and_then(Option::take)
+            .is_none()
+        {
+            return Err(BackendError::SlotNotResident { slot });
+        }
         self.engine.release_slot(slot);
+        Ok(())
     }
 }
 
@@ -379,27 +560,68 @@ mod tests {
         )
         .unwrap();
         let mut backend = SimBackend::new(&engine);
-        let p = backend.prefill(16, None, 0);
+        let p = backend.prefill(16, None, 0).unwrap();
         assert_eq!(
             p.elapsed_ms,
             engine.simulate_prefill(16).to_millis(engine.arch())
         );
         assert_eq!(p.first_token, None);
-        let d = backend.decode_batch(&[p.slot]);
+        let d = backend.decode_batch(&[p.slot]).unwrap();
         assert_eq!(
             d.elapsed_ms,
             engine.simulate_decode_batch(&[17]).to_millis(engine.arch())
         );
         // context advanced: next pass is one longer
-        let d2 = backend.decode_batch(&[p.slot]);
+        let d2 = backend.decode_batch(&[p.slot]).unwrap();
         assert_eq!(
             d2.elapsed_ms,
             engine.simulate_decode_batch(&[18]).to_millis(engine.arch())
         );
-        backend.release(p.slot);
+        backend.release(p.slot).unwrap();
         // slot is recyclable
-        let p2 = backend.prefill(8, None, 1);
+        let p2 = backend.prefill(8, None, 1).unwrap();
         assert_eq!(p2.slot, p.slot);
+    }
+
+    #[test]
+    fn sim_backend_over_admission_is_a_typed_error() {
+        let engine = LoopLynx::new(
+            ModelConfig::gpt2_medium(),
+            ArchConfig::builder().nodes(1).build().unwrap(),
+        )
+        .unwrap();
+        let mut backend = SimBackend::new(&engine);
+        let capacity = backend.capacity();
+        for _ in 0..capacity {
+            backend.prefill(4, None, 0).unwrap();
+        }
+        assert_eq!(
+            backend.prefill(4, None, 0).unwrap_err(),
+            BackendError::SlotsExhausted { capacity }
+        );
+        // Exhaustion clears on release — the request was held, not lost.
+        backend.release(0).unwrap();
+        assert_eq!(backend.prefill(4, None, 0).unwrap().slot, 0);
+    }
+
+    #[test]
+    fn sim_backend_free_slot_operations_are_typed_errors() {
+        let engine = LoopLynx::new(
+            ModelConfig::gpt2_medium(),
+            ArchConfig::builder().nodes(1).build().unwrap(),
+        )
+        .unwrap();
+        let mut backend = SimBackend::new(&engine);
+        let p = backend.prefill(4, None, 0).unwrap();
+        assert_eq!(
+            backend.decode_batch(&[p.slot + 1]).unwrap_err(),
+            BackendError::SlotNotResident { slot: p.slot + 1 }
+        );
+        backend.release(p.slot).unwrap();
+        assert_eq!(
+            backend.release(p.slot).unwrap_err(),
+            BackendError::SlotNotResident { slot: p.slot }
+        );
     }
 
     #[test]
@@ -413,13 +635,13 @@ mod tests {
         let outs: Vec<PrefillOutcome> = prompts
             .iter()
             .enumerate()
-            .map(|(i, p)| backend.prefill(p.len(), Some(p), i as u64))
+            .map(|(i, p)| backend.prefill(p.len(), Some(p), i as u64).unwrap())
             .collect();
         let mut produced: Vec<Vec<u32>> =
             outs.iter().map(|o| vec![o.first_token.unwrap()]).collect();
         let slots: Vec<usize> = outs.iter().map(|o| o.slot).collect();
         for _ in 0..4 {
-            let d = backend.decode_batch(&slots);
+            let d = backend.decode_batch(&slots).unwrap();
             for (seq, &tok) in produced.iter_mut().zip(d.tokens.as_ref().unwrap()) {
                 seq.push(tok);
             }
@@ -432,11 +654,66 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "real prompt tokens")]
     fn functional_backend_requires_prompts() {
         let model = Gpt2Model::synthetic(&ModelConfig::tiny(), 9);
         let engine = DistributedGpt2::with_slots(&model, 1, RingMode::Exact, 1, 8).unwrap();
         let mut backend = FunctionalBackend::new(engine, SamplerSpec::Greedy);
-        let _ = backend.prefill(4, None, 0);
+        assert_eq!(
+            backend.prefill(4, None, 0).unwrap_err(),
+            BackendError::MissingPrompt
+        );
+        assert_eq!(
+            backend.prefill(4, Some(&[1, 2]), 0).unwrap_err(),
+            BackendError::PromptLengthMismatch {
+                declared: 4,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn functional_backend_slot_exhaustion_recovers_on_release() {
+        // Regression for the slot-exhaustion satellite: over-admitting past
+        // slot capacity must surface a typed error, hold no slot, and
+        // succeed again once a resident releases.
+        let model = Gpt2Model::synthetic(&ModelConfig::tiny(), 11);
+        let engine = DistributedGpt2::with_slots(&model, 1, RingMode::Exact, 2, 16).unwrap();
+        let mut backend = FunctionalBackend::new(engine, SamplerSpec::Greedy);
+        let a = backend.prefill(2, Some(&[1, 2]), 0).unwrap();
+        let b = backend.prefill(2, Some(&[3, 4]), 1).unwrap();
+        for _ in 0..3 {
+            assert_eq!(
+                backend.prefill(2, Some(&[5, 6]), 2).unwrap_err(),
+                BackendError::SlotsExhausted { capacity: 2 }
+            );
+        }
+        // Residents are unperturbed by the failed admissions.
+        let d = backend.decode_batch(&[a.slot, b.slot]).unwrap();
+        assert_eq!(d.tokens.as_ref().unwrap().len(), 2);
+        backend.release(a.slot).unwrap();
+        let c = backend.prefill(2, Some(&[5, 6]), 2).unwrap();
+        assert_eq!(c.slot, a.slot, "lowest free slot recycled");
+    }
+
+    #[test]
+    fn functional_backend_catches_panics_and_poisons() {
+        // A prompt longer than the slot capacity panics deep inside the
+        // engine's KV arena; the backend must catch it, report a typed
+        // error, and refuse further service instead of crashing the
+        // process or serving from a half-written cache.
+        let model = Gpt2Model::synthetic(&ModelConfig::tiny(), 13);
+        let engine = DistributedGpt2::with_slots(&model, 1, RingMode::Exact, 1, 4).unwrap();
+        let mut backend = FunctionalBackend::new(engine, SamplerSpec::Greedy);
+        let long: Vec<u32> = (0..9).collect();
+        let err = backend.prefill(long.len(), Some(&long), 0).unwrap_err();
+        assert!(
+            matches!(err, BackendError::WorkerPoisoned { .. }),
+            "got {err:?}"
+        );
+        assert!(backend.is_poisoned());
+        assert!(matches!(
+            backend.prefill(2, Some(&[1, 2]), 1).unwrap_err(),
+            BackendError::WorkerPoisoned { .. }
+        ));
     }
 }

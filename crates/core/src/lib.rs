@@ -22,6 +22,11 @@
 //!   distributed inference.
 //! * [`latency`] — latency breakdown buckets (paper Fig. 5).
 //! * [`energy`] — per-token energy model.
+//! * [`backend`] — the fallible serving contract
+//!   ([`backend::InferenceBackend`], [`backend::BackendError`]) over the
+//!   sim and functional substrates.
+//! * [`fault`] — deterministic chaos: seeded [`fault::FaultPlan`]s applied
+//!   by [`fault::FaultyBackend`] to any backend.
 //!
 //! # Example
 //!
@@ -46,6 +51,7 @@ pub mod config;
 pub mod datapack;
 pub mod energy;
 pub mod engine;
+pub mod fault;
 pub mod host;
 pub mod kernels;
 pub mod latency;

@@ -26,6 +26,27 @@ use std::thread::JoinHandle;
 /// A type-erased unit of work shipped to a worker thread.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A job dispatched through [`WorkerPool::try_run`] panicked.
+///
+/// The worker thread itself survives (panics are caught on the worker),
+/// so the pool remains fully serviceable — this is the recoverable
+/// surface the serving stack's fault tolerance is built on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the first job (= node) that panicked.
+    pub job: usize,
+    /// Rendered panic payload (best effort).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool job {} panicked: {}", self.job, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
 /// A fixed set of long-lived worker threads, one per ring node.
 pub struct WorkerPool {
     workers: Vec<Worker>,
@@ -84,6 +105,56 @@ impl WorkerPool {
         T: Send + 'env,
         I: IntoIterator<Item = Box<dyn FnOnce() -> T + Send + 'env>>,
     {
+        self.run_raw(jobs)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|payload| resume_unwind(payload)))
+            .collect()
+    }
+
+    /// Like [`WorkerPool::run`], but a panicking job becomes an `Err`
+    /// instead of re-throwing: the first panic (in job order) is reported
+    /// and the pool — whose threads catch panics and live on — stays
+    /// usable. Every dispatched job still completes before this returns,
+    /// so the borrow-safety argument of `run` is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`JobPanic`] naming the first panicked job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more jobs are supplied than workers exist.
+    pub fn try_run<'env, T, I>(&self, jobs: I) -> Result<Vec<T>, JobPanic>
+    where
+        T: Send + 'env,
+        I: IntoIterator<Item = Box<dyn FnOnce() -> T + Send + 'env>>,
+    {
+        let mut out = Vec::new();
+        for (job, result) in self.run_raw(jobs).into_iter().enumerate() {
+            match result {
+                Ok(v) => out.push(v),
+                Err(payload) => {
+                    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "non-string panic payload".to_string()
+                    };
+                    return Err(JobPanic { job, message });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Dispatches one job per worker and joins them all, returning each
+    /// job's caught outcome in job order.
+    fn run_raw<'env, T, I>(&self, jobs: I) -> Vec<std::thread::Result<T>>
+    where
+        T: Send + 'env,
+        I: IntoIterator<Item = Box<dyn FnOnce() -> T + Send + 'env>>,
+    {
         // Drain the caller's iterator BEFORE dispatching anything: user
         // code inside the iterator may panic, and once a single job is in
         // flight an unwind past this frame would free the borrows that
@@ -128,9 +199,6 @@ impl WorkerPool {
             .collect();
         assert!(!worker_died, "pool worker died before dispatch");
         results
-            .into_iter()
-            .map(|r| r.unwrap_or_else(|payload| resume_unwind(payload)))
-            .collect()
     }
 }
 
@@ -261,6 +329,30 @@ mod tests {
             job
         }));
         assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn try_run_reports_panic_as_error_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let err = pool
+            .try_run((0..2).map(|i| {
+                let job: Box<dyn FnOnce() -> i32 + Send> = Box::new(move || {
+                    assert!(i != 1, "job {i} exploded");
+                    i
+                });
+                job
+            }))
+            .unwrap_err();
+        assert_eq!(err.job, 1);
+        assert!(err.message.contains("exploded"), "message: {}", err.message);
+        // All threads caught their panics and keep serving.
+        let out = pool
+            .try_run((0..2).map(|i| {
+                let job: Box<dyn FnOnce() -> i32 + Send> = Box::new(move || i + 7);
+                job
+            }))
+            .unwrap();
+        assert_eq!(out, vec![7, 8]);
     }
 
     #[test]

@@ -116,7 +116,9 @@ fn finish<B: InferenceBackend>(
     active: Active,
     completion_ms: f64,
 ) {
-    backend.release(active.slot);
+    backend
+        .release(active.slot)
+        .expect("scheduler releases only resident slots");
     done.push(RequestMetrics {
         id: active.req.id,
         arrival_ms: active.req.arrival_ms,
@@ -175,7 +177,12 @@ pub fn serve_continuous_on<B: InferenceBackend>(
         while active.len() < max_batch && queue.front().is_some_and(|r| r.arrival_ms <= clock) {
             let req = queue.pop_front().expect("front checked");
             let start = clock.max(req.arrival_ms);
-            let outcome = backend.prefill(req.prefill_tokens, req.prompt.as_deref(), req.id);
+            // These schedulers assume a well-behaved backend (the gateway
+            // is the fault-tolerant path): admission respects capacity and
+            // prompts are pre-validated, so errors here are caller bugs.
+            let outcome = backend
+                .prefill(req.prefill_tokens, req.prompt.as_deref(), req.id)
+                .unwrap_or_else(|e| panic!("prefill of request {} failed: {e}", req.id));
             clock = start + outcome.elapsed_ms;
             let entry = Active {
                 slot: outcome.slot,
@@ -196,7 +203,9 @@ pub fn serve_continuous_on<B: InferenceBackend>(
 
         // One decode iteration: every resident gains one token.
         let slots: Vec<usize> = active.iter().map(|a| a.slot).collect();
-        let outcome = backend.decode_batch(&slots);
+        let outcome = backend
+            .decode_batch(&slots)
+            .expect("decode of resident slots failed");
         clock += outcome.elapsed_ms;
         iterations += 1;
         occupancy.add(active.len() as f64);
@@ -239,7 +248,9 @@ pub fn serve_sequential_on<B: InferenceBackend>(
 
     for req in queue {
         let start = clock.max(req.arrival_ms);
-        let outcome = backend.prefill(req.prefill_tokens, req.prompt.as_deref(), req.id);
+        let outcome = backend
+            .prefill(req.prefill_tokens, req.prompt.as_deref(), req.id)
+            .unwrap_or_else(|e| panic!("prefill of request {} failed: {e}", req.id));
         clock = start + outcome.elapsed_ms;
         let mut entry = Active {
             slot: outcome.slot,
@@ -252,7 +263,9 @@ pub fn serve_sequential_on<B: InferenceBackend>(
         // same cost model as the batched path (a singleton batch is
         // cycle-identical to a plain decode token).
         for _ in 1..entry.req.decode_tokens {
-            let outcome = backend.decode_batch(&[entry.slot]);
+            let outcome = backend
+                .decode_batch(&[entry.slot])
+                .expect("decode of resident slot failed");
             clock += outcome.elapsed_ms;
             iterations += 1;
             occupancy.add(1.0);

@@ -1,0 +1,1088 @@
+//! The fault-tolerant serving gateway: deadlines, admission control,
+//! cancellation, and retry — the ingress tier in front of the
+//! continuous-batching scheduler.
+//!
+//! [`batcher::serve_continuous_on`](crate::batcher::serve_continuous_on)
+//! is a fair-weather scheduler: every request is pre-admitted, nothing
+//! can fail, and nothing can be late. [`serve_gateway_on`] wraps the same
+//! continuous-batching core with the machinery a production ingress needs:
+//!
+//! * **Admission control** — a bounded queue ([`GatewayConfig::queue_depth`]);
+//!   arrivals past the bound are shed according to [`ShedPolicy`]
+//!   (reject outright, or additionally degrade `decode_tokens` under
+//!   pressure so everyone gets a shorter answer instead of some getting
+//!   none).
+//! * **Deadlines** — TTFT and end-to-end budgets, enforced while queued,
+//!   after prefill, and between decode iterations.
+//! * **Cancellation** — per-request scripted cancel times
+//!   ([`GatewayRequest::cancel_at`]), honored whether the request is
+//!   still queued or already resident.
+//! * **Retry with exponential backoff** — transient backend faults
+//!   ([`BackendError::is_transient`]) are retried up to
+//!   [`GatewayConfig::max_retries`] times; because a vetoed operation
+//!   never touched backend state, retries are bit-exact.
+//! * **Failure containment** — a poisoned backend (caught worker panic)
+//!   fails its residents and sheds the rest of the workload instead of
+//!   hanging or crashing.
+//!
+//! Every offered request terminates in **exactly one** [`Terminal`]
+//! state — `Completed`, `Rejected`, `TimedOut`, `Cancelled` or `Failed` —
+//! recorded in the [`GatewayReport`] alongside the usual
+//! [`ServingReport`] latency percentiles for the completed set.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use looplynx_core::backend::{BackendError, InferenceBackend};
+use looplynx_sim::stats::Summary;
+
+use crate::metrics::{GeneratedOutput, ServingReport};
+use crate::request::{Request, RequestMetrics};
+
+/// What the gateway does with arrivals that exceed the bounded queue, and
+/// with admitted requests under queue pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedPolicy {
+    /// Arrivals past [`GatewayConfig::queue_depth`] are rejected; admitted
+    /// requests are served exactly as asked.
+    Reject,
+    /// Arrivals past the queue bound are still rejected, but while the
+    /// queue is more than half full every admission's `decode_tokens` is
+    /// clamped to this ceiling — trading answer length for goodput.
+    Degrade {
+        /// Decode-token ceiling applied under pressure (≥ 1).
+        max_decode_tokens: usize,
+    },
+}
+
+/// Gateway policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GatewayConfig {
+    /// Decode-batch ceiling (the backend's capacity caps it further).
+    pub max_batch: usize,
+    /// Arrived-but-not-admitted requests held before load shedding.
+    pub queue_depth: usize,
+    /// Time-to-first-token budget from arrival (ms); `None` disables.
+    pub ttft_deadline_ms: Option<f64>,
+    /// End-to-end budget from arrival (ms); `None` disables. A request's
+    /// own [`GatewayRequest::with_deadline`] overrides this.
+    pub e2e_deadline_ms: Option<f64>,
+    /// Retries per operation for transient faults (0 = fail fast).
+    pub max_retries: u32,
+    /// Base backoff billed to the serving clock before retry `n + 1`;
+    /// doubles each attempt (`base × 2ⁿ`).
+    pub retry_backoff_ms: f64,
+    /// Load-shedding policy.
+    pub shed: ShedPolicy,
+}
+
+impl GatewayConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `queue_depth` is zero, a deadline or the
+    /// backoff is non-finite or negative, or a degrade ceiling is zero.
+    pub fn validate(&self) {
+        assert!(self.max_batch >= 1, "max_batch must be at least 1");
+        assert!(self.queue_depth >= 1, "queue_depth must be at least 1");
+        for d in [self.ttft_deadline_ms, self.e2e_deadline_ms]
+            .into_iter()
+            .flatten()
+        {
+            assert!(d.is_finite() && d > 0.0, "deadline {d} must be positive");
+        }
+        assert!(
+            self.retry_backoff_ms.is_finite() && self.retry_backoff_ms >= 0.0,
+            "retry backoff must be finite and non-negative"
+        );
+        if let ShedPolicy::Degrade { max_decode_tokens } = self.shed {
+            assert!(max_decode_tokens >= 1, "degrade ceiling must be at least 1");
+        }
+    }
+}
+
+impl Default for GatewayConfig {
+    /// Eight-deep decode batches over a 32-deep queue, no deadlines,
+    /// three retries with 1 ms base backoff, reject-only shedding.
+    fn default() -> Self {
+        GatewayConfig {
+            max_batch: 8,
+            queue_depth: 32,
+            ttft_deadline_ms: None,
+            e2e_deadline_ms: None,
+            max_retries: 3,
+            retry_backoff_ms: 1.0,
+            shed: ShedPolicy::Reject,
+        }
+    }
+}
+
+/// A [`Request`] plus the gateway-level contract attached to it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatewayRequest {
+    /// The underlying generation request.
+    pub req: Request,
+    /// Per-request end-to-end deadline (ms after arrival), overriding
+    /// [`GatewayConfig::e2e_deadline_ms`].
+    pub deadline_ms: Option<f64>,
+    /// Scripted cancellation time (absolute workload ms): the client
+    /// gives up at this instant whether the request is queued or
+    /// decoding. `None` never cancels.
+    pub cancel_ms: Option<f64>,
+}
+
+impl GatewayRequest {
+    /// Wraps a request with no deadline override and no cancellation.
+    pub fn new(req: Request) -> Self {
+        GatewayRequest {
+            req,
+            deadline_ms: None,
+            cancel_ms: None,
+        }
+    }
+
+    /// Sets a per-request end-to-end deadline, in ms after arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is not positive and finite.
+    #[must_use]
+    pub fn with_deadline(mut self, ms: f64) -> Self {
+        assert!(ms.is_finite() && ms > 0.0, "deadline {ms} must be positive");
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Scripts a cancellation at the given absolute workload time (ms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_ms` is not finite.
+    #[must_use]
+    pub fn cancel_at(mut self, at_ms: f64) -> Self {
+        assert!(at_ms.is_finite(), "cancel time {at_ms} must be finite");
+        self.cancel_ms = Some(at_ms);
+        self
+    }
+
+    /// Wraps a plain workload one-to-one (no deadlines, no cancels).
+    pub fn from_workload(requests: &[Request]) -> Vec<GatewayRequest> {
+        requests.iter().cloned().map(GatewayRequest::new).collect()
+    }
+}
+
+/// Why a request was shed before admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The bounded admission queue was full at arrival.
+    QueueFull,
+    /// Prompt + requested output exceed the backend's `max_seq`.
+    TooLong,
+    /// The backend can make no progress for this request (slot capacity
+    /// collapsed, e.g. leaked to zero, or the backend was lost).
+    Overload,
+}
+
+/// Which enforcement point a deadline expired at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimeoutPhase {
+    /// Still queued: the TTFT or E2E budget expired before admission.
+    Queued,
+    /// Admitted, but the first token arrived after its budget.
+    FirstToken,
+    /// Decoding, but the end-to-end budget expired mid-generation.
+    Decode,
+}
+
+/// The exactly-one terminal state every offered request reaches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Terminal {
+    /// Produced every requested (possibly degraded) output token.
+    Completed,
+    /// Shed by admission control; no backend work was spent.
+    Rejected(RejectReason),
+    /// A deadline expired; any produced tokens are discarded.
+    TimedOut(TimeoutPhase),
+    /// The client's scripted cancellation fired first.
+    Cancelled,
+    /// The backend permanently failed the request (retries exhausted,
+    /// poisoned worker, or a contract violation). Carries the rendered
+    /// error.
+    Failed(String),
+}
+
+/// One request's terminal record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestTerminal {
+    /// Request identifier.
+    pub id: u64,
+    /// Arrival timestamp (ms).
+    pub arrival_ms: f64,
+    /// When the terminal state was reached (ms).
+    pub at_ms: f64,
+    /// The state.
+    pub terminal: Terminal,
+}
+
+/// Terminal-state census of one gateway run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TerminalCounts {
+    /// Requests that completed.
+    pub completed: usize,
+    /// Requests shed by admission control.
+    pub rejected: usize,
+    /// Requests that blew a deadline.
+    pub timed_out: usize,
+    /// Requests cancelled by the client.
+    pub cancelled: usize,
+    /// Requests the backend permanently failed.
+    pub failed: usize,
+}
+
+impl TerminalCounts {
+    /// Total requests across all terminal states.
+    pub fn total(&self) -> usize {
+        self.completed + self.rejected + self.timed_out + self.cancelled + self.failed
+    }
+}
+
+/// Outcome of one gateway run: the completed set's [`ServingReport`] plus
+/// the terminal record of *every* offered request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatewayReport {
+    /// Latency/throughput report over the **completed** requests only.
+    pub serving: ServingReport,
+    /// One terminal record per offered request, in termination order.
+    pub terminals: Vec<RequestTerminal>,
+    /// Transient-fault retries the gateway performed.
+    pub retries: u64,
+    /// Admissions whose `decode_tokens` were degraded under pressure.
+    pub degraded: u64,
+}
+
+impl GatewayReport {
+    /// Requests offered to the gateway.
+    pub fn offered(&self) -> usize {
+        self.terminals.len()
+    }
+
+    /// Census of terminal states.
+    pub fn counts(&self) -> TerminalCounts {
+        let mut c = TerminalCounts::default();
+        for t in &self.terminals {
+            match t.terminal {
+                Terminal::Completed => c.completed += 1,
+                Terminal::Rejected(_) => c.rejected += 1,
+                Terminal::TimedOut(_) => c.timed_out += 1,
+                Terminal::Cancelled => c.cancelled += 1,
+                Terminal::Failed(_) => c.failed += 1,
+            }
+        }
+        c
+    }
+
+    /// The terminal state of request `id`, if it was offered.
+    pub fn terminal_of(&self, id: u64) -> Option<&Terminal> {
+        self.terminals
+            .iter()
+            .find(|t| t.id == id)
+            .map(|t| &t.terminal)
+    }
+
+    /// Output tokens actually delivered to completed requests.
+    pub fn completed_tokens(&self) -> usize {
+        self.serving.total_tokens()
+    }
+
+    /// Goodput: completed output tokens per second over the completed
+    /// set's makespan. `0.0` when nothing completed or the makespan is
+    /// degenerate — an all-rejected run reports zero, never NaN.
+    pub fn goodput_tok_s(&self) -> f64 {
+        self.serving.tokens_per_second()
+    }
+
+    /// Conservation invariant: every offered id reached exactly one
+    /// terminal state (no lost, no double-counted requests), and every
+    /// completed terminal has a matching latency record.
+    pub fn is_conserved(&self, offered: &[GatewayRequest]) -> bool {
+        let mut seen: Vec<u64> = self.terminals.iter().map(|t| t.id).collect();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return false;
+        }
+        let mut want: Vec<u64> = offered.iter().map(|r| r.req.id).collect();
+        want.sort_unstable();
+        seen == want && self.counts().completed == self.serving.completed()
+    }
+}
+
+impl std::fmt::Display for GatewayReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = self.counts();
+        writeln!(
+            f,
+            "{} offered: {} completed, {} rejected, {} timed out, \
+             {} cancelled, {} failed ({} retries, {} degraded, \
+             goodput {:.1} tok/s)",
+            self.offered(),
+            c.completed,
+            c.rejected,
+            c.timed_out,
+            c.cancelled,
+            c.failed,
+            self.retries,
+            self.degraded,
+            self.goodput_tok_s(),
+        )?;
+        write!(f, "{}", self.serving)
+    }
+}
+
+/// A request resident in the decode loop.
+#[derive(Debug)]
+struct ActiveReq {
+    gr: GatewayRequest,
+    slot: usize,
+    first_token_ms: f64,
+    tokens: Vec<u32>,
+    produced: usize,
+    /// Output tokens this request will actually get (≤ asked when
+    /// degraded under pressure).
+    target: usize,
+    /// Absolute end-to-end deadline, if any.
+    e2e_deadline_at: Option<f64>,
+}
+
+/// The in-flight state of one gateway run.
+struct Run<'a, B: InferenceBackend> {
+    backend: &'a mut B,
+    cfg: &'a GatewayConfig,
+    clock: f64,
+    pending: VecDeque<GatewayRequest>,
+    queued: VecDeque<GatewayRequest>,
+    active: Vec<ActiveReq>,
+    terminals: Vec<RequestTerminal>,
+    done: Vec<RequestMetrics>,
+    outputs: Vec<GeneratedOutput>,
+    occupancy: Summary,
+    iterations: u64,
+    retries: u64,
+    degraded: u64,
+}
+
+impl<B: InferenceBackend> Run<'_, B> {
+    fn terminate(&mut self, gr: &GatewayRequest, terminal: Terminal) {
+        self.terminals.push(RequestTerminal {
+            id: gr.req.id,
+            arrival_ms: gr.req.arrival_ms,
+            at_ms: self.clock,
+            terminal,
+        });
+    }
+
+    /// Absolute E2E deadline of a request (override beats config).
+    fn e2e_deadline_at(&self, gr: &GatewayRequest) -> Option<f64> {
+        gr.deadline_ms
+            .or(self.cfg.e2e_deadline_ms)
+            .map(|d| gr.req.arrival_ms + d)
+    }
+
+    /// Moves every arrived request into the bounded queue, shedding
+    /// arrivals past `queue_depth`.
+    fn pump_arrivals(&mut self) {
+        while self
+            .pending
+            .front()
+            .is_some_and(|g| g.req.arrival_ms <= self.clock)
+        {
+            let gr = self.pending.pop_front().expect("front checked");
+            if gr.req.peak_context() > self.backend.max_seq() {
+                self.terminate(&gr, Terminal::Rejected(RejectReason::TooLong));
+            } else if self.queued.len() >= self.cfg.queue_depth {
+                self.terminate(&gr, Terminal::Rejected(RejectReason::QueueFull));
+            } else {
+                self.queued.push_back(gr);
+            }
+        }
+    }
+
+    /// Cancels and times out requests still waiting in the queue.
+    fn scan_queued(&mut self) {
+        let mut keep = VecDeque::with_capacity(self.queued.len());
+        while let Some(gr) = self.queued.pop_front() {
+            if gr.cancel_ms.is_some_and(|t| t <= self.clock) {
+                self.terminate(&gr, Terminal::Cancelled);
+            } else if self
+                .cfg
+                .ttft_deadline_ms
+                .is_some_and(|d| self.clock > gr.req.arrival_ms + d)
+                || self.e2e_deadline_at(&gr).is_some_and(|at| self.clock > at)
+            {
+                self.terminate(&gr, Terminal::TimedOut(TimeoutPhase::Queued));
+            } else {
+                keep.push_back(gr);
+            }
+        }
+        self.queued = keep;
+    }
+
+    /// Runs one operation with exponential-backoff retries on transient
+    /// faults, billing the backoff to the serving clock.
+    fn with_retries<T>(
+        &mut self,
+        mut op: impl FnMut(&mut B) -> Result<T, BackendError>,
+    ) -> Result<T, BackendError> {
+        let mut attempt = 0u32;
+        loop {
+            match op(self.backend) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt < self.cfg.max_retries => {
+                    self.retries += 1;
+                    self.clock += self.cfg.retry_backoff_ms * f64::powi(2.0, attempt as i32);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Admits queued requests (FIFO) up to the batch ceiling, prefilling
+    /// each with retry. Requests may terminate here: failed prefills,
+    /// first tokens past their deadline, single-token completions.
+    fn admit(&mut self) {
+        loop {
+            // Prefills advance the clock; requests arriving meanwhile
+            // join this same admission burst (matching the continuous
+            // scheduler's admission semantics).
+            self.pump_arrivals();
+            if self.queued.is_empty() {
+                return;
+            }
+            let room = self.cfg.max_batch.min(self.backend.capacity());
+            if self.active.len() >= room {
+                if self.active.is_empty() {
+                    // room == 0 with nothing resident: capacity has
+                    // collapsed (every slot leaked or lost) and no
+                    // release will ever restore it. Shed the queue —
+                    // the only terminating move.
+                    let stuck: Vec<GatewayRequest> = self.queued.drain(..).collect();
+                    for gr in stuck {
+                        self.terminate(&gr, Terminal::Rejected(RejectReason::Overload));
+                    }
+                }
+                return;
+            }
+            let gr = self.queued.pop_front().expect("non-empty checked");
+
+            // Under pressure, the degrade policy trades answer length for
+            // admission throughput.
+            let mut target = gr.req.decode_tokens;
+            if let ShedPolicy::Degrade { max_decode_tokens } = self.cfg.shed {
+                if self.queued.len() > self.cfg.queue_depth / 2 && target > max_decode_tokens {
+                    target = max_decode_tokens;
+                    self.degraded += 1;
+                }
+            }
+
+            let prefill = self.with_retries(|b| {
+                b.prefill(gr.req.prefill_tokens, gr.req.prompt.as_deref(), gr.req.id)
+            });
+            // Computed after the retry loop so billed backoff is part of
+            // the request's latency, not overwritten by it.
+            let start = self.clock.max(gr.req.arrival_ms);
+            let outcome = match prefill {
+                Ok(o) => o,
+                Err(BackendError::SlotsExhausted { .. }) => {
+                    if self.active.is_empty() {
+                        // Nothing resident will ever release a slot: the
+                        // backend's capacity has collapsed under this
+                        // request (leaked slots, stranded sequences).
+                        // Shedding it is the only way to terminate.
+                        self.terminate(&gr, Terminal::Rejected(RejectReason::Overload));
+                        continue;
+                    }
+                    // A resident will free a slot; hold the request.
+                    self.queued.push_front(gr);
+                    return;
+                }
+                Err(e) => {
+                    self.terminate(&gr, Terminal::Failed(e.to_string()));
+                    if matches!(e, BackendError::WorkerPoisoned { .. }) {
+                        self.drain_lost_backend();
+                        return;
+                    }
+                    continue;
+                }
+            };
+            self.clock = start + outcome.elapsed_ms;
+
+            // First token exists now — is it on time?
+            let ttft_late = self
+                .cfg
+                .ttft_deadline_ms
+                .is_some_and(|d| self.clock > gr.req.arrival_ms + d);
+            let e2e_deadline_at = self.e2e_deadline_at(&gr);
+            if ttft_late || e2e_deadline_at.is_some_and(|at| self.clock > at) {
+                self.backend
+                    .release(outcome.slot)
+                    .expect("slot just prefilled");
+                self.terminate(&gr, Terminal::TimedOut(TimeoutPhase::FirstToken));
+                continue;
+            }
+
+            let entry = ActiveReq {
+                slot: outcome.slot,
+                first_token_ms: self.clock,
+                tokens: outcome.first_token.into_iter().collect(),
+                produced: 1,
+                target,
+                e2e_deadline_at,
+                gr,
+            };
+            if entry.produced >= entry.target {
+                self.complete(entry);
+            } else {
+                self.active.push(entry);
+            }
+        }
+    }
+
+    /// Completes a resident request: releases its slot, records metrics,
+    /// tokens and the terminal state.
+    fn complete(&mut self, a: ActiveReq) {
+        self.backend
+            .release(a.slot)
+            .expect("completed request owned its slot");
+        self.done.push(RequestMetrics {
+            id: a.gr.req.id,
+            arrival_ms: a.gr.req.arrival_ms,
+            first_token_ms: a.first_token_ms,
+            completion_ms: self.clock,
+            prefill_tokens: a.gr.req.prefill_tokens,
+            decode_tokens: a.produced,
+        });
+        if !a.tokens.is_empty() {
+            self.outputs.push(GeneratedOutput {
+                id: a.gr.req.id,
+                tokens: a.tokens,
+            });
+        }
+        self.terminate(&a.gr, Terminal::Completed);
+    }
+
+    /// Fails every resident and sheds everything still waiting: the
+    /// backend is lost (poisoned worker) and can serve nothing more.
+    fn drain_lost_backend(&mut self) {
+        for a in std::mem::take(&mut self.active) {
+            // The poisoned backend may refuse the release; the slot is
+            // lost either way.
+            let _ = self.backend.release(a.slot);
+            self.terminate(&a.gr, Terminal::Failed("backend poisoned".into()));
+        }
+        let waiting: Vec<GatewayRequest> = self
+            .queued
+            .drain(..)
+            .chain(std::mem::take(&mut self.pending))
+            .collect();
+        for gr in waiting {
+            self.terminate(&gr, Terminal::Rejected(RejectReason::Overload));
+        }
+    }
+
+    /// One decode iteration over every resident, with retry. On permanent
+    /// failure every resident fails (their streams cannot be trusted to
+    /// resume exactly).
+    fn decode_round(&mut self) {
+        let slots: Vec<usize> = self.active.iter().map(|a| a.slot).collect();
+        let outcome = match self.with_retries(|b| b.decode_batch(&slots)) {
+            Ok(o) => o,
+            Err(e) => {
+                if matches!(e, BackendError::WorkerPoisoned { .. }) {
+                    self.drain_lost_backend();
+                } else {
+                    let detail =
+                        format!("decode failed after {} retries: {e}", self.cfg.max_retries);
+                    for a in std::mem::take(&mut self.active) {
+                        let _ = self.backend.release(a.slot);
+                        self.terminate(&a.gr, Terminal::Failed(detail.clone()));
+                    }
+                }
+                return;
+            }
+        };
+        self.clock += outcome.elapsed_ms;
+        self.iterations += 1;
+        self.occupancy.add(self.active.len() as f64);
+        for (i, a) in self.active.iter_mut().enumerate() {
+            a.produced += 1;
+            if let Some(tokens) = &outcome.tokens {
+                a.tokens.push(tokens[i]);
+            }
+        }
+
+        // Completion first (a request that just finished beat its
+        // deadline by definition of "finished at this clock"), then
+        // cancellation, then deadline enforcement.
+        let mut still_active = Vec::with_capacity(self.active.len());
+        for a in std::mem::take(&mut self.active) {
+            if a.produced >= a.target {
+                self.complete(a);
+            } else if a.gr.cancel_ms.is_some_and(|t| t <= self.clock) {
+                self.backend
+                    .release(a.slot)
+                    .expect("cancelled request owned its slot");
+                self.terminate(&a.gr, Terminal::Cancelled);
+            } else if a.e2e_deadline_at.is_some_and(|at| self.clock > at) {
+                self.backend
+                    .release(a.slot)
+                    .expect("timed-out request owned its slot");
+                self.terminate(&a.gr, Terminal::TimedOut(TimeoutPhase::Decode));
+            } else {
+                still_active.push(a);
+            }
+        }
+        self.active = still_active;
+    }
+}
+
+/// Serves a workload through the fault-tolerant gateway on any backend.
+///
+/// Drives the same continuous-batching schedule as
+/// [`crate::batcher::serve_continuous_on`], but every hazard a real
+/// ingress faces — queue overflow, deadline misses, client cancellations,
+/// transient and permanent backend faults, collapsing slot capacity — is
+/// absorbed into a per-request [`Terminal`] state instead of a panic or a
+/// hang. The run always terminates: every offered request reaches exactly
+/// one terminal state.
+///
+/// Requests that complete produce token streams bit-identical to a
+/// fault-free run of the same request (vetoed operations never touch
+/// backend state; per-request samplers make streams schedule-invariant).
+///
+/// # Panics
+///
+/// Panics only on caller bugs: an invalid `cfg` (see
+/// [`GatewayConfig::validate`]) or duplicate request ids.
+pub fn serve_gateway_on<B: InferenceBackend>(
+    backend: &mut B,
+    requests: &[GatewayRequest],
+    cfg: &GatewayConfig,
+) -> GatewayReport {
+    cfg.validate();
+    let mut sorted: Vec<GatewayRequest> = requests.to_vec();
+    sorted.sort_by(|a, b| {
+        a.req
+            .arrival_ms
+            .partial_cmp(&b.req.arrival_ms)
+            .expect("arrival times are finite")
+    });
+    {
+        let mut ids: Vec<u64> = sorted.iter().map(|g| g.req.id).collect();
+        ids.sort_unstable();
+        assert!(
+            ids.windows(2).all(|w| w[0] != w[1]),
+            "duplicate request ids break terminal accounting"
+        );
+    }
+
+    let mut run = Run {
+        backend,
+        cfg,
+        clock: 0.0,
+        pending: sorted.into(),
+        queued: VecDeque::new(),
+        active: Vec::new(),
+        terminals: Vec::new(),
+        done: Vec::new(),
+        outputs: Vec::new(),
+        occupancy: Summary::new(),
+        iterations: 0,
+        retries: 0,
+        degraded: 0,
+    };
+
+    while !run.pending.is_empty() || !run.queued.is_empty() || !run.active.is_empty() {
+        // Idle: jump to the next arrival (the only future event while
+        // nothing is queued or resident — queued requests either admit or
+        // terminate within this iteration).
+        if run.active.is_empty() && run.queued.is_empty() {
+            if let Some(front) = run.pending.front() {
+                run.clock = run.clock.max(front.req.arrival_ms);
+            }
+        }
+        run.pump_arrivals();
+        run.scan_queued();
+        run.admit();
+        if run.active.is_empty() {
+            continue;
+        }
+        run.decode_round();
+    }
+
+    GatewayReport {
+        serving: ServingReport::with_outputs(run.done, run.outputs, run.iterations, run.occupancy),
+        terminals: run.terminals,
+        retries: run.retries,
+        degraded: run.degraded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use looplynx_core::backend::{FunctionalBackend, SamplerSpec, SimBackend};
+    use looplynx_core::config::ArchConfig;
+    use looplynx_core::engine::{DistributedGpt2, LoopLynx};
+    use looplynx_core::fault::{FaultPlan, FaultyBackend};
+    use looplynx_core::router::RingMode;
+    use looplynx_model::config::ModelConfig;
+    use looplynx_model::gpt2::Gpt2Model;
+
+    use crate::arrival::ArrivalProcess;
+    use crate::batcher::{serve_continuous_on, ServeConfig};
+
+    fn engine(nodes: usize) -> LoopLynx {
+        LoopLynx::new(
+            ModelConfig::gpt2_medium(),
+            ArchConfig::builder().nodes(nodes).build().unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn functional_backend(slots: usize) -> (Gpt2Model, FunctionalBackend) {
+        let model = Gpt2Model::synthetic(&ModelConfig::tiny(), 2024);
+        let dist = DistributedGpt2::with_slots(&model, 2, RingMode::Exact, slots, 48).unwrap();
+        (model, FunctionalBackend::new(dist, SamplerSpec::Greedy))
+    }
+
+    fn prompted_workload(n: usize, seed: u64) -> Vec<Request> {
+        ArrivalProcess::Trace(vec![0.0; n]).workload_with_prompts(
+            n,
+            &[(6, 5), (4, 7)],
+            ModelConfig::tiny().vocab,
+            seed,
+        )
+    }
+
+    fn no_deadline_cfg() -> GatewayConfig {
+        GatewayConfig::default()
+    }
+
+    #[test]
+    fn fault_free_gateway_matches_continuous_scheduler() {
+        let e = engine(2);
+        let reqs = ArrivalProcess::Trace(vec![0.0, 0.0, 4.0, 9.0]).workload(4, &[(16, 8), (12, 5)]);
+        let baseline = serve_continuous_on(&mut SimBackend::new(&e), &reqs, &ServeConfig::new(8));
+        let gated = serve_gateway_on(
+            &mut SimBackend::new(&e),
+            &GatewayRequest::from_workload(&reqs),
+            &no_deadline_cfg(),
+        );
+        assert!(gated.is_conserved(&GatewayRequest::from_workload(&reqs)));
+        assert_eq!(gated.counts().completed, reqs.len());
+        assert_eq!(gated.retries, 0);
+        // Same schedule, same clock: per-request timing agrees exactly.
+        let mut a: Vec<_> = baseline.requests.clone();
+        let mut b: Vec<_> = gated.serving.requests.clone();
+        a.sort_by_key(|m| m.id);
+        b.sort_by_key(|m| m.id);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert!((x.first_token_ms - y.first_token_ms).abs() < 1e-9);
+            assert!((x.completion_ms - y.completion_ms).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn queue_overflow_sheds_excess_arrivals() {
+        let e = engine(1);
+        let reqs = ArrivalProcess::Trace(vec![0.0; 6]).workload(6, &[(16, 8)]);
+        let offered = GatewayRequest::from_workload(&reqs);
+        let cfg = GatewayConfig {
+            queue_depth: 2,
+            ..no_deadline_cfg()
+        };
+        let report = serve_gateway_on(&mut SimBackend::new(&e), &offered, &cfg);
+        assert!(report.is_conserved(&offered));
+        let c = report.counts();
+        assert_eq!(c.completed, 2);
+        assert_eq!(c.rejected, 4);
+        for t in &report.terminals {
+            if let Terminal::Rejected(r) = t.terminal {
+                assert_eq!(r, RejectReason::QueueFull);
+            }
+        }
+    }
+
+    #[test]
+    fn ttft_deadline_sheds_late_queued_requests() {
+        let e = engine(1);
+        // Batch of 1 serializes the queue; a tight TTFT budget means only
+        // the head of the line can make it.
+        let reqs = ArrivalProcess::Trace(vec![0.0; 4]).workload(4, &[(32, 16)]);
+        let offered = GatewayRequest::from_workload(&reqs);
+        let cfg = GatewayConfig {
+            max_batch: 1,
+            ttft_deadline_ms: Some(1.0),
+            ..no_deadline_cfg()
+        };
+        let report = serve_gateway_on(&mut SimBackend::new(&e), &offered, &cfg);
+        assert!(report.is_conserved(&offered));
+        let c = report.counts();
+        assert!(c.timed_out >= 1, "tight TTFT budget must shed: {report}");
+        assert_eq!(c.completed + c.timed_out, 4);
+        assert!(report
+            .terminals
+            .iter()
+            .all(|t| !matches!(t.terminal, Terminal::Failed(_))));
+    }
+
+    #[test]
+    fn e2e_deadline_expires_mid_decode() {
+        let e = engine(1);
+        // Prefill of 16 tokens takes ~85 simulated ms and each decode
+        // ~6 ms: a 300 ms budget survives prefill but not 64 tokens.
+        let reqs = ArrivalProcess::Trace(vec![0.0]).workload(1, &[(16, 64)]);
+        let offered: Vec<GatewayRequest> = GatewayRequest::from_workload(&reqs)
+            .into_iter()
+            .map(|g| g.with_deadline(300.0))
+            .collect();
+        let report = serve_gateway_on(&mut SimBackend::new(&e), &offered, &no_deadline_cfg());
+        assert!(report.is_conserved(&offered));
+        assert_eq!(
+            report.terminal_of(0),
+            Some(&Terminal::TimedOut(TimeoutPhase::Decode))
+        );
+        assert_eq!(report.serving.completed(), 0);
+    }
+
+    #[test]
+    fn cancellation_honored_queued_and_resident() {
+        let e = engine(1);
+        let reqs = ArrivalProcess::Trace(vec![0.0, 0.0, 0.0]).workload(3, &[(16, 32)]);
+        let mut offered = GatewayRequest::from_workload(&reqs);
+        // Batch of 1: request 1 waits behind request 0 and cancels while
+        // queued; request 0 cancels mid-decode.
+        offered[0] = offered[0].clone().cancel_at(40.0);
+        offered[1] = offered[1].clone().cancel_at(1.0);
+        let cfg = GatewayConfig {
+            max_batch: 1,
+            ..no_deadline_cfg()
+        };
+        let report = serve_gateway_on(&mut SimBackend::new(&e), &offered, &cfg);
+        assert!(report.is_conserved(&offered));
+        assert_eq!(report.terminal_of(0), Some(&Terminal::Cancelled));
+        assert_eq!(report.terminal_of(1), Some(&Terminal::Cancelled));
+        assert_eq!(report.terminal_of(2), Some(&Terminal::Completed));
+    }
+
+    #[test]
+    fn degrade_policy_trades_length_for_goodput() {
+        let e = engine(1);
+        let reqs = ArrivalProcess::Trace(vec![0.0; 8]).workload(8, &[(16, 32)]);
+        let offered = GatewayRequest::from_workload(&reqs);
+        let cfg = GatewayConfig {
+            max_batch: 2,
+            queue_depth: 8,
+            shed: ShedPolicy::Degrade {
+                max_decode_tokens: 4,
+            },
+            ..no_deadline_cfg()
+        };
+        let report = serve_gateway_on(&mut SimBackend::new(&e), &offered, &cfg);
+        assert!(report.is_conserved(&offered));
+        assert_eq!(report.counts().completed, 8);
+        assert!(report.degraded > 0, "pressure must trigger degradation");
+        assert!(report.serving.requests.iter().any(|m| m.decode_tokens == 4));
+        // Early admissions saw no pressure and kept their full ask.
+        assert!(report
+            .serving
+            .requests
+            .iter()
+            .any(|m| m.decode_tokens == 32));
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_not_a_panic() {
+        let e = engine(1);
+        let mut offered = GatewayRequest::from_workload(
+            &ArrivalProcess::Trace(vec![0.0]).workload(1, &[(16, 8)]),
+        );
+        offered.push(GatewayRequest::new(Request::new(1, 0.0, 5000, 100)));
+        let report = serve_gateway_on(&mut SimBackend::new(&e), &offered, &no_deadline_cfg());
+        assert!(report.is_conserved(&offered));
+        assert_eq!(
+            report.terminal_of(1),
+            Some(&Terminal::Rejected(RejectReason::TooLong))
+        );
+        assert_eq!(report.terminal_of(0), Some(&Terminal::Completed));
+    }
+
+    #[test]
+    fn all_rejected_run_produces_well_formed_report() {
+        let e = engine(1);
+        let offered: Vec<GatewayRequest> = (0..3)
+            .map(|id| GatewayRequest::new(Request::new(id, 0.0, 5000, 100)))
+            .collect();
+        let report = serve_gateway_on(&mut SimBackend::new(&e), &offered, &no_deadline_cfg());
+        assert!(report.is_conserved(&offered));
+        assert_eq!(report.counts().rejected, 3);
+        assert_eq!(report.goodput_tok_s(), 0.0);
+        assert_eq!(report.serving.makespan_ms(), 0.0);
+        assert_eq!(report.serving.ttft_ms.p50(), None);
+        // Display must not panic on the degenerate report.
+        let _ = format!("{report}");
+    }
+
+    #[test]
+    fn transient_faults_retry_to_bit_exact_completion() {
+        let reqs = prompted_workload(5, 11);
+        let offered = GatewayRequest::from_workload(&reqs);
+
+        let (_m1, mut clean) = functional_backend(4);
+        let clean_report = serve_gateway_on(&mut clean, &offered, &no_deadline_cfg());
+        assert_eq!(clean_report.counts().completed, 5);
+
+        let (_m2, inner) = functional_backend(4);
+        let mut faulty = FaultyBackend::new(
+            inner,
+            FaultPlan {
+                seed: 7,
+                prefill_fail_rate: 0.3,
+                decode_fail_rate: 0.3,
+                stall_rate: 0.0,
+                stall_ms: 0.0,
+                release_leak_rate: 0.0,
+            },
+        );
+        let cfg = GatewayConfig {
+            max_retries: 64,
+            ..no_deadline_cfg()
+        };
+        let report = serve_gateway_on(&mut faulty, &offered, &cfg);
+        assert!(report.is_conserved(&offered));
+        assert_eq!(report.counts().completed, 5, "{report}");
+        assert!(report.retries > 0, "fault plan must have fired");
+        for r in &reqs {
+            assert_eq!(
+                report.serving.output_tokens(r.id),
+                clean_report.serving.output_tokens(r.id),
+                "request {} diverged under retry",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_fail_requests_without_hanging() {
+        let (_m, inner) = functional_backend(4);
+        let mut faulty = FaultyBackend::new(
+            inner,
+            FaultPlan {
+                seed: 3,
+                prefill_fail_rate: 1.0,
+                decode_fail_rate: 1.0,
+                stall_rate: 0.0,
+                stall_ms: 0.0,
+                release_leak_rate: 0.0,
+            },
+        );
+        let reqs = prompted_workload(3, 5);
+        let offered = GatewayRequest::from_workload(&reqs);
+        let cfg = GatewayConfig {
+            max_retries: 2,
+            ..no_deadline_cfg()
+        };
+        let report = serve_gateway_on(&mut faulty, &offered, &cfg);
+        assert!(report.is_conserved(&offered));
+        assert_eq!(report.counts().failed, 3);
+        for t in &report.terminals {
+            assert!(matches!(t.terminal, Terminal::Failed(_)));
+        }
+    }
+
+    #[test]
+    fn leaked_slots_collapse_into_overload_rejection() {
+        // Every release leaks: capacity shrinks to zero and the tail of
+        // the workload must be shed, not hung.
+        let (_m, inner) = functional_backend(2);
+        let mut faulty = FaultyBackend::new(
+            inner,
+            FaultPlan {
+                seed: 9,
+                prefill_fail_rate: 0.0,
+                decode_fail_rate: 0.0,
+                stall_rate: 0.0,
+                stall_ms: 0.0,
+                release_leak_rate: 1.0,
+            },
+        );
+        let reqs = prompted_workload(6, 21);
+        let offered = GatewayRequest::from_workload(&reqs);
+        let report = serve_gateway_on(&mut faulty, &offered, &no_deadline_cfg());
+        assert!(report.is_conserved(&offered));
+        let c = report.counts();
+        assert_eq!(c.completed, 2, "two slots leak after two completions");
+        assert_eq!(c.rejected, 4);
+        assert!(report
+            .terminals
+            .iter()
+            .all(|t| !matches!(t.terminal, Terminal::Rejected(RejectReason::QueueFull))));
+    }
+
+    #[test]
+    fn poisoned_backend_fails_head_and_sheds_tail() {
+        let (_m, mut backend) = functional_backend(4);
+        // Poison the backend up front: an over-long prompt panics inside
+        // the engine and the backend catches it.
+        let oversize = vec![1u32; 64];
+        assert!(backend.prefill(64, Some(&oversize), 0).is_err());
+        let reqs = prompted_workload(3, 8);
+        let offered = GatewayRequest::from_workload(&reqs);
+        let report = serve_gateway_on(&mut backend, &offered, &no_deadline_cfg());
+        assert!(report.is_conserved(&offered));
+        let c = report.counts();
+        assert_eq!(c.failed, 1, "head request observes the poisoned worker");
+        assert_eq!(c.rejected, 2, "tail is shed, not hung");
+    }
+
+    #[test]
+    fn stalls_bill_the_serving_clock() {
+        let (_m1, inner) = functional_backend(4);
+        let mut faulty = FaultyBackend::new(
+            inner,
+            FaultPlan {
+                seed: 13,
+                prefill_fail_rate: 0.0,
+                decode_fail_rate: 0.0,
+                stall_rate: 1.0,
+                stall_ms: 500.0,
+                release_leak_rate: 0.0,
+            },
+        );
+        let reqs = prompted_workload(2, 31);
+        let offered = GatewayRequest::from_workload(&reqs);
+        let stalled = serve_gateway_on(&mut faulty, &offered, &no_deadline_cfg());
+        let (_m2, mut clean) = functional_backend(4);
+        let smooth = serve_gateway_on(&mut clean, &offered, &no_deadline_cfg());
+        assert_eq!(stalled.counts().completed, 2);
+        assert!(
+            stalled.serving.e2e_ms.p50().unwrap() > smooth.serving.e2e_ms.p50().unwrap() + 400.0,
+            "stalls must show up in latency"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate request ids")]
+    fn duplicate_ids_rejected() {
+        let e = engine(1);
+        let offered = vec![
+            GatewayRequest::new(Request::new(7, 0.0, 8, 4)),
+            GatewayRequest::new(Request::new(7, 1.0, 8, 4)),
+        ];
+        let _ = serve_gateway_on(&mut SimBackend::new(&e), &offered, &no_deadline_cfg());
+    }
+}

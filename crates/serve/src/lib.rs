@@ -18,6 +18,11 @@
 //!   iterations and share every weight pass) and
 //!   [`batcher::serve_sequential_on`] (the one-request-at-a-time
 //!   baseline), plus sim-pinned convenience wrappers.
+//! * [`gateway`] — the fault-tolerant ingress tier
+//!   ([`gateway::serve_gateway_on`]): per-request deadlines and
+//!   cancellation, bounded-queue admission control with load shedding,
+//!   retry with exponential backoff, and exactly-one-terminal-state
+//!   accounting ([`gateway::Terminal`]) for every offered request.
 //! * [`metrics`] — [`metrics::ServingReport`]: throughput, p50/p95/p99
 //!   latency percentiles via [`looplynx_sim::stats::Percentiles`], and —
 //!   on token-producing backends — every request's generated tokens.
@@ -49,12 +54,17 @@
 
 pub mod arrival;
 pub mod batcher;
+pub mod gateway;
 pub mod metrics;
 pub mod request;
 
 pub use arrival::ArrivalProcess;
 pub use batcher::{
     serve_continuous, serve_continuous_on, serve_sequential, serve_sequential_on, ServeConfig,
+};
+pub use gateway::{
+    serve_gateway_on, GatewayConfig, GatewayReport, GatewayRequest, RejectReason, ShedPolicy,
+    Terminal, TimeoutPhase,
 };
 pub use metrics::{GeneratedOutput, ServingReport};
 pub use request::{Request, RequestMetrics};

@@ -1,0 +1,122 @@
+//! Property suite: fault injection never changes *what* completed
+//! requests compute, only *whether/when* they complete.
+//!
+//! For any seeded [`FaultPlan`] the gateway's retry path replays vetoed
+//! operations against an unperturbed backend, so every request that
+//! reaches `Completed` must produce a token stream bit-identical to the
+//! fault-free run of the same workload. This is the serving-tier
+//! extension of the batched-decode exactness suite: faults may shed,
+//! stall, or strand requests, but they may never corrupt one.
+
+use proptest::prelude::*;
+
+use looplynx_core::backend::{FunctionalBackend, SamplerSpec};
+use looplynx_core::engine::DistributedGpt2;
+use looplynx_core::fault::{FaultPlan, FaultyBackend};
+use looplynx_core::router::RingMode;
+use looplynx_model::config::ModelConfig;
+use looplynx_model::gpt2::Gpt2Model;
+use looplynx_serve::{
+    serve_gateway_on, ArrivalProcess, GatewayConfig, GatewayRequest, ShedPolicy, Terminal,
+};
+
+const SLOTS: usize = 4;
+
+fn fresh_backend(model: &Gpt2Model) -> FunctionalBackend {
+    let engine = DistributedGpt2::with_slots(model, 2, RingMode::Exact, SLOTS, 48)
+        .expect("tiny model partitions");
+    FunctionalBackend::new(engine, SamplerSpec::Greedy)
+}
+
+fn workload(n: usize, seed: u64) -> Vec<GatewayRequest> {
+    let cfg = ModelConfig::tiny();
+    let reqs = ArrivalProcess::Trace(vec![0.0; n]).workload_with_prompts(
+        n,
+        &[(6, 7), (4, 9), (8, 5)],
+        cfg.vocab,
+        seed,
+    );
+    GatewayRequest::from_workload(&reqs)
+}
+
+fn gateway_cfg() -> GatewayConfig {
+    GatewayConfig {
+        max_batch: SLOTS,
+        queue_depth: 64,
+        // No deadlines: the functional clock is measured host time, and
+        // this suite is about token exactness, not latency.
+        ttft_deadline_ms: None,
+        e2e_deadline_ms: None,
+        max_retries: 48,
+        retry_backoff_ms: 0.5,
+        shed: ShedPolicy::Reject,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any seeded fault plan, completed requests are bit-identical
+    /// to the fault-free run, and the run conserves every request.
+    #[test]
+    fn completed_streams_survive_any_fault_plan(
+        plan_seed in any::<u64>(),
+        workload_seed in any::<u64>(),
+        prefill_rate in 0.0f64..0.4,
+        decode_rate in 0.0f64..0.4,
+        stall_rate in 0.0f64..0.3,
+        leak_rate in 0.0f64..0.3,
+        n in 4usize..10,
+    ) {
+        let model = Gpt2Model::synthetic(&ModelConfig::tiny(), 2024);
+        let offered = workload(n, workload_seed);
+
+        let mut clean = fresh_backend(&model);
+        let reference = serve_gateway_on(&mut clean, &offered, &gateway_cfg());
+        prop_assert_eq!(reference.counts().completed, n, "fault-free run completes all");
+
+        let plan = FaultPlan {
+            seed: plan_seed,
+            prefill_fail_rate: prefill_rate,
+            decode_fail_rate: decode_rate,
+            stall_rate,
+            stall_ms: 250.0,
+            release_leak_rate: leak_rate,
+        };
+        let mut faulty = FaultyBackend::new(fresh_backend(&model), plan);
+        let report = serve_gateway_on(&mut faulty, &offered, &gateway_cfg());
+
+        // Conservation: exactly one terminal per offered request.
+        prop_assert!(report.is_conserved(&offered), "{}", report);
+
+        // Exactness: every completed stream matches the reference.
+        for t in &report.terminals {
+            if t.terminal != Terminal::Completed {
+                continue;
+            }
+            prop_assert_eq!(
+                report.serving.output_tokens(t.id),
+                reference.serving.output_tokens(t.id),
+                "request {} diverged under plan {:?}", t.id, plan
+            );
+        }
+    }
+
+    /// The fault-free plan is fully transparent: wrapping the backend in
+    /// `FaultyBackend` with `FaultPlan::none()` leaves the gateway run's
+    /// outputs and terminal census unchanged.
+    #[test]
+    fn none_plan_is_transparent(workload_seed in any::<u64>(), n in 3usize..8) {
+        let model = Gpt2Model::synthetic(&ModelConfig::tiny(), 2024);
+        let offered = workload(n, workload_seed);
+
+        let mut bare = fresh_backend(&model);
+        let a = serve_gateway_on(&mut bare, &offered, &gateway_cfg());
+        let mut wrapped = FaultyBackend::new(fresh_backend(&model), FaultPlan::none());
+        let b = serve_gateway_on(&mut wrapped, &offered, &gateway_cfg());
+
+        prop_assert_eq!(a.counts(), b.counts());
+        prop_assert_eq!(a.serving.outputs, b.serving.outputs);
+        prop_assert_eq!(b.retries, 0);
+    }
+}
