@@ -229,6 +229,7 @@ fn run_cell(model: &Gpt2Model, spec: &CellSpec<'_>) -> ChaosCell {
         ttft_deadline_ms: None,
         e2e_deadline_ms: None,
         shed: ShedPolicy::Reject,
+        prefill_chunk: None,
     };
     let mut backend = FaultyBackend::new(
         fresh_backend(model, spec.slots),

@@ -58,6 +58,45 @@ pub struct Baseline {
     pub tiny_decode_tok_s_1node: f64,
 }
 
+/// Page-pressure cell: fixed-stride vs paged KV at **equal arena
+/// bytes**. The fixed-stride engine reserves `capacity` tokens per slot
+/// up front, so its resident concurrency is hard-capped at
+/// `arena_tokens / capacity` no matter how short the requests are. The
+/// paged engine spends the same token pool page-by-page, so short
+/// requests only hold what they touch and many more fit at once. The
+/// acceptance bar for the paged-KV work is `concurrency_ratio >= 2`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PagePressure {
+    /// Per-slot KV capacity (tokens) on both sides.
+    pub capacity: usize,
+    /// Total KV token pool — identical on both sides (equal arena bytes).
+    pub arena_tokens: usize,
+    /// Fixed-stride slots (= `arena_tokens / capacity`).
+    pub fixed_slots: usize,
+    /// Paged slots offered (oversubscribed against the pool).
+    pub paged_slots: usize,
+    /// Tokens per page on the paged side.
+    pub page_tokens: usize,
+    /// Pages in the paged pool (= `arena_tokens / page_tokens`).
+    pub pool_pages: usize,
+    /// Requests served (all arriving at t = 0).
+    pub requests: usize,
+    /// Prompt tokens per request.
+    pub prefill_tokens: usize,
+    /// Output tokens per request.
+    pub decode_tokens: usize,
+    /// Peak resident requests, fixed-stride arena (best repetition).
+    pub fixed_peak_resident: f64,
+    /// Peak resident requests, paged arena (best repetition).
+    pub paged_peak_resident: f64,
+    /// `paged_peak_resident / fixed_peak_resident` — must be ≥ 2.
+    pub concurrency_ratio: f64,
+    /// Sustained tokens/s over the makespan, fixed-stride arena.
+    pub fixed_tok_s: f64,
+    /// Sustained tokens/s over the makespan, paged arena.
+    pub paged_tok_s: f64,
+}
+
 /// One measured serving cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchPoint {
@@ -94,6 +133,8 @@ pub struct ServeFunctionalReport {
     pub sequential_decode_tok_s: f64,
     /// Continuous batching at each ceiling of [`BATCH_SWEEP`].
     pub batched: Vec<BatchPoint>,
+    /// Paged-vs-fixed resident-concurrency cell at equal arena bytes.
+    pub page_pressure: PagePressure,
     /// Host wall-clock of the whole measurement.
     pub wall_s: f64,
     /// Whether the run used the reduced `--quick` workload.
@@ -149,6 +190,88 @@ fn fresh_backend(
     let engine = DistributedGpt2::with_slots(model, nodes, RingMode::Exact, slots, capacity)
         .expect("benchmark model partitions");
     FunctionalBackend::new(engine, SamplerSpec::Greedy)
+}
+
+/// Measures the page-pressure cell on `cfg`: serves the same burst of
+/// short requests through the continuous batcher twice, once on a
+/// fixed-stride arena and once on a paged arena holding the **same
+/// total KV tokens**, and compares peak resident concurrency. Requests
+/// peak at one page of context, so the paged side can keep every slot
+/// resident while the fixed side is capped by its stride.
+pub fn measure_page_pressure(cfg: &ModelConfig) -> PagePressure {
+    const CAPACITY: usize = 64;
+    const FIXED_SLOTS: usize = 4;
+    const PAGE_TOKENS: usize = 16;
+    const PAGED_SLOTS: usize = 16;
+    const ARENA_TOKENS: usize = FIXED_SLOTS * CAPACITY;
+    const POOL_PAGES: usize = ARENA_TOKENS / PAGE_TOKENS;
+    const REQUESTS: usize = 16;
+    const PREFILL: usize = 8;
+    const DECODE: usize = 8;
+
+    let model = Gpt2Model::synthetic(cfg, 4207);
+    let workload = ArrivalProcess::Trace(vec![0.0; REQUESTS]).workload_with_prompts(
+        REQUESTS,
+        &[(PREFILL, DECODE)],
+        cfg.vocab,
+        0x9A6E,
+    );
+    let serve_cfg = ServeConfig::new(PAGED_SLOTS);
+
+    let mut fixed_peak = 0.0f64;
+    let mut fixed_tok_s = 0.0f64;
+    for _ in 0..MEASURE_REPS {
+        let mut backend = fresh_backend(&model, 1, FIXED_SLOTS, CAPACITY);
+        let report = serve_continuous_on(&mut backend, &workload, &serve_cfg);
+        assert_eq!(
+            report.completed(),
+            REQUESTS,
+            "fixed-stride cell dropped requests"
+        );
+        fixed_peak = fixed_peak.max(report.batch_occupancy.max().unwrap_or(0.0));
+        fixed_tok_s = fixed_tok_s.max(report.tokens_per_second());
+    }
+
+    let mut paged_peak = 0.0f64;
+    let mut paged_tok_s = 0.0f64;
+    for _ in 0..MEASURE_REPS {
+        let engine = DistributedGpt2::with_paged_slots(
+            &model,
+            1,
+            RingMode::Exact,
+            PAGED_SLOTS,
+            CAPACITY,
+            PAGE_TOKENS,
+            POOL_PAGES,
+        )
+        .expect("benchmark model partitions");
+        let mut backend = FunctionalBackend::new(engine, SamplerSpec::Greedy);
+        let report = serve_continuous_on(&mut backend, &workload, &serve_cfg);
+        assert_eq!(report.completed(), REQUESTS, "paged cell dropped requests");
+        paged_peak = paged_peak.max(report.batch_occupancy.max().unwrap_or(0.0));
+        paged_tok_s = paged_tok_s.max(report.tokens_per_second());
+    }
+
+    PagePressure {
+        capacity: CAPACITY,
+        arena_tokens: ARENA_TOKENS,
+        fixed_slots: FIXED_SLOTS,
+        paged_slots: PAGED_SLOTS,
+        page_tokens: PAGE_TOKENS,
+        pool_pages: POOL_PAGES,
+        requests: REQUESTS,
+        prefill_tokens: PREFILL,
+        decode_tokens: DECODE,
+        fixed_peak_resident: fixed_peak,
+        paged_peak_resident: paged_peak,
+        concurrency_ratio: if fixed_peak > 0.0 {
+            paged_peak / fixed_peak
+        } else {
+            0.0
+        },
+        fixed_tok_s,
+        paged_tok_s,
+    }
 }
 
 /// Measures one configuration. All requests arrive at t = 0 (maximal
@@ -222,6 +345,8 @@ pub fn measure_model(
         })
         .collect();
 
+    let page_pressure = measure_page_pressure(cfg);
+
     ServeFunctionalReport {
         model: cfg.name.clone(),
         nodes,
@@ -231,6 +356,7 @@ pub fn measure_model(
         sequential_tok_s,
         sequential_decode_tok_s,
         batched,
+        page_pressure,
         wall_s: t0.elapsed().as_secs_f64(),
         quick: false,
     }
@@ -336,6 +462,24 @@ pub fn to_json(report: &ServeFunctionalReport) -> String {
         ));
     }
     out.push_str("  ],\n");
+    let pp = &report.page_pressure;
+    out.push_str(&format!(
+        "  \"page_pressure\": {{\n    \"capacity\": {},\n    \"arena_tokens\": {},\n    \"fixed_slots\": {},\n    \"paged_slots\": {},\n    \"page_tokens\": {},\n    \"pool_pages\": {},\n    \"requests\": {},\n    \"prefill_tokens\": {},\n    \"decode_tokens\": {},\n    \"fixed_peak_resident\": {},\n    \"paged_peak_resident\": {},\n    \"concurrency_ratio\": {},\n    \"fixed_tok_s\": {},\n    \"paged_tok_s\": {}\n  }},\n",
+        pp.capacity,
+        pp.arena_tokens,
+        pp.fixed_slots,
+        pp.paged_slots,
+        pp.page_tokens,
+        pp.pool_pages,
+        pp.requests,
+        pp.prefill_tokens,
+        pp.decode_tokens,
+        json_f64(pp.fixed_peak_resident),
+        json_f64(pp.paged_peak_resident),
+        json_f64(pp.concurrency_ratio),
+        json_f64(pp.fixed_tok_s),
+        json_f64(pp.paged_tok_s),
+    ));
     out.push_str(&format!(
         "  \"batch16_speedup_vs_sequential\": {},\n",
         json_f64(report.batch16_speedup_vs_sequential())
@@ -383,6 +527,26 @@ pub fn render(report: &ServeFunctionalReport) -> String {
         "pre-change single-sequence decode: {:.1} tok/s ({})\n",
         BASELINE.medium_decode_tok_s_1node, BASELINE.captured_at,
     ));
+    let pp = &report.page_pressure;
+    out.push_str(&format!(
+        "PAGE PRESSURE — equal arena bytes ({} KV tokens), {} requests × [{}:{}]\n\
+         \x20 fixed-stride {:>2} slots × {:>3} cap : peak {:>4.1} resident, {:>9.1} tok/s\n\
+         \x20 paged {:>2} slots, {:>2}-token pages : peak {:>4.1} resident, {:>9.1} tok/s\n\
+         \x20 resident-concurrency ratio       : {:>4.2}x (bar: >= 2)\n",
+        pp.arena_tokens,
+        pp.requests,
+        pp.prefill_tokens,
+        pp.decode_tokens,
+        pp.fixed_slots,
+        pp.capacity,
+        pp.fixed_peak_resident,
+        pp.fixed_tok_s,
+        pp.paged_slots,
+        pp.page_tokens,
+        pp.paged_peak_resident,
+        pp.paged_tok_s,
+        pp.concurrency_ratio,
+    ));
     out
 }
 
@@ -402,6 +566,24 @@ mod tests {
         assert!(
             r.batched_tok_s(4) >= r.batched_tok_s(1) * 0.5,
             "batch 4 collapsed: {r:?}"
+        );
+    }
+
+    #[test]
+    fn page_pressure_doubles_resident_concurrency() {
+        // The acceptance bar of the paged-KV work: at equal arena bytes,
+        // the paged engine keeps >= 2x the resident requests of the
+        // fixed-stride engine on a short-request burst.
+        let pp = measure_page_pressure(&ModelConfig::tiny());
+        assert_eq!(pp.arena_tokens, pp.pool_pages * pp.page_tokens);
+        assert_eq!(pp.arena_tokens, pp.fixed_slots * pp.capacity);
+        assert!(
+            pp.fixed_peak_resident <= pp.fixed_slots as f64,
+            "fixed side exceeded its own slot count: {pp:?}"
+        );
+        assert!(
+            pp.concurrency_ratio >= 2.0,
+            "paged arena failed the 2x concurrency bar: {pp:?}"
         );
     }
 
@@ -427,6 +609,22 @@ mod tests {
                     decode_tok_s: 1500.0,
                 },
             ],
+            page_pressure: PagePressure {
+                capacity: 64,
+                arena_tokens: 256,
+                fixed_slots: 4,
+                paged_slots: 16,
+                page_tokens: 16,
+                pool_pages: 16,
+                requests: 16,
+                prefill_tokens: 8,
+                decode_tokens: 8,
+                fixed_peak_resident: 4.0,
+                paged_peak_resident: 16.0,
+                concurrency_ratio: 4.0,
+                fixed_tok_s: 900.0,
+                paged_tok_s: 1400.0,
+            },
             wall_s: 2.0,
             quick: true,
         };
@@ -434,6 +632,7 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(j.contains("\"baseline\""));
+        assert!(j.contains("\"concurrency_ratio\": 4.000"));
         assert!(j.contains("\"batch16_speedup_vs_sequential\": 6.000"));
         assert!(render(&report).contains("tok/s"));
     }

@@ -79,6 +79,17 @@ pub enum BackendError {
         /// The offending slot index.
         slot: usize,
     },
+    /// The paged KV pool cannot grant the pages the operation needs:
+    /// resident context outran physical arena bytes. Not retryable *now*
+    /// — it clears when pages free (a release or a preemption), so
+    /// schedulers should preempt or hold, never drop. The operation did
+    /// not run; no KV state changed.
+    PagesExhausted {
+        /// Pages the operation needed.
+        needed: usize,
+        /// Pages that were free at the time of the call.
+        free: usize,
+    },
 }
 
 impl BackendError {
@@ -88,6 +99,16 @@ impl BackendError {
     /// are permanent contract violations or lost engines.
     pub fn is_transient(&self) -> bool {
         matches!(self, BackendError::InjectedFault { .. })
+    }
+
+    /// Whether this is resource pressure that clears when a resident
+    /// releases (slots) or shrinks (KV pages) — wait or preempt, don't
+    /// retry blindly and don't treat it as a permanent failure.
+    pub fn is_resource_pressure(&self) -> bool {
+        matches!(
+            self,
+            BackendError::SlotsExhausted { .. } | BackendError::PagesExhausted { .. }
+        )
     }
 }
 
@@ -111,6 +132,9 @@ impl fmt::Display for BackendError {
             }
             BackendError::SlotNotResident { slot } => {
                 write!(f, "slot {slot} has no resident sequence")
+            }
+            BackendError::PagesExhausted { needed, free } => {
+                write!(f, "KV page pool exhausted: need {needed}, {free} free")
             }
         }
     }
@@ -140,6 +164,42 @@ pub struct DecodeOutcome {
     /// Next token per requested slot, in call order (`None` for
     /// timing-only backends).
     pub tokens: Option<Vec<u32>>,
+}
+
+/// Progress of one chunked-prefill step
+/// ([`InferenceBackend::prefill_step`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefillProgress {
+    /// Time this chunk took, in the backend's clock domain.
+    pub elapsed_ms: f64,
+    /// Prompt tokens still to feed; `0` means the prefill finished and
+    /// the slot is now a decodable resident.
+    pub remaining: usize,
+    /// The request's first output token, sampled when the *final* chunk
+    /// lands (`None` on non-final chunks and for timing-only backends).
+    pub first_token: Option<u32>,
+}
+
+/// A preempted sequence's resumable state, returned by
+/// [`InferenceBackend::preempt`] and consumed by
+/// [`InferenceBackend::resume`].
+///
+/// Holds everything the backend cannot recompute: the sampler mid-stream
+/// (its RNG position matters for top-k) and the last sampled token. The
+/// KV cache itself is *not* carried — resume rebuilds it bit-identically
+/// by re-prefilling the context (int8 GEMM rows accumulate independently,
+/// so a batched re-prefill equals the original token-by-token history).
+#[derive(Debug)]
+pub struct PreemptedSeq {
+    /// Tokens of KV context the sequence held when preempted (prompt +
+    /// produced-but-last); resume must re-feed exactly this many.
+    pub context_len: usize,
+    /// Most recently sampled token, not yet fed to the model (`None` for
+    /// timing-only backends).
+    pub last_token: Option<u32>,
+    /// The sequence's sampler, frozen mid-stream (`None` for timing-only
+    /// backends).
+    pub sampler: Option<Sampler>,
 }
 
 /// The execution substrate behind the serving schedulers.
@@ -213,6 +273,122 @@ pub trait InferenceBackend {
     ///
     /// [`BackendError::SlotNotResident`] if the slot is already free.
     fn release(&mut self, slot: usize) -> Result<(), BackendError>;
+
+    /// Whether [`InferenceBackend::prefill_open`] /
+    /// [`InferenceBackend::prefill_step`] are available, letting the
+    /// scheduler feed long prompts in chunks interleaved with resident
+    /// decode steps.
+    fn supports_chunked_prefill(&self) -> bool {
+        false
+    }
+
+    /// Opens a chunked prefill: claims a slot and stages the prompt
+    /// without feeding any token. Follow with
+    /// [`InferenceBackend::prefill_step`] until `remaining` hits zero;
+    /// the slot only becomes a decodable resident then. Chunk boundaries
+    /// cannot perturb the output: the finished sequence is bit-identical
+    /// to a single-pass [`InferenceBackend::prefill`].
+    ///
+    /// # Errors
+    ///
+    /// The same admission errors as [`InferenceBackend::prefill`]. On
+    /// error no slot is held.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: gate on
+    /// [`InferenceBackend::supports_chunked_prefill`].
+    fn prefill_open(
+        &mut self,
+        prompt_len: usize,
+        prompt: Option<&[u32]>,
+        sampler_seed: u64,
+    ) -> Result<usize, BackendError> {
+        let _ = (prompt_len, prompt, sampler_seed);
+        unimplemented!("backend does not support chunked prefill")
+    }
+
+    /// Feeds the next `max_tokens` (at most) staged prompt tokens into an
+    /// open chunked prefill. The final chunk samples the request's first
+    /// output token.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::SlotNotResident`] if `slot` has no open prefill;
+    /// [`BackendError::PagesExhausted`] when the KV pool cannot back the
+    /// chunk (nothing was fed — shrink the chunk, free pages, or
+    /// preempt); fault-wrapper and poisoned-worker errors as usual.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: gate on
+    /// [`InferenceBackend::supports_chunked_prefill`]. Implementations
+    /// may panic if `max_tokens` is zero.
+    fn prefill_step(
+        &mut self,
+        slot: usize,
+        max_tokens: usize,
+    ) -> Result<PrefillProgress, BackendError> {
+        let _ = (slot, max_tokens);
+        unimplemented!("backend does not support chunked prefill")
+    }
+
+    /// Whether [`InferenceBackend::preempt`] /
+    /// [`InferenceBackend::resume`] are available, letting the scheduler
+    /// evict a resident under page pressure and re-admit it later.
+    fn supports_preemption(&self) -> bool {
+        false
+    }
+
+    /// Evicts a resident sequence: frees its slot (and, on paged
+    /// backends, every page it held) and returns the state needed to
+    /// resume it. The scheduler keeps the request's produced tokens; the
+    /// backend keeps nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::SlotNotResident`] if the slot is free or mid
+    /// chunked-prefill (abandon those by [`InferenceBackend::release`]
+    /// and re-admit from scratch).
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: gate on
+    /// [`InferenceBackend::supports_preemption`].
+    fn preempt(&mut self, slot: usize) -> Result<PreemptedSeq, BackendError> {
+        let _ = slot;
+        unimplemented!("backend does not support preemption")
+    }
+
+    /// Re-admits a preempted sequence: claims a slot, rebuilds its KV
+    /// context bit-identically (token-producing backends re-prefill
+    /// `context`, which must hold exactly `seq.context_len` tokens:
+    /// prompt followed by every produced token except the last), and
+    /// restores its sampler. No new token is sampled — the outcome's
+    /// `first_token` is `None`; decoding continues from the preempted
+    /// `last_token`. `seq` is borrowed so a failed resume leaves the
+    /// caller holding it for the next attempt.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::SlotsExhausted`] / [`BackendError::PagesExhausted`]
+    /// when the sequence does not fit right now;
+    /// [`BackendError::MissingPrompt`] /
+    /// [`BackendError::PromptLengthMismatch`] on bad contexts. On error
+    /// no slot is held.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: gate on
+    /// [`InferenceBackend::supports_preemption`].
+    fn resume(
+        &mut self,
+        seq: &PreemptedSeq,
+        context: Option<&[u32]>,
+    ) -> Result<PrefillOutcome, BackendError> {
+        let _ = (seq, context);
+        unimplemented!("backend does not support preemption")
+    }
 }
 
 // ------------------------------------------------------------ SimBackend
@@ -242,6 +418,23 @@ impl<'a> SimBackend<'a> {
     pub fn engine(&self) -> &LoopLynx {
         self.engine
     }
+
+    /// Claims the lowest free context slot, growing the table on demand
+    /// up to [`SimBackend::capacity`].
+    fn claim_slot(&mut self) -> Result<usize, BackendError> {
+        match self.contexts.iter().position(Option::is_none) {
+            Some(free) => Ok(free),
+            None => {
+                if self.contexts.len() >= self.capacity() {
+                    return Err(BackendError::SlotsExhausted {
+                        capacity: self.capacity(),
+                    });
+                }
+                self.contexts.push(None);
+                Ok(self.contexts.len() - 1)
+            }
+        }
+    }
 }
 
 impl InferenceBackend for SimBackend<'_> {
@@ -265,18 +458,7 @@ impl InferenceBackend for SimBackend<'_> {
         _prompt: Option<&[u32]>,
         _sampler_seed: u64,
     ) -> Result<PrefillOutcome, BackendError> {
-        let slot = match self.contexts.iter().position(Option::is_none) {
-            Some(free) => free,
-            None => {
-                if self.contexts.len() >= self.capacity() {
-                    return Err(BackendError::SlotsExhausted {
-                        capacity: self.capacity(),
-                    });
-                }
-                self.contexts.push(None);
-                self.contexts.len() - 1
-            }
-        };
+        let slot = self.claim_slot()?;
         self.contexts[slot] = Some(prompt_len);
         Ok(PrefillOutcome {
             slot,
@@ -321,6 +503,41 @@ impl InferenceBackend for SimBackend<'_> {
             _ => Err(BackendError::SlotNotResident { slot }),
         }
     }
+
+    fn supports_preemption(&self) -> bool {
+        true
+    }
+
+    fn preempt(&mut self, slot: usize) -> Result<PreemptedSeq, BackendError> {
+        match self.contexts.get_mut(slot).and_then(Option::take) {
+            Some(context_len) => Ok(PreemptedSeq {
+                context_len,
+                last_token: None,
+                sampler: None,
+            }),
+            None => Err(BackendError::SlotNotResident { slot }),
+        }
+    }
+
+    fn resume(
+        &mut self,
+        seq: &PreemptedSeq,
+        _context: Option<&[u32]>,
+    ) -> Result<PrefillOutcome, BackendError> {
+        // Resume re-runs the whole context as one prefill — the timing
+        // model charges exactly what the functional substrate pays to
+        // rebuild the KV cache.
+        let slot = self.claim_slot()?;
+        self.contexts[slot] = Some(seq.context_len);
+        Ok(PrefillOutcome {
+            slot,
+            elapsed_ms: self
+                .engine
+                .simulate_prefill(seq.context_len)
+                .to_millis(self.engine.arch()),
+            first_token: None,
+        })
+    }
 }
 
 // ----------------------------------------------------- FunctionalBackend
@@ -360,6 +577,16 @@ struct Resident {
     last_token: u32,
 }
 
+/// A chunked prefill in flight: the slot is claimed and `fed` prompt
+/// tokens are in its KV cache, but no resident exists yet (the first
+/// output token is sampled when the final chunk lands).
+#[derive(Debug)]
+struct PendingPrefill {
+    prompt: Vec<u32>,
+    fed: usize,
+    sampler_seed: u64,
+}
+
 /// The functional substrate: real W8A8 inference on a [`DistributedGpt2`]
 /// built with [`DistributedGpt2::with_slots`]. Prefill runs the prompt
 /// into the request's slot and samples its first output token; each
@@ -371,6 +598,8 @@ pub struct FunctionalBackend {
     engine: DistributedGpt2,
     spec: SamplerSpec,
     residents: Vec<Option<Resident>>,
+    /// Chunked prefills in flight, by slot (disjoint from `residents`).
+    pending: Vec<Option<PendingPrefill>>,
     /// Set when a worker panic was caught mid-operation: the engine's
     /// KV/slot state may be partially mutated, so every subsequent
     /// operation fails rather than serving corrupt context.
@@ -407,6 +636,7 @@ impl FunctionalBackend {
             engine,
             spec,
             residents: (0..slots).map(|_| None).collect(),
+            pending: (0..slots).map(|_| None).collect(),
             poisoned: None,
         }
     }
@@ -437,6 +667,18 @@ impl FunctionalBackend {
         self.poisoned = Some(detail.clone());
         BackendError::WorkerPoisoned { detail }
     }
+
+    /// Surfaces page pressure as a typed error *before* the engine runs.
+    /// The engine itself treats pool exhaustion as a caller bug (it
+    /// panics, which would poison this backend), so every KV-growing
+    /// operation pre-checks here and returns with no state changed.
+    fn check_pages(&self, needed: usize) -> Result<(), BackendError> {
+        let free = self.engine.free_pages();
+        if needed > free {
+            return Err(BackendError::PagesExhausted { needed, free });
+        }
+        Ok(())
+    }
 }
 
 impl InferenceBackend for FunctionalBackend {
@@ -466,13 +708,17 @@ impl InferenceBackend for FunctionalBackend {
                 got: prompt.len(),
             });
         }
-        let start = Instant::now();
-        let slot = self
-            .engine
-            .acquire_slot()
-            .ok_or(BackendError::SlotsExhausted {
+        // Slot pressure outranks page pressure: a full house is held for
+        // a release either way, and `SlotsExhausted` is what pre-paged
+        // schedulers already understand.
+        if self.engine.free_slots() == 0 {
+            return Err(BackendError::SlotsExhausted {
                 capacity: self.engine.slots(),
-            })?;
+            });
+        }
+        self.check_pages(self.engine.pages_for_tokens(prompt.len()))?;
+        let start = Instant::now();
+        let slot = self.engine.acquire_slot().expect("free slot checked above");
         // A panic below (worker thread or host path) leaves the slot's KV
         // partially written; the backend poisons itself rather than serve
         // from a cache it cannot trust.
@@ -503,6 +749,7 @@ impl InferenceBackend for FunctionalBackend {
                 None => return Err(BackendError::SlotNotResident { slot: s }),
             }
         }
+        self.check_pages(slots.iter().map(|&s| self.engine.pages_needed(s, 1)).sum())?;
         let start = Instant::now();
         let logits =
             match catch_unwind(AssertUnwindSafe(|| self.engine.decode_step_batch(&entries))) {
@@ -530,16 +777,173 @@ impl InferenceBackend for FunctionalBackend {
 
     fn release(&mut self, slot: usize) -> Result<(), BackendError> {
         self.check_poisoned()?;
-        if self
+        let resident = self
             .residents
             .get_mut(slot)
             .and_then(Option::take)
-            .is_none()
-        {
+            .is_some();
+        let pending = self.pending.get_mut(slot).and_then(Option::take).is_some();
+        if !resident && !pending {
             return Err(BackendError::SlotNotResident { slot });
         }
         self.engine.release_slot(slot);
         Ok(())
+    }
+
+    fn supports_chunked_prefill(&self) -> bool {
+        true
+    }
+
+    fn prefill_open(
+        &mut self,
+        prompt_len: usize,
+        prompt: Option<&[u32]>,
+        sampler_seed: u64,
+    ) -> Result<usize, BackendError> {
+        self.check_poisoned()?;
+        let prompt = prompt.ok_or(BackendError::MissingPrompt)?;
+        if prompt.len() != prompt_len {
+            return Err(BackendError::PromptLengthMismatch {
+                declared: prompt_len,
+                got: prompt.len(),
+            });
+        }
+        let slot = self
+            .engine
+            .acquire_slot()
+            .ok_or(BackendError::SlotsExhausted {
+                capacity: self.engine.slots(),
+            })?;
+        // No pages claimed yet: each prefill_step grants only what its
+        // chunk needs, which is what lets long prompts trickle in under
+        // page pressure.
+        self.pending[slot] = Some(PendingPrefill {
+            prompt: prompt.to_vec(),
+            fed: 0,
+            sampler_seed,
+        });
+        Ok(slot)
+    }
+
+    fn prefill_step(
+        &mut self,
+        slot: usize,
+        max_tokens: usize,
+    ) -> Result<PrefillProgress, BackendError> {
+        self.check_poisoned()?;
+        assert!(
+            max_tokens > 0,
+            "a prefill chunk must feed at least one token"
+        );
+        let (chunk, is_last, seed) = match self.pending.get(slot).and_then(Option::as_ref) {
+            Some(p) => {
+                let left = p.prompt.len() - p.fed;
+                let take = left.min(max_tokens);
+                (
+                    p.prompt[p.fed..p.fed + take].to_vec(),
+                    take == left,
+                    p.sampler_seed,
+                )
+            }
+            None => return Err(BackendError::SlotNotResident { slot }),
+        };
+        self.check_pages(self.engine.pages_needed(slot, chunk.len()))?;
+        let start = Instant::now();
+        // Non-final chunks skip the LM head entirely; only the final one
+        // produces the logits the first token is sampled from.
+        let logits = match catch_unwind(AssertUnwindSafe(|| {
+            self.engine.prefill_slot_chunk(slot, &chunk, is_last)
+        })) {
+            Ok(logits) => logits,
+            Err(payload) => return Err(self.poison(payload)),
+        };
+        let p = self.pending[slot].as_mut().expect("checked above");
+        p.fed += chunk.len();
+        let remaining = p.prompt.len() - p.fed;
+        let first_token = if is_last {
+            let logits = logits.expect("final chunk carries logits");
+            let mut sampler = self.spec.build(seed);
+            let first = sampler.sample(&logits);
+            self.pending[slot] = None;
+            self.residents[slot] = Some(Resident {
+                sampler,
+                last_token: first,
+            });
+            Some(first)
+        } else {
+            None
+        };
+        Ok(PrefillProgress {
+            elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+            remaining,
+            first_token,
+        })
+    }
+
+    fn supports_preemption(&self) -> bool {
+        true
+    }
+
+    fn preempt(&mut self, slot: usize) -> Result<PreemptedSeq, BackendError> {
+        self.check_poisoned()?;
+        let resident = match self.residents.get_mut(slot).and_then(Option::take) {
+            Some(r) => r,
+            None => return Err(BackendError::SlotNotResident { slot }),
+        };
+        let context_len = self.engine.slot_pos(slot);
+        // Releasing the slot returns every page it held to the pool.
+        self.engine.release_slot(slot);
+        Ok(PreemptedSeq {
+            context_len,
+            last_token: Some(resident.last_token),
+            sampler: Some(resident.sampler),
+        })
+    }
+
+    fn resume(
+        &mut self,
+        seq: &PreemptedSeq,
+        context: Option<&[u32]>,
+    ) -> Result<PrefillOutcome, BackendError> {
+        self.check_poisoned()?;
+        let context = context.ok_or(BackendError::MissingPrompt)?;
+        if context.len() != seq.context_len {
+            return Err(BackendError::PromptLengthMismatch {
+                declared: seq.context_len,
+                got: context.len(),
+            });
+        }
+        if self.engine.free_slots() == 0 {
+            return Err(BackendError::SlotsExhausted {
+                capacity: self.engine.slots(),
+            });
+        }
+        self.check_pages(self.engine.pages_for_tokens(context.len()))?;
+        let start = Instant::now();
+        let slot = self.engine.acquire_slot().expect("free slot checked above");
+        // Re-prefill rebuilds the KV cache bit-identically (int8 GEMM rows
+        // accumulate independently, so one batched pass over the context
+        // equals the original prefill + decode history) and samples
+        // nothing: the sequence's sampler resumes exactly where it froze.
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+            self.engine.prefill_slot_chunk(slot, context, false)
+        })) {
+            return Err(self.poison(payload));
+        }
+        self.residents[slot] = Some(Resident {
+            sampler: seq
+                .sampler
+                .clone()
+                .expect("functional preempted sequence carries its sampler"),
+            last_token: seq
+                .last_token
+                .expect("functional preempted sequence carries its last token"),
+        });
+        Ok(PrefillOutcome {
+            slot,
+            elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+            first_token: None,
+        })
     }
 }
 
@@ -693,6 +1097,186 @@ mod tests {
         backend.release(a.slot).unwrap();
         let c = backend.prefill(2, Some(&[5, 6]), 2).unwrap();
         assert_eq!(c.slot, a.slot, "lowest free slot recycled");
+    }
+
+    #[test]
+    fn sim_backend_preempt_resume_recharges_prefill_time() {
+        let engine = LoopLynx::new(
+            ModelConfig::gpt2_medium(),
+            ArchConfig::builder().nodes(1).build().unwrap(),
+        )
+        .unwrap();
+        let mut backend = SimBackend::new(&engine);
+        assert!(backend.supports_preemption());
+        let p = backend.prefill(10, None, 0).unwrap();
+        backend.decode_batch(&[p.slot]).unwrap();
+        backend.decode_batch(&[p.slot]).unwrap();
+        let seq = backend.preempt(p.slot).unwrap();
+        assert_eq!(seq.context_len, 12);
+        assert_eq!(
+            backend.decode_batch(&[p.slot]).unwrap_err(),
+            BackendError::SlotNotResident { slot: p.slot }
+        );
+        let r = backend.resume(&seq, None).unwrap();
+        assert_eq!(r.first_token, None);
+        assert_eq!(
+            r.elapsed_ms,
+            engine.simulate_prefill(12).to_millis(engine.arch()),
+            "resume bills a full context re-prefill"
+        );
+        // The resumed context keeps growing from where it stopped.
+        let d = backend.decode_batch(&[r.slot]).unwrap();
+        assert_eq!(
+            d.elapsed_ms,
+            engine.simulate_decode_batch(&[13]).to_millis(engine.arch())
+        );
+    }
+
+    #[test]
+    fn functional_chunked_prefill_matches_single_pass() {
+        // Any chunking of the prompt must give the same first token and
+        // the same downstream stream as one-shot prefill.
+        let cfg = ModelConfig::tiny();
+        let model = Gpt2Model::synthetic(&cfg, 321);
+        let prompt: Vec<u32> = vec![5, 1, 9, 2, 8, 3, 7];
+        let stream_for = |chunk: Option<usize>| {
+            let engine = DistributedGpt2::with_slots(&model, 1, RingMode::Exact, 2, 32).unwrap();
+            let mut b = FunctionalBackend::new(
+                engine,
+                SamplerSpec::TopK {
+                    k: 4,
+                    temperature: 0.9,
+                },
+            );
+            let (slot, first) = match chunk {
+                None => {
+                    let p = b.prefill(prompt.len(), Some(&prompt), 7).unwrap();
+                    (p.slot, p.first_token.unwrap())
+                }
+                Some(step) => {
+                    assert!(b.supports_chunked_prefill());
+                    let slot = b.prefill_open(prompt.len(), Some(&prompt), 7).unwrap();
+                    let first = loop {
+                        let p = b.prefill_step(slot, step).unwrap();
+                        if p.remaining == 0 {
+                            break p.first_token;
+                        }
+                        assert_eq!(p.first_token, None, "non-final chunk sampled");
+                    };
+                    (slot, first.unwrap())
+                }
+            };
+            let mut out = vec![first];
+            for _ in 0..5 {
+                out.push(b.decode_batch(&[slot]).unwrap().tokens.unwrap()[0]);
+            }
+            out
+        };
+        let single = stream_for(None);
+        for step in [1, 2, 3, prompt.len()] {
+            assert_eq!(stream_for(Some(step)), single, "chunk size {step} diverged");
+        }
+    }
+
+    #[test]
+    fn functional_preempt_resume_is_bit_exact() {
+        let cfg = ModelConfig::tiny();
+        let model = Gpt2Model::synthetic(&cfg, 99);
+        let prompt = [3u32, 1, 4, 1, 5];
+        let spec = SamplerSpec::TopK {
+            k: 4,
+            temperature: 0.8,
+        };
+
+        let engine = DistributedGpt2::with_slots(&model, 1, RingMode::Exact, 2, 32).unwrap();
+        let mut clean = FunctionalBackend::new(engine, spec);
+        let p = clean.prefill(prompt.len(), Some(&prompt), 11).unwrap();
+        let mut want = vec![p.first_token.unwrap()];
+        for _ in 0..6 {
+            want.push(clean.decode_batch(&[p.slot]).unwrap().tokens.unwrap()[0]);
+        }
+
+        let engine = DistributedGpt2::with_slots(&model, 1, RingMode::Exact, 2, 32).unwrap();
+        let mut b = FunctionalBackend::new(engine, spec);
+        assert!(b.supports_preemption());
+        let p = b.prefill(prompt.len(), Some(&prompt), 11).unwrap();
+        let mut got = vec![p.first_token.unwrap()];
+        for _ in 0..3 {
+            got.push(b.decode_batch(&[p.slot]).unwrap().tokens.unwrap()[0]);
+        }
+        let seq = b.preempt(p.slot).unwrap();
+        assert_eq!(seq.last_token, Some(*got.last().unwrap()));
+        // Context = prompt + produced-but-last: the last token has been
+        // sampled but never fed, so it is not in the KV history yet.
+        let mut context = prompt.to_vec();
+        context.extend_from_slice(&got[..got.len() - 1]);
+        assert_eq!(context.len(), seq.context_len);
+        let r = b.resume(&seq, Some(&context)).unwrap();
+        assert_eq!(r.first_token, None, "resume must not sample");
+        for _ in 0..3 {
+            got.push(b.decode_batch(&[r.slot]).unwrap().tokens.unwrap()[0]);
+        }
+        assert_eq!(
+            got, want,
+            "preempted stream diverged from uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn functional_page_exhaustion_is_typed_and_preemption_clears_it() {
+        // Oversubscribed paged engine: 4 slots of up to 16 tokens, but a
+        // pool of only 4 pages × 4 tokens = 16 tokens of real storage.
+        let cfg = ModelConfig::tiny();
+        let model = Gpt2Model::synthetic(&cfg, 55);
+        let engine =
+            DistributedGpt2::with_paged_slots(&model, 1, RingMode::Exact, 4, 16, 4, 4).unwrap();
+        let mut b = FunctionalBackend::new(engine, SamplerSpec::Greedy);
+        let p0 = b.prefill(4, Some(&[1, 2, 3, 4]), 0).unwrap();
+        let p1 = b.prefill(4, Some(&[5, 6, 7, 8]), 1).unwrap();
+        let p2 = b.prefill(4, Some(&[9, 1, 2, 3]), 2).unwrap();
+        // 3 pages held; a 5-token admission needs 2 of the 1 remaining.
+        assert_eq!(
+            b.prefill(5, Some(&[1, 2, 3, 4, 5]), 3).unwrap_err(),
+            BackendError::PagesExhausted { needed: 2, free: 1 }
+        );
+        assert!(!BackendError::PagesExhausted { needed: 2, free: 1 }.is_transient());
+        // Decoding all three residents past their page boundaries needs 3
+        // fresh pages at once with only 1 free: typed error, no mutation.
+        let err = b.decode_batch(&[p0.slot, p1.slot, p2.slot]).unwrap_err();
+        assert_eq!(err, BackendError::PagesExhausted { needed: 3, free: 1 });
+        // Preempting one resident frees its page; the other two decode.
+        let seq = b.preempt(p2.slot).unwrap();
+        let d = b.decode_batch(&[p0.slot, p1.slot]).unwrap();
+        assert_eq!(d.tokens.unwrap().len(), 2);
+        // And the preempted sequence comes back once pressure clears.
+        b.release(p0.slot).unwrap();
+        b.release(p1.slot).unwrap();
+        let r = b.resume(&seq, Some(&[9, 1, 2, 3])).unwrap();
+        let d = b.decode_batch(&[r.slot]).unwrap();
+        assert_eq!(d.tokens.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn functional_release_abandons_open_chunked_prefill() {
+        let model = Gpt2Model::synthetic(&ModelConfig::tiny(), 42);
+        let engine = DistributedGpt2::with_slots(&model, 1, RingMode::Exact, 1, 16).unwrap();
+        let mut b = FunctionalBackend::new(engine, SamplerSpec::Greedy);
+        let slot = b.prefill_open(4, Some(&[1, 2, 3, 4]), 0).unwrap();
+        b.prefill_step(slot, 2).unwrap();
+        // Mid-prefill slots are not decodable and not preemptible.
+        assert_eq!(
+            b.decode_batch(&[slot]).unwrap_err(),
+            BackendError::SlotNotResident { slot }
+        );
+        assert_eq!(
+            b.preempt(slot).unwrap_err(),
+            BackendError::SlotNotResident { slot }
+        );
+        b.release(slot).unwrap();
+        // The slot (and its pages) came back whole: a fresh admission
+        // starts from scratch and matches a clean backend.
+        let p = b.prefill(2, Some(&[7, 7]), 1).unwrap();
+        assert_eq!(p.slot, slot);
     }
 
     #[test]

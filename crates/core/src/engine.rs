@@ -17,11 +17,12 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use looplynx_model::attention::{attend_heads_into, AttnScratch};
+use looplynx_model::attention::{attend_heads_segments_into, AttnScratch};
 use looplynx_model::config::ModelConfig;
 use looplynx_model::generate::Autoregressive;
 use looplynx_model::gpt2::Gpt2Model;
-use looplynx_model::kv_cache::SlotKvArena;
+use looplynx_model::kv_cache::LayerKvCache;
+use looplynx_model::paged::PagedKvArena;
 use looplynx_tensor::activation::gelu_in_place;
 use looplynx_tensor::matrix::Matrix;
 use looplynx_tensor::norm::{layernorm_into, residual_add, residual_add_into, LayerNormParams};
@@ -294,13 +295,13 @@ impl LoopLynx {
 }
 
 /// Per-node functional state: weight shards, the node's head-slice of the
-/// multi-sequence KV slot arena, and persistent working memory (attention
+/// paged multi-sequence KV arena, and persistent working memory (attention
 /// scratch plus batched-GEMM buffers) reused across layers, tokens and
 /// decode steps instead of reallocating.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct NodeState {
     weights: NodeWeights,
-    arena: SlotKvArena,
+    arena: PagedKvArena,
     scratch: AttnScratch,
     /// Batched-GEMM i32 accumulator scratch (`forward_batch_scaled_into`).
     gemm_acc: Vec<i32>,
@@ -346,6 +347,11 @@ fn par_map_nodes<T: Send>(
 /// thread spawn/join overhead (below it, a node's whole shard pass is
 /// cheaper than dispatching a thread).
 const THREADING_MIN_D_MODEL: usize = 256;
+
+/// Default KV page size in tokens for engines built without explicit page
+/// geometry ([`DistributedGpt2::with_slots`] /
+/// [`DistributedGpt2::new`]).
+pub const DEFAULT_PAGE_TOKENS: usize = 16;
 
 /// Functionally-correct multi-node W8A8 inference over the simulated ring.
 ///
@@ -407,6 +413,11 @@ impl DistributedGpt2 {
     /// node — the substrate the functional serving backend batches over.
     /// All slots start free.
     ///
+    /// Storage is the paged arena with the pool sized to
+    /// `slots × ⌈capacity / page⌉` pages, so every slot can always reach
+    /// its full capacity — page grants never fail on engines built here.
+    /// Use [`DistributedGpt2::with_paged_slots`] to oversubscribe.
+    ///
     /// # Errors
     ///
     /// Returns [`PartitionError`] if the model does not divide.
@@ -422,6 +433,46 @@ impl DistributedGpt2 {
         slots: usize,
         capacity: usize,
     ) -> Result<Self, PartitionError> {
+        let pages = slots * capacity.div_ceil(DEFAULT_PAGE_TOKENS);
+        Self::with_paged_slots(
+            model,
+            nodes,
+            mode,
+            slots,
+            capacity,
+            DEFAULT_PAGE_TOKENS,
+            pages,
+        )
+    }
+
+    /// Partitions `model`'s weights like [`DistributedGpt2::with_slots`]
+    /// but with explicit page geometry: `page_tokens` tokens per KV page
+    /// and `pages` pages per layer pool on every node. When
+    /// `pages × page_tokens < slots × capacity` the engine is
+    /// **oversubscribed**: more sequences can be resident than worst-case
+    /// KV bytes would allow, and operations surface
+    /// [`looplynx_model::paged::PagesExhausted`]-shaped pressure that the
+    /// serving layer answers with waiting or preemption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError`] if the model does not divide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, `capacity` exceeds the model's
+    /// `max_seq`, or the pool cannot hold even one sequence at
+    /// `capacity`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_paged_slots(
+        model: &Gpt2Model,
+        nodes: usize,
+        mode: RingMode,
+        slots: usize,
+        capacity: usize,
+        page_tokens: usize,
+        pages: usize,
+    ) -> Result<Self, PartitionError> {
         let cfg = model.config().clone();
         assert!(
             capacity > 0 && capacity <= cfg.max_seq,
@@ -433,12 +484,14 @@ impl DistributedGpt2 {
         let node_states: Vec<NodeState> = shards
             .into_iter()
             .map(|weights| NodeState {
-                arena: SlotKvArena::new(
+                arena: PagedKvArena::new(
                     cfg.layers,
                     d_head,
                     weights.head_range.len(),
                     slots,
                     capacity,
+                    page_tokens,
+                    pages,
                 ),
                 weights,
                 scratch: AttnScratch::new(),
@@ -499,6 +552,62 @@ impl DistributedGpt2 {
         self.nodes[0].arena.capacity()
     }
 
+    /// KV page size in tokens.
+    pub fn page_tokens(&self) -> usize {
+        self.nodes[0].arena.page_tokens()
+    }
+
+    /// Free KV pages per layer pool (identical on every node and layer —
+    /// grants run in lockstep). Backends pre-check this against
+    /// [`DistributedGpt2::pages_needed`] before mutating, so page
+    /// exhaustion surfaces as a typed error instead of a poisoning panic.
+    pub fn free_pages(&self) -> usize {
+        self.nodes[0].arena.free_pages()
+    }
+
+    /// Pages in each layer pool.
+    pub fn total_pages(&self) -> usize {
+        self.nodes[0].arena.total_pages()
+    }
+
+    /// Pages a grant for `additional` more tokens in resident `slot`
+    /// would need (0 when the granted pages already cover them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn pages_needed(&self, slot: usize, additional: usize) -> usize {
+        self.nodes[0].arena.pages_needed(slot, additional)
+    }
+
+    /// Pages a *fresh* sequence of `tokens` tokens would need.
+    pub fn pages_for_tokens(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.page_tokens())
+    }
+
+    /// Total int8 bytes of `node`'s KV page pools (occupancy-independent
+    /// storage commitment; compare with [`DistributedGpt2::node_kv_bytes`]
+    /// for live usage).
+    pub fn node_kv_pool_bytes(&self, node: usize) -> usize {
+        self.nodes[node].arena.pool_byte_len()
+    }
+
+    /// Grants pages for the upcoming appends on every node, in lockstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics on page exhaustion — callers that can see exhaustion at
+    /// runtime (the functional backend) pre-check
+    /// [`DistributedGpt2::free_pages`] and surface a typed error instead
+    /// of ever reaching this panic.
+    fn reserve_for(&mut self, entries: &[(usize, usize)]) {
+        for node in &mut self.nodes {
+            node.arena
+                .try_reserve_batch(entries)
+                .expect("KV page pool exhausted: pre-check free_pages before this call");
+        }
+    }
+
     /// Claims the lowest-index free slot on every node, or `None` when
     /// all slots are resident.
     pub fn acquire_slot(&mut self) -> Option<usize> {
@@ -549,6 +658,20 @@ impl DistributedGpt2 {
         self.nodes[node].arena.byte_len()
     }
 
+    /// Materializes `slot`'s entire KV state as contiguous per-layer
+    /// caches, in `(node, layer)` order. [`LayerKvCache`] equality is
+    /// content-based, so two engines agree here exactly when their KV
+    /// states hold the same tokens — regardless of page geometry or how
+    /// the prompt was chunked. This is the differential-test hook; it
+    /// copies every byte, so keep it out of hot paths.
+    pub fn materialized_kv(&self, slot: usize) -> Vec<LayerKvCache> {
+        let layers = self.model_cfg.layers;
+        self.nodes
+            .iter()
+            .flat_map(|n| (0..layers).map(|l| n.arena.materialize(slot, l)))
+            .collect()
+    }
+
     /// Resets the single-sequence surface: clears slot 0's caches on every
     /// node and its position.
     pub fn reset(&mut self) {
@@ -569,6 +692,7 @@ impl DistributedGpt2 {
     /// pool depending on [`DistributedGpt2::threaded`], bit-identical
     /// either way.
     fn forward_token_in(&mut self, slot: usize, token: u32, want_logits: bool) -> Option<Vec<f32>> {
+        self.reserve_for(&[(slot, 1)]);
         let cfg = &self.model_cfg;
         let d = cfg.d_model;
         let d_head = cfg.d_head();
@@ -593,23 +717,30 @@ impl DistributedGpt2 {
 
             // QKV projection: head-aligned shards, attention node-local.
             let attn_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
-                let shard = &node.weights.layers[layer];
+                let NodeState {
+                    weights,
+                    arena,
+                    scratch,
+                    ..
+                } = node;
+                let shard = &weights.layers[layer];
                 let w = d / n;
                 let mut qkv = Vec::new();
                 shard.qkv.forward_raw_into(&q8, h_scale, &mut qkv);
                 let (q, kv) = qkv.split_at(w);
                 let (k, v) = kv.split_at(w);
-                node.arena.layer_mut(slot, layer).append(k, v);
-                let head_range = node.weights.head_range.clone();
+                arena.append_at(slot, layer, pos, k, v);
+                let head_range = weights.head_range.clone();
+                let view = arena.layer_view(slot, layer);
                 let mut attn = Vec::new();
-                attend_heads_into(
+                attend_heads_segments_into(
                     q,
-                    node.arena.layer(slot, layer),
+                    |h| view.segments(h),
                     head_range.clone(),
                     head_range.start,
                     d_head,
                     pos + 1,
-                    &mut node.scratch,
+                    scratch,
                     &mut attn,
                 );
                 attn
@@ -675,17 +806,36 @@ impl DistributedGpt2 {
         Some(logits)
     }
 
+    /// Lazily claims slot 0 for the single-sequence surface. Engines
+    /// built with [`DistributedGpt2::new`] pre-acquire it; on a
+    /// `with_slots` engine the first `prefill`/`decode_step` claims it
+    /// here (the paged arena grants pages only to resident slots).
+    fn ensure_primary_slot(&mut self) {
+        if self.nodes[0].arena.in_use(0) {
+            return;
+        }
+        for n in &mut self.nodes {
+            let slot = n
+                .arena
+                .acquire()
+                .expect("single-sequence surface needs a free slot");
+            debug_assert_eq!(slot, 0, "slot 0 must be the lowest free slot");
+        }
+    }
+
     /// Prefill: processes the prompt in slot 0, returns last-token logits.
     ///
     /// # Panics
     ///
     /// Panics if `prompt` is empty.
     pub fn prefill(&mut self, prompt: &[u32]) -> Vec<f32> {
+        self.ensure_primary_slot();
         self.prefill_slot(0, prompt)
     }
 
     /// Decode step on slot 0: one token in, next-token logits out.
     pub fn decode_step(&mut self, token: u32) -> Vec<f32> {
+        self.ensure_primary_slot();
         self.forward_token_in(0, token, true)
             .expect("logits requested")
     }
@@ -705,7 +855,32 @@ impl DistributedGpt2 {
     /// Panics if `prompt` is empty or the slot would overflow its
     /// capacity.
     pub fn prefill_slot(&mut self, slot: usize, prompt: &[u32]) -> Vec<f32> {
+        self.prefill_slot_chunk(slot, prompt, true)
+            .expect("logits requested")
+    }
+
+    /// One chunk of an incremental prefill: feed `tokens` starting at the
+    /// slot's current position. Because prefill starts at `arena.pos(slot)`
+    /// and int8 GEMM rows accumulate independently, splitting a prompt into
+    /// chunks of any size yields caches and final logits bit-identical to a
+    /// single-pass prefill — this is what lets the scheduler interleave
+    /// resident decode steps between long-prompt chunks.
+    ///
+    /// When `want_logits` is `false` the LM head is skipped entirely
+    /// (non-final chunks never need logits) and `None` is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or the slot would overflow its
+    /// capacity.
+    pub fn prefill_slot_chunk(
+        &mut self,
+        slot: usize,
+        prompt: &[u32],
+        want_logits: bool,
+    ) -> Option<Vec<f32>> {
         assert!(!prompt.is_empty(), "prompt must not be empty");
+        self.reserve_for(&[(slot, prompt.len())]);
         let cfg = &self.model_cfg;
         let d = cfg.d_model;
         let d_head = cfg.d_head();
@@ -742,17 +917,17 @@ impl DistributedGpt2 {
                 for t in 0..b {
                     let row = &gemm_out[t * 3 * w..(t + 1) * 3 * w];
                     let (k, v) = row[w..].split_at(w);
-                    arena.layer_mut(slot, layer).append(k, v);
+                    arena.append_at(slot, layer, start + t, k, v);
                 }
                 let head_range = weights.head_range.clone();
-                let cache = arena.layer(slot, layer);
+                let view = arena.layer_view(slot, layer);
                 (0..b)
                     .map(|t| {
                         let q = &gemm_out[t * 3 * w..t * 3 * w + w];
                         let mut attn = Vec::new();
-                        attend_heads_into(
+                        attend_heads_segments_into(
                             q,
-                            cache,
+                            |h| view.segments(h),
                             head_range.clone(),
                             head_range.start,
                             d_head,
@@ -772,6 +947,10 @@ impl DistributedGpt2 {
             node.arena.advance(slot, b);
         }
 
+        if !want_logits {
+            return None;
+        }
+
         // LM head for the final prompt token only (non-final outputs are
         // discarded, paper Fig. 1).
         let last = xs.last().expect("non-empty prompt");
@@ -779,16 +958,18 @@ impl DistributedGpt2 {
         let hf_scale = quantize_into(&scratch.h, &mut scratch.q8);
         let q8 = &scratch.q8;
         let pool = self.pool.as_ref();
-        par_map_nodes(&mut self.nodes, pool, |_, node| {
-            let mut out = Vec::new();
-            node.weights
-                .lm_head
-                .forward_raw_into(q8, hf_scale, &mut out);
-            out
-        })
-        .into_iter()
-        .flatten()
-        .collect()
+        Some(
+            par_map_nodes(&mut self.nodes, pool, |_, node| {
+                let mut out = Vec::new();
+                node.weights
+                    .lm_head
+                    .forward_raw_into(q8, hf_scale, &mut out);
+                out
+            })
+            .into_iter()
+            .flatten()
+            .collect(),
+        )
     }
 
     /// One decode step for a batch of resident sequences: entry `t` feeds
@@ -817,6 +998,8 @@ impl DistributedGpt2 {
                 .all(|(i, s)| !slots[..i].contains(s)),
             "a sequence cannot decode two tokens in one step"
         );
+        let reserve: Vec<(usize, usize)> = slots.iter().map(|&s| (s, 1)).collect();
+        self.reserve_for(&reserve);
         let cfg = &self.model_cfg;
         let d = cfg.d_model;
         let d_head = cfg.d_head();
@@ -856,16 +1039,17 @@ impl DistributedGpt2 {
                         let row = &gemm_out[t * 3 * w..(t + 1) * 3 * w];
                         let (q, kv) = row.split_at(w);
                         let (k, v) = kv.split_at(w);
-                        arena.layer_mut(slot, layer).append(k, v);
-                        let cache = arena.layer(slot, layer);
+                        let t_abs = arena.pos(slot);
+                        arena.append_at(slot, layer, t_abs, k, v);
+                        let view = arena.layer_view(slot, layer);
                         let mut attn = Vec::new();
-                        attend_heads_into(
+                        attend_heads_segments_into(
                             q,
-                            cache,
+                            |h| view.segments(h),
                             head_range.clone(),
                             head_range.start,
                             d_head,
-                            cache.len(),
+                            t_abs + 1,
                             scratch,
                             &mut attn,
                         );

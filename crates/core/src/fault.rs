@@ -25,7 +25,9 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::backend::{BackendError, DecodeOutcome, InferenceBackend, PrefillOutcome};
+use crate::backend::{
+    BackendError, DecodeOutcome, InferenceBackend, PreemptedSeq, PrefillOutcome, PrefillProgress,
+};
 
 /// A seeded, rate-parameterized chaos plan.
 ///
@@ -48,6 +50,11 @@ pub struct FaultPlan {
     /// Probability a release leaks: the caller sees success but the
     /// inner slot is stranded forever.
     pub release_leak_rate: f64,
+    /// Probability a KV-growing operation (a decode iteration, a prefill
+    /// chunk, a resume) is vetoed with [`BackendError::PagesExhausted`]
+    /// *before* the inner backend runs — synthetic page pressure, so
+    /// preemption paths exercise without a genuinely tiny pool.
+    pub page_fault_rate: f64,
 }
 
 impl FaultPlan {
@@ -61,12 +68,17 @@ impl FaultPlan {
             stall_rate: 0.0,
             stall_ms: 0.0,
             release_leak_rate: 0.0,
+            page_fault_rate: 0.0,
         }
     }
 
-    /// A plan that exercises every fault kind at intensity `rate`:
-    /// prefill/decode faults at `rate`, stalls at `rate / 2` (1500 ms
-    /// each), release leaks at `rate / 4`.
+    /// A plan that exercises every *transient-or-leak* fault kind at
+    /// intensity `rate`: prefill/decode faults at `rate`, stalls at
+    /// `rate / 2` (1500 ms each), release leaks at `rate / 4`. Page
+    /// faults are **not** included — [`BackendError::PagesExhausted`] is
+    /// not retryable, so it only makes sense against schedulers that
+    /// preempt; opt in by setting
+    /// [`page_fault_rate`](FaultPlan::page_fault_rate) explicitly.
     ///
     /// # Panics
     ///
@@ -83,6 +95,7 @@ impl FaultPlan {
             stall_rate: rate / 2.0,
             stall_ms: 1_500.0,
             release_leak_rate: rate / 4.0,
+            page_fault_rate: 0.0,
         }
     }
 
@@ -92,6 +105,7 @@ impl FaultPlan {
             && self.decode_fail_rate == 0.0
             && self.stall_rate == 0.0
             && self.release_leak_rate == 0.0
+            && self.page_fault_rate == 0.0
     }
 
     /// Validates every rate is a probability and the stall is finite.
@@ -105,6 +119,7 @@ impl FaultPlan {
             ("decode_fail_rate", self.decode_fail_rate),
             ("stall_rate", self.stall_rate),
             ("release_leak_rate", self.release_leak_rate),
+            ("page_fault_rate", self.page_fault_rate),
         ] {
             assert!((0.0..=1.0).contains(&rate), "{name} {rate} not in [0,1]");
         }
@@ -126,12 +141,18 @@ pub struct FaultStats {
     pub stalls: u64,
     /// Releases leaked (slots stranded in the inner backend).
     pub leaked_releases: u64,
+    /// KV-growing operations vetoed with synthetic page pressure.
+    pub page_faults: u64,
 }
 
 impl FaultStats {
     /// Total injections of any kind.
     pub fn total(&self) -> u64 {
-        self.prefill_faults + self.decode_faults + self.stalls + self.leaked_releases
+        self.prefill_faults
+            + self.decode_faults
+            + self.stalls
+            + self.leaked_releases
+            + self.page_faults
     }
 }
 
@@ -193,6 +214,16 @@ impl<B: InferenceBackend> FaultyBackend<B> {
     fn roll(&mut self, rate: f64) -> bool {
         rate > 0.0 && self.rng.random::<f64>() < rate
     }
+
+    /// Rolls the page-fault point: synthetic pool pressure, vetoing the
+    /// operation before the inner backend runs.
+    fn roll_page_fault(&mut self) -> Result<(), BackendError> {
+        if self.roll(self.plan.page_fault_rate) {
+            self.stats.page_faults += 1;
+            return Err(BackendError::PagesExhausted { needed: 1, free: 0 });
+        }
+        Ok(())
+    }
 }
 
 impl<B: InferenceBackend> InferenceBackend for FaultyBackend<B> {
@@ -233,6 +264,7 @@ impl<B: InferenceBackend> InferenceBackend for FaultyBackend<B> {
             self.stats.decode_faults += 1;
             return Err(BackendError::InjectedFault { op: "decode" });
         }
+        self.roll_page_fault()?;
         let mut outcome = self.inner.decode_batch(slots)?;
         if self.roll(self.plan.stall_rate) {
             self.stats.stalls += 1;
@@ -248,6 +280,61 @@ impl<B: InferenceBackend> InferenceBackend for FaultyBackend<B> {
             return Ok(());
         }
         self.inner.release(slot)
+    }
+
+    fn supports_chunked_prefill(&self) -> bool {
+        self.inner.supports_chunked_prefill()
+    }
+
+    fn prefill_open(
+        &mut self,
+        prompt_len: usize,
+        prompt: Option<&[u32]>,
+        sampler_seed: u64,
+    ) -> Result<usize, BackendError> {
+        if self.roll(self.plan.prefill_fail_rate) {
+            self.stats.prefill_faults += 1;
+            return Err(BackendError::InjectedFault { op: "prefill" });
+        }
+        self.inner.prefill_open(prompt_len, prompt, sampler_seed)
+    }
+
+    fn prefill_step(
+        &mut self,
+        slot: usize,
+        max_tokens: usize,
+    ) -> Result<PrefillProgress, BackendError> {
+        self.roll_page_fault()?;
+        let mut progress = self.inner.prefill_step(slot, max_tokens)?;
+        if self.roll(self.plan.stall_rate) {
+            self.stats.stalls += 1;
+            progress.elapsed_ms += self.plan.stall_ms;
+        }
+        Ok(progress)
+    }
+
+    fn supports_preemption(&self) -> bool {
+        self.inner.supports_preemption()
+    }
+
+    /// Never injected: preemption *frees* resources, and vetoing the
+    /// scheduler's escape hatch under pressure would deadlock recovery.
+    fn preempt(&mut self, slot: usize) -> Result<PreemptedSeq, BackendError> {
+        self.inner.preempt(slot)
+    }
+
+    fn resume(
+        &mut self,
+        seq: &PreemptedSeq,
+        context: Option<&[u32]>,
+    ) -> Result<PrefillOutcome, BackendError> {
+        self.roll_page_fault()?;
+        let mut outcome = self.inner.resume(seq, context)?;
+        if self.roll(self.plan.stall_rate) {
+            self.stats.stalls += 1;
+            outcome.elapsed_ms += self.plan.stall_ms;
+        }
+        Ok(outcome)
     }
 }
 

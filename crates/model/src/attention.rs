@@ -48,6 +48,24 @@ impl AttnScratch {
     }
 }
 
+/// One contiguous run of cached tokens for a single head: int8 key/value
+/// strips (`tokens × d_head` each) plus one scale per token. A contiguous
+/// [`LayerKvCache`] is a single segment; a paged arena contributes one
+/// segment per page, in token order. Attention iterates segments with the
+/// exact same per-token operations either way, so the storage layout never
+/// changes the arithmetic.
+#[derive(Debug, Clone, Copy)]
+pub struct KvSegment<'a> {
+    /// Int8 keys, token-major within the segment.
+    pub keys: &'a [i8],
+    /// Int8 values, token-major within the segment.
+    pub values: &'a [i8],
+    /// Per-token key scales.
+    pub key_scales: &'a [f32],
+    /// Per-token value scales.
+    pub value_scales: &'a [f32],
+}
+
 /// Computes attention for `head_range` of the query `q`.
 ///
 /// * `q` — the query slice held by the caller (`q.len()` must equal
@@ -111,18 +129,63 @@ pub fn attend_heads_into(
     scratch: &mut AttnScratch,
     out: &mut Vec<f32>,
 ) {
-    assert_eq!(
-        q.len(),
-        head_range.len() * d_head,
-        "query length mismatch for head range"
-    );
     assert!(valid_len <= cache.len(), "valid_len beyond cache");
-    assert!(valid_len > 0, "attention needs at least one cached token");
     assert!(
         head_range.start >= cache_head_offset
             && head_range.end - cache_head_offset <= cache.heads(),
         "head range outside cache slice"
     );
+
+    attend_heads_segments_into(
+        q,
+        |cache_h| {
+            std::iter::once(KvSegment {
+                keys: cache.key_strip(cache_h),
+                values: cache.value_strip(cache_h),
+                key_scales: cache.key_scales(cache_h),
+                value_scales: cache.value_scales(cache_h),
+            })
+        },
+        head_range,
+        cache_head_offset,
+        d_head,
+        valid_len,
+        scratch,
+        out,
+    );
+}
+
+/// The segment-generic attention core: `segments_of(local_head)` yields
+/// that head's cached tokens as contiguous [`KvSegment`]s in token order.
+/// The per-token operations and their order are identical regardless of
+/// how tokens are split into segments, so a paged cache (one segment per
+/// page) is **bit-identical** to a contiguous one (a single segment).
+///
+/// # Panics
+///
+/// Panics if the query length disagrees with the head range, `valid_len`
+/// is zero, or the segments of some head cover fewer than `valid_len`
+/// tokens.
+#[allow(clippy::too_many_arguments)]
+pub fn attend_heads_segments_into<'a, I, F>(
+    q: &[f32],
+    segments_of: F,
+    head_range: Range<usize>,
+    cache_head_offset: usize,
+    d_head: usize,
+    valid_len: usize,
+    scratch: &mut AttnScratch,
+    out: &mut Vec<f32>,
+) where
+    I: Iterator<Item = KvSegment<'a>>,
+    F: Fn(usize) -> I,
+{
+    assert_eq!(
+        q.len(),
+        head_range.len() * d_head,
+        "query length mismatch for head range"
+    );
+    assert!(valid_len > 0, "attention needs at least one cached token");
 
     let inv_sqrt = 1.0 / (d_head as f32).sqrt();
     out.clear();
@@ -139,18 +202,25 @@ pub fn attend_heads_into(
         // --- first MAC array: integer attention scores from the key
         // cache, the query head requantized once into scratch.
         let q_scale = quantize_into(&q[local_idx * d_head..(local_idx + 1) * d_head], q8);
-        let keys = cache.key_strip(cache_h);
-        let key_scales = cache.key_scales(cache_h);
         scores.clear();
-        scores.extend(
-            keys.chunks_exact(d_head)
-                .zip(key_scales)
-                .take(valid_len)
-                .map(|(k, &k_scale)| {
-                    let acc = dot_i8(q8, k);
-                    acc as f32 * q_scale * k_scale * inv_sqrt
-                }),
-        );
+        let mut remaining = valid_len;
+        for seg in segments_of(cache_h) {
+            if remaining == 0 {
+                break;
+            }
+            scores.extend(
+                seg.keys
+                    .chunks_exact(d_head)
+                    .zip(seg.key_scales)
+                    .take(remaining)
+                    .map(|(k, &k_scale)| {
+                        let acc = dot_i8(q8, k);
+                        acc as f32 * q_scale * k_scale * inv_sqrt
+                    }),
+            );
+            remaining = valid_len - scores.len();
+        }
+        assert!(remaining == 0, "valid_len beyond cache");
         // --- mask unit: only forward attention survives
         causal_mask(scores, valid_len);
         // --- softmax unit (two phases internally)
@@ -162,15 +232,20 @@ pub fn attend_heads_into(
         let base = out.len();
         out.resize(base + d_head, 0.0);
         let acc = &mut out[base..];
-        let values = cache.value_strip(cache_h);
-        let value_scales = cache.value_scales(cache_h);
-        for (t, &w8) in w8_buf.iter().enumerate().take(valid_len) {
-            if w8 == 0 {
-                continue;
+        let mut t = 0usize;
+        'mix: for seg in segments_of(cache_h) {
+            for (local, v) in seg.values.chunks_exact(d_head).enumerate() {
+                if t == valid_len {
+                    break 'mix;
+                }
+                let w8 = w8_buf[t];
+                t += 1;
+                if w8 == 0 {
+                    continue;
+                }
+                let vs = seg.value_scales[local] * w_scale * w8 as f32;
+                accumulate_scaled_i8(acc, v, vs);
             }
-            let v = &values[t * d_head..(t + 1) * d_head];
-            let vs = value_scales[t] * w_scale * w8 as f32;
-            accumulate_scaled_i8(acc, v, vs);
         }
     }
 }

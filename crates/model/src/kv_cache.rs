@@ -308,6 +308,39 @@ impl LayerKvCache {
         &self.value_scales[h * self.capacity..h * self.capacity + self.len]
     }
 
+    /// Appends one token whose per-head K/V is *already quantized* —
+    /// `k`/`v` hold `heads() * d_head` int8 values (head-major for the
+    /// token) and `k_scales`/`v_scales` one scale per head. Used by the
+    /// paged arena to materialize a contiguous cache without
+    /// requantizing (requantizing int8 data would not round-trip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not fixed yet (use
+    /// [`LayerKvCache::with_capacity`]) or any slice length disagrees
+    /// with it.
+    pub fn append_quantized(&mut self, k: &[i8], k_scales: &[f32], v: &[i8], v_scales: &[f32]) {
+        assert!(self.heads > 0, "geometry not fixed; use with_capacity");
+        assert_eq!(k.len(), self.heads * self.d_head, "key length mismatch");
+        assert_eq!(v.len(), self.heads * self.d_head, "value length mismatch");
+        assert_eq!(k_scales.len(), self.heads, "key scale count mismatch");
+        assert_eq!(v_scales.len(), self.heads, "value scale count mismatch");
+        if self.capacity == 0 {
+            self.allocate(DEFAULT_CAPACITY);
+        } else if self.len == self.capacity {
+            self.grow((self.capacity * 2).max(DEFAULT_CAPACITY));
+        }
+        let (d, t, cap) = (self.d_head, self.len, self.capacity);
+        for h in 0..self.heads {
+            let dst = (h * cap + t) * d;
+            self.keys[dst..dst + d].copy_from_slice(&k[h * d..(h + 1) * d]);
+            self.values[dst..dst + d].copy_from_slice(&v[h * d..(h + 1) * d]);
+            self.key_scales[h * cap + t] = k_scales[h];
+            self.value_scales[h * cap + t] = v_scales[h];
+        }
+        self.len += 1;
+    }
+
     /// Int8 bytes held by this layer's cache (keys + values).
     pub fn byte_len(&self) -> usize {
         2 * self.len * self.heads * self.d_head
@@ -346,8 +379,9 @@ impl PartialEq for LayerKvCache {
 
 /// Quantizes one head's chunk into the arena slot, returning the scale —
 /// the same math as `quantize_vec` (absmax → symmetric scale →
-/// round-to-nearest-even), minus the allocation.
-fn quantize_chunk(src: &[f32], dst: &mut [i8]) -> f32 {
+/// round-to-nearest-even), minus the allocation. Shared with the paged
+/// arena so both storage layouts produce bit-identical int8 payloads.
+pub(crate) fn quantize_chunk(src: &[f32], dst: &mut [i8]) -> f32 {
     let scale = scale_for(looplynx_tensor::simd::absmax(src));
     looplynx_tensor::simd::quantize_slice(src, scale, dst);
     scale

@@ -18,6 +18,9 @@
 //! * [`kv_cache`] — the quantized key/value cache, single-sequence
 //!   ([`kv_cache::KvCache`]) and multi-sequence
 //!   ([`kv_cache::SlotKvArena`], the continuous-batching slot arena).
+//! * [`paged`] — the paged (block-table) multi-sequence KV allocator
+//!   ([`paged::PagedKvArena`]): fixed-size pages granted on demand, so
+//!   resident concurrency is bounded by *actual* context, not worst-case.
 //! * [`attention`] — causal multi-head attention over the cache.
 //! * [`block`] — one transformer block (single-token, batched-prefill and
 //!   batched-decode paths).
@@ -51,6 +54,7 @@ pub mod eval;
 pub mod generate;
 pub mod gpt2;
 pub mod kv_cache;
+pub mod paged;
 pub mod sampler;
 pub mod tokenizer;
 pub mod weights;
@@ -59,4 +63,5 @@ pub use config::ModelConfig;
 pub use generate::Autoregressive;
 pub use gpt2::Gpt2Model;
 pub use kv_cache::SlotKvArena;
+pub use paged::{PagedKvArena, PagesExhausted};
 pub use sampler::Sampler;

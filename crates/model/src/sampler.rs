@@ -11,6 +11,11 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 /// A sampling strategy over next-token logits.
+///
+/// `Clone` snapshots the full sampler state (including the top-k RNG
+/// stream position), so a preempted sequence can be resumed later and
+/// continue sampling the exact token stream it would have produced.
+#[derive(Clone)]
 pub enum Sampler {
     /// Always pick the arg-max logit (ties break to the lowest id).
     Greedy,

@@ -1,0 +1,163 @@
+//! Allocator fuzz: random acquire/reserve/advance/release scripts
+//! against [`PagedKvArena`], checking the invariants the unit tests pin
+//! pointwise — no double grant, no leak, page conservation — hold under
+//! arbitrary interleavings and page geometries.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use looplynx_model::paged::PagedKvArena;
+
+const LAYERS: usize = 2;
+const D_HEAD: usize = 4;
+const HEADS: usize = 2;
+
+/// Collects every page index granted to any slot in any layer, and
+/// asserts no page is granted twice.
+fn granted_pages(arena: &PagedKvArena, slots: usize) -> HashSet<usize> {
+    let mut seen = HashSet::new();
+    for slot in 0..slots {
+        if !arena.in_use(slot) {
+            continue;
+        }
+        // One page table per slot serves every layer (layers grant in
+        // lockstep), so the slot's table is the complete grant set.
+        for &page in arena.slot_pages(slot) {
+            assert!(
+                seen.insert(page),
+                "page {page} granted to more than one slot"
+            );
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any op script: pages are never double-granted, the free count
+    /// plus granted count always equals the pool size, reservations are
+    /// all-or-nothing at exhaustion, and releasing everything restores
+    /// the pool to its initial free count.
+    #[test]
+    fn allocator_invariants_hold_under_any_script(
+        ops in proptest::collection::vec((0u8..4, 0usize..4, 1usize..7), 0..60),
+        page_idx in 0usize..3,
+    ) {
+        let page_tokens = [2usize, 4, 8][page_idx];
+        let slots = 4usize;
+        let capacity = 24usize;
+        let pool = capacity.div_ceil(page_tokens) + 3;
+        let mut arena = PagedKvArena::new(
+            LAYERS, D_HEAD, HEADS, slots, capacity, page_tokens, pool,
+        );
+        let initial_free = arena.free_pages();
+        prop_assert_eq!(initial_free, pool);
+
+        for (op, slot, amount) in ops {
+            match op {
+                0 => {
+                    let before = arena.free_slots();
+                    let got = arena.acquire();
+                    prop_assert_eq!(got.is_some(), before > 0, "acquire disagrees with free count");
+                    if let Some(s) = got {
+                        prop_assert_eq!(arena.pos(s), 0, "fresh slot has stale position");
+                        prop_assert_eq!(arena.granted_tokens(s), 0, "fresh slot has stale grants");
+                    }
+                }
+                1 => {
+                    if arena.in_use(slot) && arena.pos(slot) + amount <= capacity {
+                        let free = arena.free_pages();
+                        let needed = arena.pages_needed(slot, amount);
+                        let r = arena.try_reserve(slot, amount);
+                        prop_assert_eq!(
+                            r.is_ok(),
+                            needed <= free,
+                            "reservation disagrees with page arithmetic"
+                        );
+                        if let Err(e) = r {
+                            // Exhaustion is exact and touches nothing.
+                            prop_assert_eq!(e.needed, needed);
+                            prop_assert_eq!(e.free, free);
+                            prop_assert_eq!(arena.free_pages(), free);
+                        } else {
+                            prop_assert_eq!(arena.free_pages(), free - needed);
+                            arena.advance(slot, amount);
+                        }
+                    }
+                }
+                2 => {
+                    if arena.in_use(slot) {
+                        let granted = arena.slot_pages(slot).len();
+                        let free = arena.free_pages();
+                        arena.release(slot);
+                        prop_assert_eq!(
+                            arena.free_pages(),
+                            free + granted,
+                            "release leaked pages"
+                        );
+                    }
+                }
+                _ => {
+                    // Conservation audit: granted + free == pool, and no
+                    // page serves two masters.
+                    let granted = granted_pages(&arena, slots);
+                    prop_assert_eq!(granted.len() + arena.free_pages(), pool);
+                }
+            }
+        }
+
+        // Releasing everything restores the initial free count exactly.
+        for slot in 0..slots {
+            if arena.in_use(slot) {
+                arena.release(slot);
+            }
+        }
+        prop_assert_eq!(arena.free_pages(), initial_free, "drained pool leaked pages");
+        prop_assert_eq!(arena.free_slots(), slots);
+    }
+
+    /// Allocation order is a pure function of the op script: two arenas
+    /// driven by the same script grant identical page tables.
+    #[test]
+    fn allocation_is_deterministic(
+        ops in proptest::collection::vec((0u8..3, 0usize..4, 1usize..7), 0..40),
+    ) {
+        let mk = || PagedKvArena::new(LAYERS, D_HEAD, HEADS, 4, 24, 4, 9);
+        let (mut a, mut b) = (mk(), mk());
+        for (op, slot, amount) in ops {
+            for arena in [&mut a, &mut b] {
+                match op {
+                    0 => {
+                        arena.acquire();
+                    }
+                    1 => {
+                        if arena.in_use(slot)
+                            && arena.pos(slot) + amount <= 24
+                            && arena.try_reserve(slot, amount).is_ok()
+                        {
+                            arena.advance(slot, amount);
+                        }
+                    }
+                    _ => {
+                        if arena.in_use(slot) {
+                            arena.release(slot);
+                        }
+                    }
+                }
+            }
+        }
+        for slot in 0..4 {
+            prop_assert_eq!(a.in_use(slot), b.in_use(slot));
+            if a.in_use(slot) {
+                prop_assert_eq!(
+                    a.slot_pages(slot),
+                    b.slot_pages(slot),
+                    "same script, different page tables at slot {}",
+                    slot
+                );
+            }
+        }
+    }
+}

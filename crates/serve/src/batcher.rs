@@ -179,10 +179,18 @@ pub fn serve_continuous_on<B: InferenceBackend>(
             let start = clock.max(req.arrival_ms);
             // These schedulers assume a well-behaved backend (the gateway
             // is the fault-tolerant path): admission respects capacity and
-            // prompts are pre-validated, so errors here are caller bugs.
-            let outcome = backend
-                .prefill(req.prefill_tokens, req.prompt.as_deref(), req.id)
-                .unwrap_or_else(|e| panic!("prefill of request {} failed: {e}", req.id));
+            // prompts are pre-validated, so errors here are caller bugs —
+            // except resource pressure on a paged backend, where a
+            // resident will free pages on completion: hold the request
+            // and decode on.
+            let outcome = match backend.prefill(req.prefill_tokens, req.prompt.as_deref(), req.id) {
+                Ok(o) => o,
+                Err(e) if e.is_resource_pressure() && !active.is_empty() => {
+                    queue.push_front(req);
+                    break;
+                }
+                Err(e) => panic!("prefill of request {} failed: {e}", req.id),
+            };
             clock = start + outcome.elapsed_ms;
             let entry = Active {
                 slot: outcome.slot,
@@ -469,6 +477,44 @@ mod tests {
                 batched.output_tokens(req.id),
                 serial.output_tokens(req.id),
                 "request {} tokens depend on schedule",
+                req.id
+            );
+        }
+    }
+
+    #[test]
+    fn page_pressure_holds_admission_without_failing() {
+        // 8 slots over a 12-page pool (4-token pages): each (7, 2)
+        // request holds exactly 2 pages from prefill through completion,
+        // so at most 6 can be resident. Admission must hold the rest
+        // until a resident completes — and nothing may panic or diverge.
+        let model = Gpt2Model::synthetic(&ModelConfig::tiny(), 2024);
+        let dist =
+            DistributedGpt2::with_paged_slots(&model, 2, RingMode::Exact, 8, 48, 4, 12).unwrap();
+        let mut backend = FunctionalBackend::new(dist, SamplerSpec::Greedy);
+        let reqs = ArrivalProcess::Trace(vec![0.0; 8]).workload_with_prompts(
+            8,
+            &[(7, 2)],
+            model.config().vocab,
+            15,
+        );
+        let report = serve_continuous_on(&mut backend, &reqs, &ServeConfig::new(8));
+        assert_eq!(report.completed(), 8);
+        assert!(
+            report.batch_occupancy.max().unwrap_or(0.0) <= 6.0,
+            "12 pages cannot hold more than 6 two-page residents"
+        );
+        for req in &reqs {
+            let mut lone = model.clone();
+            let expected = lone.generate(
+                req.prompt.as_ref().unwrap(),
+                req.decode_tokens,
+                &mut Sampler::greedy(),
+            );
+            assert_eq!(
+                report.output_tokens(req.id).expect("tokens recorded"),
+                expected,
+                "request {} diverged under page-pressure holds",
                 req.id
             );
         }

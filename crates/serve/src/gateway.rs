@@ -34,7 +34,7 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
-use looplynx_core::backend::{BackendError, InferenceBackend};
+use looplynx_core::backend::{BackendError, InferenceBackend, PreemptedSeq};
 use looplynx_sim::stats::Summary;
 
 use crate::metrics::{GeneratedOutput, ServingReport};
@@ -54,6 +54,16 @@ pub enum ShedPolicy {
         /// Decode-token ceiling applied under pressure (≥ 1).
         max_decode_tokens: usize,
     },
+    /// Arrivals past the queue bound are rejected, and KV **page
+    /// pressure** is absorbed by preemption instead of failure: when a
+    /// decode iteration hits [`BackendError::PagesExhausted`], the most
+    /// recently admitted resident is evicted (its pages return to the
+    /// pool; its progress is kept) and resumed — with its KV rebuilt
+    /// bit-identically — once pressure clears. This is what lets a paged
+    /// backend oversubscribe slots beyond worst-case arena bytes and
+    /// still terminate every request. Requires
+    /// [`InferenceBackend::supports_preemption`].
+    Preempt,
 }
 
 /// Gateway policy knobs.
@@ -75,6 +85,15 @@ pub struct GatewayConfig {
     pub retry_backoff_ms: f64,
     /// Load-shedding policy.
     pub shed: ShedPolicy,
+    /// Chunked-prefill ceiling: `Some(c)` feeds each admission's prompt
+    /// in chunks of at most `c` tokens, interleaving resident decode
+    /// iterations between chunks so long prompts stop stalling the whole
+    /// batch. `None` (the default) prefills in one pass. Ignored on
+    /// backends without
+    /// [`InferenceBackend::supports_chunked_prefill`]. Chunking cannot
+    /// perturb tokens: any chunking is bit-identical to one-pass
+    /// prefill.
+    pub prefill_chunk: Option<usize>,
 }
 
 impl GatewayConfig {
@@ -100,6 +119,9 @@ impl GatewayConfig {
         if let ShedPolicy::Degrade { max_decode_tokens } = self.shed {
             assert!(max_decode_tokens >= 1, "degrade ceiling must be at least 1");
         }
+        if let Some(chunk) = self.prefill_chunk {
+            assert!(chunk >= 1, "prefill chunk must be at least 1");
+        }
     }
 }
 
@@ -115,6 +137,7 @@ impl Default for GatewayConfig {
             max_retries: 3,
             retry_backoff_ms: 1.0,
             shed: ShedPolicy::Reject,
+            prefill_chunk: None,
         }
     }
 }
@@ -260,6 +283,9 @@ pub struct GatewayReport {
     pub retries: u64,
     /// Admissions whose `decode_tokens` were degraded under pressure.
     pub degraded: u64,
+    /// Residents evicted under page pressure (each was later resumed,
+    /// failed by the livelock guard, cancelled, or timed out).
+    pub preemptions: u64,
 }
 
 impl GatewayReport {
@@ -325,7 +351,7 @@ impl std::fmt::Display for GatewayReport {
             f,
             "{} offered: {} completed, {} rejected, {} timed out, \
              {} cancelled, {} failed ({} retries, {} degraded, \
-             goodput {:.1} tok/s)",
+             {} preemptions, goodput {:.1} tok/s)",
             self.offered(),
             c.completed,
             c.rejected,
@@ -334,11 +360,17 @@ impl std::fmt::Display for GatewayReport {
             c.failed,
             self.retries,
             self.degraded,
+            self.preemptions,
             self.goodput_tok_s(),
         )?;
         write!(f, "{}", self.serving)
     }
 }
+
+/// Preempt→resume round-trips a request may make with no token produced
+/// in between before the gateway fails it: the page pool is simply too
+/// small for its context, and bouncing forever would never terminate.
+const BOUNCE_LIMIT: u32 = 8;
 
 /// A request resident in the decode loop.
 #[derive(Debug)]
@@ -353,6 +385,39 @@ struct ActiveReq {
     target: usize,
     /// Absolute end-to-end deadline, if any.
     e2e_deadline_at: Option<f64>,
+    /// Consecutive preempt→resume cycles with no progress (see
+    /// [`BOUNCE_LIMIT`]).
+    bounces: u32,
+    /// `produced` when this residency began — the progress marker the
+    /// bounce guard compares against at the next preemption.
+    produced_at_admit: usize,
+}
+
+/// A request whose prompt is being fed in chunks: the slot is claimed,
+/// but no token exists yet.
+#[derive(Debug)]
+struct PrefillingReq {
+    gr: GatewayRequest,
+    slot: usize,
+    target: usize,
+    e2e_deadline_at: Option<f64>,
+    /// Consecutive rounds this prefill could not grow by even one chunk
+    /// (page pressure with nothing evictable); bounded like bounces.
+    stalls: u32,
+}
+
+/// A request evicted under page pressure, waiting to be resumed. Holds
+/// no backend resources at all — that is the point.
+#[derive(Debug)]
+struct PreemptedReq {
+    gr: GatewayRequest,
+    seq: PreemptedSeq,
+    first_token_ms: f64,
+    tokens: Vec<u32>,
+    produced: usize,
+    target: usize,
+    e2e_deadline_at: Option<f64>,
+    bounces: u32,
 }
 
 /// The in-flight state of one gateway run.
@@ -363,6 +428,8 @@ struct Run<'a, B: InferenceBackend> {
     pending: VecDeque<GatewayRequest>,
     queued: VecDeque<GatewayRequest>,
     active: Vec<ActiveReq>,
+    prefilling: Vec<PrefillingReq>,
+    preempted: VecDeque<PreemptedReq>,
     terminals: Vec<RequestTerminal>,
     done: Vec<RequestMetrics>,
     outputs: Vec<GeneratedOutput>,
@@ -370,6 +437,7 @@ struct Run<'a, B: InferenceBackend> {
     iterations: u64,
     retries: u64,
     degraded: u64,
+    preemptions: u64,
 }
 
 impl<B: InferenceBackend> Run<'_, B> {
@@ -461,8 +529,8 @@ impl<B: InferenceBackend> Run<'_, B> {
                 return;
             }
             let room = self.cfg.max_batch.min(self.backend.capacity());
-            if self.active.len() >= room {
-                if self.active.is_empty() {
+            if self.active.len() + self.prefilling.len() >= room {
+                if self.active.is_empty() && self.prefilling.is_empty() {
                     // room == 0 with nothing resident: capacity has
                     // collapsed (every slot leaked or lost) and no
                     // release will ever restore it. Shed the queue —
@@ -486,6 +554,46 @@ impl<B: InferenceBackend> Run<'_, B> {
                 }
             }
 
+            // Chunked admission claims a slot and stages the prompt; the
+            // actual token feeding happens in `prefill_round`,
+            // interleaved with resident decode iterations.
+            if self.cfg.prefill_chunk.is_some() && self.backend.supports_chunked_prefill() {
+                let opened = self.with_retries(|b| {
+                    b.prefill_open(gr.req.prefill_tokens, gr.req.prompt.as_deref(), gr.req.id)
+                });
+                match opened {
+                    Ok(slot) => {
+                        let e2e_deadline_at = self.e2e_deadline_at(&gr);
+                        self.prefilling.push(PrefillingReq {
+                            gr,
+                            slot,
+                            target,
+                            e2e_deadline_at,
+                            stalls: 0,
+                        });
+                        continue;
+                    }
+                    Err(
+                        BackendError::SlotsExhausted { .. } | BackendError::PagesExhausted { .. },
+                    ) => {
+                        if self.active.is_empty() && self.prefilling.is_empty() {
+                            self.terminate(&gr, Terminal::Rejected(RejectReason::Overload));
+                            continue;
+                        }
+                        self.queued.push_front(gr);
+                        return;
+                    }
+                    Err(e) => {
+                        self.terminate(&gr, Terminal::Failed(e.to_string()));
+                        if matches!(e, BackendError::WorkerPoisoned { .. }) {
+                            self.drain_lost_backend();
+                            return;
+                        }
+                        continue;
+                    }
+                }
+            }
+
             let prefill = self.with_retries(|b| {
                 b.prefill(gr.req.prefill_tokens, gr.req.prompt.as_deref(), gr.req.id)
             });
@@ -494,12 +602,13 @@ impl<B: InferenceBackend> Run<'_, B> {
             let start = self.clock.max(gr.req.arrival_ms);
             let outcome = match prefill {
                 Ok(o) => o,
-                Err(BackendError::SlotsExhausted { .. }) => {
-                    if self.active.is_empty() {
-                        // Nothing resident will ever release a slot: the
-                        // backend's capacity has collapsed under this
-                        // request (leaked slots, stranded sequences).
-                        // Shedding it is the only way to terminate.
+                Err(BackendError::SlotsExhausted { .. } | BackendError::PagesExhausted { .. }) => {
+                    if self.active.is_empty() && self.prefilling.is_empty() {
+                        // Nothing resident will ever release a slot or a
+                        // page: the backend's capacity has collapsed
+                        // under this request (leaked slots, stranded
+                        // sequences). Shedding it is the only way to
+                        // terminate.
                         self.terminate(&gr, Terminal::Rejected(RejectReason::Overload));
                         continue;
                     }
@@ -539,6 +648,8 @@ impl<B: InferenceBackend> Run<'_, B> {
                 produced: 1,
                 target,
                 e2e_deadline_at,
+                bounces: 0,
+                produced_at_admit: 1,
                 gr,
             };
             if entry.produced >= entry.target {
@@ -581,6 +692,13 @@ impl<B: InferenceBackend> Run<'_, B> {
             let _ = self.backend.release(a.slot);
             self.terminate(&a.gr, Terminal::Failed("backend poisoned".into()));
         }
+        for p in std::mem::take(&mut self.prefilling) {
+            let _ = self.backend.release(p.slot);
+            self.terminate(&p.gr, Terminal::Failed("backend poisoned".into()));
+        }
+        for p in std::mem::take(&mut self.preempted) {
+            self.terminate(&p.gr, Terminal::Failed("backend poisoned".into()));
+        }
         let waiting: Vec<GatewayRequest> = self
             .queued
             .drain(..)
@@ -591,25 +709,278 @@ impl<B: InferenceBackend> Run<'_, B> {
         }
     }
 
+    /// Evicts the most recently admitted resident (LIFO — the youngest
+    /// residency has the least sunk decode work), returning its KV pages
+    /// to the pool. Returns `true` if pressure was relieved: either the
+    /// resident was parked for resume, or the bounce guard failed a
+    /// livelocked request (its pages are back either way).
+    fn try_preempt_one(&mut self) -> bool {
+        if !self.backend.supports_preemption() {
+            return false;
+        }
+        let Some(a) = self.active.pop() else {
+            return false;
+        };
+        let seq = match self.backend.preempt(a.slot) {
+            Ok(seq) => seq,
+            Err(e) => {
+                self.terminate(&a.gr, Terminal::Failed(format!("preempt failed: {e}")));
+                if matches!(e, BackendError::WorkerPoisoned { .. }) {
+                    self.drain_lost_backend();
+                }
+                return true;
+            }
+        };
+        let bounces = if a.produced == a.produced_at_admit {
+            a.bounces + 1
+        } else {
+            0
+        };
+        if bounces > BOUNCE_LIMIT {
+            // Preempt→resume round-trips keep landing back here with no
+            // token produced in between: the pool cannot hold this
+            // context even briefly, and resuming would bounce forever.
+            self.terminate(
+                &a.gr,
+                Terminal::Failed(format!(
+                    "preemption livelock: {bounces} evictions with no progress"
+                )),
+            );
+            return true;
+        }
+        self.preemptions += 1;
+        self.preempted.push_back(PreemptedReq {
+            gr: a.gr,
+            seq,
+            first_token_ms: a.first_token_ms,
+            tokens: a.tokens,
+            produced: a.produced,
+            target: a.target,
+            e2e_deadline_at: a.e2e_deadline_at,
+            bounces,
+        });
+        true
+    }
+
+    /// Cancels and times out requests parked in the preempted set —
+    /// they hold no backend resources, so the terminal is immediate.
+    fn scan_preempted(&mut self) {
+        let mut keep = VecDeque::with_capacity(self.preempted.len());
+        while let Some(p) = self.preempted.pop_front() {
+            if p.gr.cancel_ms.is_some_and(|t| t <= self.clock) {
+                self.terminate(&p.gr, Terminal::Cancelled);
+            } else if p.e2e_deadline_at.is_some_and(|at| self.clock > at) {
+                self.terminate(&p.gr, Terminal::TimedOut(TimeoutPhase::Decode));
+            } else {
+                keep.push_back(p);
+            }
+        }
+        self.preempted = keep;
+    }
+
+    /// Resumes preempted requests (FIFO, ahead of new admissions) while
+    /// there is room. A resume re-prefills the evicted context, which
+    /// rebuilds the KV cache bit-identically; the request then decodes
+    /// on from its preserved sampler and last token as if never evicted.
+    fn resume_preempted(&mut self) {
+        while !self.preempted.is_empty() {
+            let room = self.cfg.max_batch.min(self.backend.capacity());
+            if self.active.len() + self.prefilling.len() >= room {
+                if self.active.is_empty() && self.prefilling.is_empty() {
+                    // room == 0 with nothing resident: capacity has
+                    // collapsed and nothing will ever free a slot for
+                    // these to resume into.
+                    let stuck: Vec<PreemptedReq> = self.preempted.drain(..).collect();
+                    for p in stuck {
+                        self.terminate(
+                            &p.gr,
+                            Terminal::Failed("capacity collapsed while preempted".into()),
+                        );
+                    }
+                }
+                return;
+            }
+            let p = self.preempted.pop_front().expect("non-empty checked");
+            // The resumable context is the prompt plus every produced
+            // token except the last: the last produced token is the next
+            // decode *input* and was never appended to the KV cache.
+            let context: Option<Vec<u32>> = p.gr.req.prompt.as_ref().map(|prompt| {
+                let mut c = prompt.clone();
+                c.extend_from_slice(&p.tokens[..p.produced - 1]);
+                c
+            });
+            let resumed = self.with_retries(|b| b.resume(&p.seq, context.as_deref()));
+            let start = self.clock;
+            match resumed {
+                Ok(outcome) => {
+                    self.clock = start + outcome.elapsed_ms;
+                    self.active.push(ActiveReq {
+                        slot: outcome.slot,
+                        first_token_ms: p.first_token_ms,
+                        tokens: p.tokens,
+                        produced: p.produced,
+                        target: p.target,
+                        e2e_deadline_at: p.e2e_deadline_at,
+                        bounces: p.bounces,
+                        produced_at_admit: p.produced,
+                        gr: p.gr,
+                    });
+                }
+                Err(
+                    e @ (BackendError::SlotsExhausted { .. } | BackendError::PagesExhausted { .. }),
+                ) => {
+                    if self.active.is_empty() && self.prefilling.is_empty() {
+                        // Nothing resident will ever free pages, and this
+                        // context alone does not fit: it can never come
+                        // back.
+                        self.terminate(&p.gr, Terminal::Failed(format!("resume cannot fit: {e}")));
+                        continue;
+                    }
+                    // A resident will free pages; hold and retry later.
+                    self.preempted.push_front(p);
+                    return;
+                }
+                Err(e) => {
+                    self.terminate(&p.gr, Terminal::Failed(format!("resume failed: {e}")));
+                    if matches!(e, BackendError::WorkerPoisoned { .. }) {
+                        self.drain_lost_backend();
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances every open chunked prefill by one chunk. Runs once per
+    /// scheduler iteration, so long prompts interleave with resident
+    /// decode rounds instead of stalling the whole batch.
+    fn prefill_round(&mut self) {
+        let chunk = match self.cfg.prefill_chunk {
+            Some(c) if !self.prefilling.is_empty() => c,
+            _ => return,
+        };
+        let mut work: VecDeque<PrefillingReq> = std::mem::take(&mut self.prefilling).into();
+        let mut keep: Vec<PrefillingReq> = Vec::with_capacity(work.len());
+        while let Some(mut p) = work.pop_front() {
+            if p.gr.cancel_ms.is_some_and(|t| t <= self.clock) {
+                let _ = self.backend.release(p.slot);
+                self.terminate(&p.gr, Terminal::Cancelled);
+                continue;
+            }
+            if p.e2e_deadline_at.is_some_and(|at| self.clock > at)
+                || self
+                    .cfg
+                    .ttft_deadline_ms
+                    .is_some_and(|d| self.clock > p.gr.req.arrival_ms + d)
+            {
+                let _ = self.backend.release(p.slot);
+                self.terminate(&p.gr, Terminal::TimedOut(TimeoutPhase::FirstToken));
+                continue;
+            }
+            let stepped = self.with_retries(|b| b.prefill_step(p.slot, chunk));
+            match stepped {
+                Ok(progress) => {
+                    self.clock += progress.elapsed_ms;
+                    p.stalls = 0;
+                    if progress.remaining > 0 {
+                        keep.push(p);
+                        continue;
+                    }
+                    // First token exists now — same gates as `admit`.
+                    let ttft_late = self
+                        .cfg
+                        .ttft_deadline_ms
+                        .is_some_and(|d| self.clock > p.gr.req.arrival_ms + d);
+                    if ttft_late || p.e2e_deadline_at.is_some_and(|at| self.clock > at) {
+                        self.backend.release(p.slot).expect("slot just prefilled");
+                        self.terminate(&p.gr, Terminal::TimedOut(TimeoutPhase::FirstToken));
+                        continue;
+                    }
+                    let entry = ActiveReq {
+                        slot: p.slot,
+                        first_token_ms: self.clock,
+                        tokens: progress.first_token.into_iter().collect(),
+                        produced: 1,
+                        target: p.target,
+                        e2e_deadline_at: p.e2e_deadline_at,
+                        bounces: 0,
+                        produced_at_admit: 1,
+                        gr: p.gr,
+                    };
+                    if entry.produced >= entry.target {
+                        self.complete(entry);
+                    } else {
+                        self.active.push(entry);
+                    }
+                }
+                Err(e @ BackendError::PagesExhausted { .. }) => {
+                    let relieved =
+                        matches!(self.cfg.shed, ShedPolicy::Preempt) && self.try_preempt_one();
+                    if relieved {
+                        // Pressure relieved; the chunk retries next round.
+                        keep.push(p);
+                    } else {
+                        p.stalls += 1;
+                        if p.stalls > BOUNCE_LIMIT {
+                            let _ = self.backend.release(p.slot);
+                            self.terminate(
+                                &p.gr,
+                                Terminal::Failed(format!("prefill starved: {e}")),
+                            );
+                        } else {
+                            keep.push(p);
+                        }
+                    }
+                }
+                Err(e) => {
+                    let _ = self.backend.release(p.slot);
+                    self.terminate(&p.gr, Terminal::Failed(e.to_string()));
+                    if matches!(e, BackendError::WorkerPoisoned { .. }) {
+                        keep.extend(work.drain(..));
+                        self.prefilling = keep;
+                        self.drain_lost_backend();
+                        return;
+                    }
+                }
+            }
+        }
+        self.prefilling = keep;
+    }
+
     /// One decode iteration over every resident, with retry. On permanent
     /// failure every resident fails (their streams cannot be trusted to
     /// resume exactly).
     fn decode_round(&mut self) {
-        let slots: Vec<usize> = self.active.iter().map(|a| a.slot).collect();
-        let outcome = match self.with_retries(|b| b.decode_batch(&slots)) {
-            Ok(o) => o,
-            Err(e) => {
-                if matches!(e, BackendError::WorkerPoisoned { .. }) {
-                    self.drain_lost_backend();
-                } else {
-                    let detail =
-                        format!("decode failed after {} retries: {e}", self.cfg.max_retries);
-                    for a in std::mem::take(&mut self.active) {
-                        let _ = self.backend.release(a.slot);
-                        self.terminate(&a.gr, Terminal::Failed(detail.clone()));
+        let outcome = loop {
+            let slots: Vec<usize> = self.active.iter().map(|a| a.slot).collect();
+            match self.with_retries(|b| b.decode_batch(&slots)) {
+                Ok(o) => break o,
+                Err(BackendError::PagesExhausted { .. })
+                    if matches!(self.cfg.shed, ShedPolicy::Preempt)
+                        && self.backend.supports_preemption() =>
+                {
+                    // The page pool cannot grow every resident by one
+                    // token. Evict the youngest resident (its pages come
+                    // back; its progress is kept) and retry the round
+                    // with the smaller batch. A failed decode touched no
+                    // state, so the retry is bit-exact.
+                    if !self.try_preempt_one() || self.active.is_empty() {
+                        return;
                     }
                 }
-                return;
+                Err(e) => {
+                    if matches!(e, BackendError::WorkerPoisoned { .. }) {
+                        self.drain_lost_backend();
+                    } else {
+                        let detail =
+                            format!("decode failed after {} retries: {e}", self.cfg.max_retries);
+                        for a in std::mem::take(&mut self.active) {
+                            let _ = self.backend.release(a.slot);
+                            self.terminate(&a.gr, Terminal::Failed(detail.clone()));
+                        }
+                    }
+                    return;
+                }
             }
         };
         self.clock += outcome.elapsed_ms;
@@ -694,6 +1065,8 @@ pub fn serve_gateway_on<B: InferenceBackend>(
         pending: sorted.into(),
         queued: VecDeque::new(),
         active: Vec::new(),
+        prefilling: Vec::new(),
+        preempted: VecDeque::new(),
         terminals: Vec::new(),
         done: Vec::new(),
         outputs: Vec::new(),
@@ -701,20 +1074,33 @@ pub fn serve_gateway_on<B: InferenceBackend>(
         iterations: 0,
         retries: 0,
         degraded: 0,
+        preemptions: 0,
     };
 
-    while !run.pending.is_empty() || !run.queued.is_empty() || !run.active.is_empty() {
+    while !run.pending.is_empty()
+        || !run.queued.is_empty()
+        || !run.active.is_empty()
+        || !run.prefilling.is_empty()
+        || !run.preempted.is_empty()
+    {
         // Idle: jump to the next arrival (the only future event while
         // nothing is queued or resident — queued requests either admit or
         // terminate within this iteration).
-        if run.active.is_empty() && run.queued.is_empty() {
+        if run.active.is_empty()
+            && run.queued.is_empty()
+            && run.prefilling.is_empty()
+            && run.preempted.is_empty()
+        {
             if let Some(front) = run.pending.front() {
                 run.clock = run.clock.max(front.req.arrival_ms);
             }
         }
         run.pump_arrivals();
         run.scan_queued();
+        run.scan_preempted();
+        run.resume_preempted();
         run.admit();
+        run.prefill_round();
         if run.active.is_empty() {
             continue;
         }
@@ -726,6 +1112,7 @@ pub fn serve_gateway_on<B: InferenceBackend>(
         terminals: run.terminals,
         retries: run.retries,
         degraded: run.degraded,
+        preemptions: run.preemptions,
     }
 }
 
@@ -956,6 +1343,7 @@ mod tests {
                 stall_rate: 0.0,
                 stall_ms: 0.0,
                 release_leak_rate: 0.0,
+                page_fault_rate: 0.0,
             },
         );
         let cfg = GatewayConfig {
@@ -988,6 +1376,7 @@ mod tests {
                 stall_rate: 0.0,
                 stall_ms: 0.0,
                 release_leak_rate: 0.0,
+                page_fault_rate: 0.0,
             },
         );
         let reqs = prompted_workload(3, 5);
@@ -1018,6 +1407,7 @@ mod tests {
                 stall_rate: 0.0,
                 stall_ms: 0.0,
                 release_leak_rate: 1.0,
+                page_fault_rate: 0.0,
             },
         );
         let reqs = prompted_workload(6, 21);
@@ -1061,6 +1451,7 @@ mod tests {
                 stall_rate: 1.0,
                 stall_ms: 500.0,
                 release_leak_rate: 0.0,
+                page_fault_rate: 0.0,
             },
         );
         let reqs = prompted_workload(2, 31);
@@ -1073,6 +1464,171 @@ mod tests {
             stalled.serving.e2e_ms.p50().unwrap() > smooth.serving.e2e_ms.p50().unwrap() + 400.0,
             "stalls must show up in latency"
         );
+    }
+
+    /// A paged functional backend oversubscribed on purpose: many slots,
+    /// a page pool far smaller than `slots × capacity`.
+    fn paged_backend(slots: usize, pool_pages: usize) -> (Gpt2Model, FunctionalBackend) {
+        let model = Gpt2Model::synthetic(&ModelConfig::tiny(), 2024);
+        let dist =
+            DistributedGpt2::with_paged_slots(&model, 2, RingMode::Exact, slots, 48, 4, pool_pages)
+                .unwrap();
+        (model, FunctionalBackend::new(dist, SamplerSpec::Greedy))
+    }
+
+    #[test]
+    fn preempt_policy_oversubscribes_without_failures() {
+        // With 4-token pages, 8 resident ~11-token contexts want ~24
+        // pages; the pool has 12 (the minimum geometry allows). Reject
+        // policy cannot serve this concurrency; Preempt must, with every
+        // stream bit-identical to an uncontended run.
+        let reqs = prompted_workload(8, 17);
+        let offered = GatewayRequest::from_workload(&reqs);
+
+        let (_m1, mut roomy) = functional_backend(8);
+        let baseline = serve_gateway_on(&mut roomy, &offered, &no_deadline_cfg());
+        assert_eq!(baseline.counts().completed, 8);
+
+        let (_m2, mut tight) = paged_backend(8, 12);
+        let cfg = GatewayConfig {
+            shed: ShedPolicy::Preempt,
+            ..no_deadline_cfg()
+        };
+        let report = serve_gateway_on(&mut tight, &offered, &cfg);
+        assert!(report.is_conserved(&offered));
+        assert_eq!(report.counts().completed, 8, "{report}");
+        assert!(
+            report.preemptions > 0,
+            "a 10-page pool under 8 residents must preempt: {report}"
+        );
+        for r in &reqs {
+            assert_eq!(
+                report.serving.output_tokens(r.id),
+                baseline.serving.output_tokens(r.id),
+                "request {} diverged across preemption",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_is_bit_identical_to_one_pass() {
+        let reqs = prompted_workload(6, 23);
+        let offered = GatewayRequest::from_workload(&reqs);
+
+        let (_m1, mut one_pass) = functional_backend(4);
+        let baseline = serve_gateway_on(&mut one_pass, &offered, &no_deadline_cfg());
+        assert_eq!(baseline.counts().completed, 6);
+
+        for chunk in [1usize, 3, 16] {
+            let (_m2, mut chunked) = functional_backend(4);
+            let cfg = GatewayConfig {
+                prefill_chunk: Some(chunk),
+                ..no_deadline_cfg()
+            };
+            let report = serve_gateway_on(&mut chunked, &offered, &cfg);
+            assert!(report.is_conserved(&offered));
+            assert_eq!(report.counts().completed, 6, "chunk={chunk}: {report}");
+            for r in &reqs {
+                assert_eq!(
+                    report.serving.output_tokens(r.id),
+                    baseline.serving.output_tokens(r.id),
+                    "request {} diverged under chunk={chunk}",
+                    r.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_with_preemption_under_page_pressure() {
+        // Chunked prefill AND an oversubscribed pool at once: prefill
+        // chunks compete with resident decode for pages, and preemption
+        // arbitrates. Everything still completes bit-identically.
+        let reqs = prompted_workload(8, 29);
+        let offered = GatewayRequest::from_workload(&reqs);
+
+        let (_m1, mut roomy) = functional_backend(8);
+        let baseline = serve_gateway_on(&mut roomy, &offered, &no_deadline_cfg());
+
+        let (_m2, mut tight) = paged_backend(8, 12);
+        let cfg = GatewayConfig {
+            shed: ShedPolicy::Preempt,
+            prefill_chunk: Some(3),
+            ..no_deadline_cfg()
+        };
+        let report = serve_gateway_on(&mut tight, &offered, &cfg);
+        assert!(report.is_conserved(&offered));
+        assert_eq!(report.counts().completed, 8, "{report}");
+        for r in &reqs {
+            assert_eq!(
+                report.serving.output_tokens(r.id),
+                baseline.serving.output_tokens(r.id),
+                "request {} diverged under chunked+preempted serving",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn injected_page_faults_recover_under_preempt_policy() {
+        let reqs = prompted_workload(6, 41);
+        let offered = GatewayRequest::from_workload(&reqs);
+
+        let (_m1, mut clean) = functional_backend(4);
+        let baseline = serve_gateway_on(&mut clean, &offered, &no_deadline_cfg());
+
+        let (_m2, inner) = functional_backend(4);
+        let mut faulty = FaultyBackend::new(
+            inner,
+            FaultPlan {
+                seed: 19,
+                prefill_fail_rate: 0.0,
+                decode_fail_rate: 0.0,
+                stall_rate: 0.0,
+                stall_ms: 0.0,
+                release_leak_rate: 0.0,
+                page_fault_rate: 0.25,
+            },
+        );
+        let cfg = GatewayConfig {
+            shed: ShedPolicy::Preempt,
+            ..no_deadline_cfg()
+        };
+        let report = serve_gateway_on(&mut faulty, &offered, &cfg);
+        assert!(report.is_conserved(&offered));
+        assert_eq!(
+            report.counts().completed,
+            6,
+            "preemption must absorb injected page faults: {report}"
+        );
+        for r in &reqs {
+            assert_eq!(
+                report.serving.output_tokens(r.id),
+                baseline.serving.output_tokens(r.id),
+                "request {} diverged across fault-driven preemption",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn sim_backend_preempts_without_token_tracking() {
+        // The timing backend supports preemption with no prompt/token
+        // state; Preempt policy must work there too (resume recharges the
+        // prefill clock). Pool pressure never arises on SimBackend, so we
+        // just check the policy is inert and harmless.
+        let e = engine(2);
+        let reqs = ArrivalProcess::Trace(vec![0.0; 4]).workload(4, &[(16, 8)]);
+        let offered = GatewayRequest::from_workload(&reqs);
+        let cfg = GatewayConfig {
+            shed: ShedPolicy::Preempt,
+            ..no_deadline_cfg()
+        };
+        let report = serve_gateway_on(&mut SimBackend::new(&e), &offered, &cfg);
+        assert!(report.is_conserved(&offered));
+        assert_eq!(report.counts().completed, 4);
+        assert_eq!(report.preemptions, 0);
     }
 
     #[test]

@@ -28,6 +28,15 @@ fn fresh_backend(model: &Gpt2Model) -> FunctionalBackend {
     FunctionalBackend::new(engine, SamplerSpec::Greedy)
 }
 
+/// An oversubscribed paged backend: 4-token pages, a 12-page pool (the
+/// minimum the geometry allows for capacity 48) against `SLOTS * 2`
+/// slots — residents routinely outgrow the pool and must be preempted.
+fn oversubscribed_backend(model: &Gpt2Model) -> FunctionalBackend {
+    let engine = DistributedGpt2::with_paged_slots(model, 2, RingMode::Exact, SLOTS * 2, 48, 4, 12)
+        .expect("tiny model partitions");
+    FunctionalBackend::new(engine, SamplerSpec::Greedy)
+}
+
 fn workload(n: usize, seed: u64) -> Vec<GatewayRequest> {
     let cfg = ModelConfig::tiny();
     let reqs = ArrivalProcess::Trace(vec![0.0; n]).workload_with_prompts(
@@ -50,6 +59,7 @@ fn gateway_cfg() -> GatewayConfig {
         max_retries: 48,
         retry_backoff_ms: 0.5,
         shed: ShedPolicy::Reject,
+        prefill_chunk: None,
     }
 }
 
@@ -82,6 +92,7 @@ proptest! {
             stall_rate,
             stall_ms: 250.0,
             release_leak_rate: leak_rate,
+            page_fault_rate: 0.0,
         };
         let mut faulty = FaultyBackend::new(fresh_backend(&model), plan);
         let report = serve_gateway_on(&mut faulty, &offered, &gateway_cfg());
@@ -118,5 +129,85 @@ proptest! {
         prop_assert_eq!(a.counts(), b.counts());
         prop_assert_eq!(a.serving.outputs, b.serving.outputs);
         prop_assert_eq!(b.retries, 0);
+    }
+
+    /// Injected page faults under the `Preempt` policy: every offered
+    /// request reaches exactly one terminal state (a preempted request
+    /// is resumed, not lost), and every completed stream bit-matches the
+    /// fault-free reference.
+    #[test]
+    fn page_faults_preempt_but_never_corrupt(
+        plan_seed in any::<u64>(),
+        workload_seed in any::<u64>(),
+        page_rate in 0.0f64..0.35,
+        n in 4usize..10,
+    ) {
+        let model = Gpt2Model::synthetic(&ModelConfig::tiny(), 2024);
+        let offered = workload(n, workload_seed);
+
+        let mut clean = fresh_backend(&model);
+        let reference = serve_gateway_on(&mut clean, &offered, &gateway_cfg());
+
+        let plan = FaultPlan {
+            seed: plan_seed,
+            prefill_fail_rate: 0.0,
+            decode_fail_rate: 0.0,
+            stall_rate: 0.0,
+            stall_ms: 0.0,
+            release_leak_rate: 0.0,
+            page_fault_rate: page_rate,
+        };
+        let mut faulty = FaultyBackend::new(fresh_backend(&model), plan);
+        let cfg = GatewayConfig { shed: ShedPolicy::Preempt, ..gateway_cfg() };
+        let report = serve_gateway_on(&mut faulty, &offered, &cfg);
+
+        prop_assert!(report.is_conserved(&offered), "{}", report);
+        for t in &report.terminals {
+            if t.terminal != Terminal::Completed {
+                continue;
+            }
+            prop_assert_eq!(
+                report.serving.output_tokens(t.id),
+                reference.serving.output_tokens(t.id),
+                "request {} diverged under page-fault plan {:?}", t.id, plan
+            );
+        }
+    }
+
+    /// Genuine page pressure (an oversubscribed pool, no injected
+    /// faults): preemption lets every request terminate `Completed`,
+    /// bit-identical to the roomy reference, at any prefill chunking.
+    #[test]
+    fn oversubscription_completes_exactly(
+        workload_seed in any::<u64>(),
+        raw_chunk in 0usize..10,
+        n in 4usize..10,
+    ) {
+        // 0 means "no chunking" — one-pass prefill.
+        let chunk = (raw_chunk > 0).then_some(raw_chunk);
+        let model = Gpt2Model::synthetic(&ModelConfig::tiny(), 2024);
+        let offered = workload(n, workload_seed);
+
+        let mut clean = fresh_backend(&model);
+        let reference = serve_gateway_on(&mut clean, &offered, &gateway_cfg());
+
+        let mut tight = oversubscribed_backend(&model);
+        let cfg = GatewayConfig {
+            max_batch: SLOTS * 2,
+            shed: ShedPolicy::Preempt,
+            prefill_chunk: chunk,
+            ..gateway_cfg()
+        };
+        let report = serve_gateway_on(&mut tight, &offered, &cfg);
+
+        prop_assert!(report.is_conserved(&offered), "{}", report);
+        prop_assert_eq!(report.counts().completed, n, "{}", report);
+        for t in &report.terminals {
+            prop_assert_eq!(
+                report.serving.output_tokens(t.id),
+                reference.serving.output_tokens(t.id),
+                "request {} diverged under oversubscription (chunk {:?})", t.id, chunk
+            );
+        }
     }
 }
