@@ -25,6 +25,7 @@
 //! assert!(run.total_ms > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

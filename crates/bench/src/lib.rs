@@ -24,6 +24,7 @@
 //! injected faults and verifies conservation, bit-exact completions,
 //! and graceful goodput degradation.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod chaos;

@@ -23,6 +23,7 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+// lint: allow(determinism) — wall-clock feeds only measured elapsed_ms, never token streams
 use std::time::Instant;
 
 use looplynx_model::sampler::Sampler;
@@ -90,6 +91,14 @@ pub enum BackendError {
         /// Pages that were free at the time of the call.
         free: usize,
     },
+    /// The backend does not implement this optional capability (chunked
+    /// prefill, preemption). Permanent for the backend's lifetime: gate
+    /// on [`InferenceBackend::supports_chunked_prefill`] /
+    /// [`InferenceBackend::supports_preemption`] instead of retrying.
+    Unsupported {
+        /// The capability that was requested.
+        op: &'static str,
+    },
 }
 
 impl BackendError {
@@ -135,6 +144,9 @@ impl fmt::Display for BackendError {
             }
             BackendError::PagesExhausted { needed, free } => {
                 write!(f, "KV page pool exhausted: need {needed}, {free} free")
+            }
+            BackendError::Unsupported { op } => {
+                write!(f, "backend does not support {op}")
             }
         }
     }
@@ -292,11 +304,8 @@ pub trait InferenceBackend {
     /// # Errors
     ///
     /// The same admission errors as [`InferenceBackend::prefill`]. On
-    /// error no slot is held.
-    ///
-    /// # Panics
-    ///
-    /// The default implementation panics: gate on
+    /// error no slot is held. The default implementation returns
+    /// [`BackendError::Unsupported`]: gate on
     /// [`InferenceBackend::supports_chunked_prefill`].
     fn prefill_open(
         &mut self,
@@ -305,7 +314,9 @@ pub trait InferenceBackend {
         sampler_seed: u64,
     ) -> Result<usize, BackendError> {
         let _ = (prompt_len, prompt, sampler_seed);
-        unimplemented!("backend does not support chunked prefill")
+        Err(BackendError::Unsupported {
+            op: "chunked prefill",
+        })
     }
 
     /// Feeds the next `max_tokens` (at most) staged prompt tokens into an
@@ -317,20 +328,22 @@ pub trait InferenceBackend {
     /// [`BackendError::SlotNotResident`] if `slot` has no open prefill;
     /// [`BackendError::PagesExhausted`] when the KV pool cannot back the
     /// chunk (nothing was fed — shrink the chunk, free pages, or
-    /// preempt); fault-wrapper and poisoned-worker errors as usual.
+    /// preempt); fault-wrapper and poisoned-worker errors as usual. The
+    /// default implementation returns [`BackendError::Unsupported`]: gate
+    /// on [`InferenceBackend::supports_chunked_prefill`].
     ///
     /// # Panics
     ///
-    /// The default implementation panics: gate on
-    /// [`InferenceBackend::supports_chunked_prefill`]. Implementations
-    /// may panic if `max_tokens` is zero.
+    /// Implementations may panic if `max_tokens` is zero.
     fn prefill_step(
         &mut self,
         slot: usize,
         max_tokens: usize,
     ) -> Result<PrefillProgress, BackendError> {
         let _ = (slot, max_tokens);
-        unimplemented!("backend does not support chunked prefill")
+        Err(BackendError::Unsupported {
+            op: "chunked prefill",
+        })
     }
 
     /// Whether [`InferenceBackend::preempt`] /
@@ -349,15 +362,12 @@ pub trait InferenceBackend {
     ///
     /// [`BackendError::SlotNotResident`] if the slot is free or mid
     /// chunked-prefill (abandon those by [`InferenceBackend::release`]
-    /// and re-admit from scratch).
-    ///
-    /// # Panics
-    ///
-    /// The default implementation panics: gate on
+    /// and re-admit from scratch). The default implementation returns
+    /// [`BackendError::Unsupported`]: gate on
     /// [`InferenceBackend::supports_preemption`].
     fn preempt(&mut self, slot: usize) -> Result<PreemptedSeq, BackendError> {
         let _ = slot;
-        unimplemented!("backend does not support preemption")
+        Err(BackendError::Unsupported { op: "preemption" })
     }
 
     /// Re-admits a preempted sequence: claims a slot, rebuilds its KV
@@ -375,11 +385,8 @@ pub trait InferenceBackend {
     /// when the sequence does not fit right now;
     /// [`BackendError::MissingPrompt`] /
     /// [`BackendError::PromptLengthMismatch`] on bad contexts. On error
-    /// no slot is held.
-    ///
-    /// # Panics
-    ///
-    /// The default implementation panics: gate on
+    /// no slot is held. The default implementation returns
+    /// [`BackendError::Unsupported`]: gate on
     /// [`InferenceBackend::supports_preemption`].
     fn resume(
         &mut self,
@@ -387,7 +394,7 @@ pub trait InferenceBackend {
         context: Option<&[u32]>,
     ) -> Result<PrefillOutcome, BackendError> {
         let _ = (seq, context);
-        unimplemented!("backend does not support preemption")
+        Err(BackendError::Unsupported { op: "preemption" })
     }
 }
 
@@ -486,7 +493,10 @@ impl InferenceBackend for SimBackend<'_> {
             .simulate_decode_batch(&contexts)
             .to_millis(self.engine.arch());
         for &s in slots {
-            *self.contexts[s].as_mut().expect("validated above") += 1;
+            // Validated above; a vacant slot here is unreachable.
+            if let Some(ctx) = self.contexts[s].as_mut() {
+                *ctx += 1;
+            }
         }
         Ok(DecodeOutcome {
             elapsed_ms,
@@ -668,6 +678,15 @@ impl FunctionalBackend {
         BackendError::WorkerPoisoned { detail }
     }
 
+    /// Poisons the backend over a broken engine contract (no panic was
+    /// thrown, but the engine's state can no longer be trusted).
+    fn poison_contract(&mut self, detail: &str) -> BackendError {
+        self.poisoned = Some(detail.to_string());
+        BackendError::WorkerPoisoned {
+            detail: detail.to_string(),
+        }
+    }
+
     /// Surfaces page pressure as a typed error *before* the engine runs.
     /// The engine itself treats pool exhaustion as a caller bug (it
     /// panics, which would poison this backend), so every KV-growing
@@ -717,8 +736,14 @@ impl InferenceBackend for FunctionalBackend {
             });
         }
         self.check_pages(self.engine.pages_for_tokens(prompt.len()))?;
+        // lint: allow(determinism) — measured elapsed_ms only; tokens unaffected
         let start = Instant::now();
-        let slot = self.engine.acquire_slot().expect("free slot checked above");
+        let slot = self
+            .engine
+            .acquire_slot()
+            .ok_or(BackendError::SlotsExhausted {
+                capacity: self.engine.slots(),
+            })?;
         // A panic below (worker thread or host path) leaves the slot's KV
         // partially written; the backend poisons itself rather than serve
         // from a cache it cannot trust.
@@ -750,22 +775,23 @@ impl InferenceBackend for FunctionalBackend {
             }
         }
         self.check_pages(slots.iter().map(|&s| self.engine.pages_needed(s, 1)).sum())?;
+        // lint: allow(determinism) — measured elapsed_ms only; tokens unaffected
         let start = Instant::now();
         let logits =
             match catch_unwind(AssertUnwindSafe(|| self.engine.decode_step_batch(&entries))) {
                 Ok(logits) => logits,
                 Err(payload) => return Err(self.poison(payload)),
             };
-        let tokens: Vec<u32> = slots
-            .iter()
-            .zip(&logits)
-            .map(|(&s, row)| {
-                let resident = self.residents[s].as_mut().expect("validated above");
-                let next = resident.sampler.sample(row);
-                resident.last_token = next;
-                next
-            })
-            .collect();
+        let mut tokens = Vec::with_capacity(slots.len());
+        for (&s, row) in slots.iter().zip(&logits) {
+            // Validated above; a vacant resident here is unreachable.
+            let Some(resident) = self.residents[s].as_mut() else {
+                return Err(BackendError::SlotNotResident { slot: s });
+            };
+            let next = resident.sampler.sample(row);
+            resident.last_token = next;
+            tokens.push(next);
+        }
         // Sampling is part of the serving pipeline's critical path, so it
         // bills to the clock here exactly as prefill bills its first-token
         // sample.
@@ -848,6 +874,7 @@ impl InferenceBackend for FunctionalBackend {
             None => return Err(BackendError::SlotNotResident { slot }),
         };
         self.check_pages(self.engine.pages_needed(slot, chunk.len()))?;
+        // lint: allow(determinism) — measured elapsed_ms only; tokens unaffected
         let start = Instant::now();
         // Non-final chunks skip the LM head entirely; only the final one
         // produces the logits the first token is sampled from.
@@ -857,21 +884,29 @@ impl InferenceBackend for FunctionalBackend {
             Ok(logits) => logits,
             Err(payload) => return Err(self.poison(payload)),
         };
-        let p = self.pending[slot].as_mut().expect("checked above");
+        // Checked resident above; a vacant pending here is unreachable.
+        let Some(p) = self.pending[slot].as_mut() else {
+            return Err(BackendError::SlotNotResident { slot });
+        };
         p.fed += chunk.len();
         let remaining = p.prompt.len() - p.fed;
-        let first_token = if is_last {
-            let logits = logits.expect("final chunk carries logits");
-            let mut sampler = self.spec.build(seed);
-            let first = sampler.sample(&logits);
-            self.pending[slot] = None;
-            self.residents[slot] = Some(Resident {
-                sampler,
-                last_token: first,
-            });
-            Some(first)
-        } else {
-            None
+        let first_token = match (is_last, logits) {
+            (true, Some(logits)) => {
+                let mut sampler = self.spec.build(seed);
+                let first = sampler.sample(&logits);
+                self.pending[slot] = None;
+                self.residents[slot] = Some(Resident {
+                    sampler,
+                    last_token: first,
+                });
+                Some(first)
+            }
+            // The engine contract says the final chunk carries logits; a
+            // violation means its state cannot be trusted — poison.
+            (true, None) => {
+                return Err(self.poison_contract("final prefill chunk produced no logits"))
+            }
+            (false, _) => None,
         };
         Ok(PrefillProgress {
             elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
@@ -913,14 +948,28 @@ impl InferenceBackend for FunctionalBackend {
                 got: context.len(),
             });
         }
+        // A timing-only PreemptedSeq (from SimBackend) carries no sampler
+        // or last token to restore — it cannot resume on the functional
+        // path. Reject before claiming any slot or page.
+        let (Some(sampler), Some(last_token)) = (seq.sampler.clone(), seq.last_token) else {
+            return Err(BackendError::Unsupported {
+                op: "resuming a timing-only preempted sequence",
+            });
+        };
         if self.engine.free_slots() == 0 {
             return Err(BackendError::SlotsExhausted {
                 capacity: self.engine.slots(),
             });
         }
         self.check_pages(self.engine.pages_for_tokens(context.len()))?;
+        // lint: allow(determinism) — measured elapsed_ms only; tokens unaffected
         let start = Instant::now();
-        let slot = self.engine.acquire_slot().expect("free slot checked above");
+        let slot = self
+            .engine
+            .acquire_slot()
+            .ok_or(BackendError::SlotsExhausted {
+                capacity: self.engine.slots(),
+            })?;
         // Re-prefill rebuilds the KV cache bit-identically (int8 GEMM rows
         // accumulate independently, so one batched pass over the context
         // equals the original prefill + decode history) and samples
@@ -931,13 +980,8 @@ impl InferenceBackend for FunctionalBackend {
             return Err(self.poison(payload));
         }
         self.residents[slot] = Some(Resident {
-            sampler: seq
-                .sampler
-                .clone()
-                .expect("functional preempted sequence carries its sampler"),
-            last_token: seq
-                .last_token
-                .expect("functional preempted sequence carries its last token"),
+            sampler,
+            last_token,
         });
         Ok(PrefillOutcome {
             slot,

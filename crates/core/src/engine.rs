@@ -402,6 +402,7 @@ impl DistributedGpt2 {
         let max_seq = model.config().max_seq;
         let mut engine = Self::with_slots(model, nodes, mode, 1, max_seq)?;
         for n in &mut engine.nodes {
+            // lint: allow(panic_free) — engine invariant; a panic poisons the backend via catch_unwind
             let slot = n.arena.acquire().expect("fresh arena has a free slot");
             debug_assert_eq!(slot, 0);
         }
@@ -604,6 +605,7 @@ impl DistributedGpt2 {
         for node in &mut self.nodes {
             node.arena
                 .try_reserve_batch(entries)
+                // lint: allow(panic_free) — engine invariant; a panic poisons the backend via catch_unwind
                 .expect("KV page pool exhausted: pre-check free_pages before this call");
         }
     }
@@ -617,6 +619,7 @@ impl DistributedGpt2 {
         let acquired: Vec<usize> = self
             .nodes
             .iter_mut()
+            // lint: allow(panic_free) — engine invariant; a panic poisons the backend via catch_unwind
             .map(|n| n.arena.acquire().expect("node arenas evolve in lockstep"))
             .collect();
         let slot = acquired[0];
@@ -678,6 +681,7 @@ impl DistributedGpt2 {
         for n in &mut self.nodes {
             if n.arena.in_use(0) {
                 n.arena.release(0);
+                // lint: allow(panic_free) — engine invariant; a panic poisons the backend via catch_unwind
                 let slot = n.arena.acquire().expect("slot 0 just freed");
                 debug_assert_eq!(slot, 0);
             }
@@ -818,6 +822,7 @@ impl DistributedGpt2 {
             let slot = n
                 .arena
                 .acquire()
+                // lint: allow(panic_free) — engine invariant; a panic poisons the backend via catch_unwind
                 .expect("single-sequence surface needs a free slot");
             debug_assert_eq!(slot, 0, "slot 0 must be the lowest free slot");
         }
@@ -837,6 +842,7 @@ impl DistributedGpt2 {
     pub fn decode_step(&mut self, token: u32) -> Vec<f32> {
         self.ensure_primary_slot();
         self.forward_token_in(0, token, true)
+            // lint: allow(panic_free) — engine invariant; a panic poisons the backend via catch_unwind
             .expect("logits requested")
     }
 
@@ -856,6 +862,7 @@ impl DistributedGpt2 {
     /// capacity.
     pub fn prefill_slot(&mut self, slot: usize, prompt: &[u32]) -> Vec<f32> {
         self.prefill_slot_chunk(slot, prompt, true)
+            // lint: allow(panic_free) — engine invariant; a panic poisons the backend via catch_unwind
             .expect("logits requested")
     }
 
@@ -953,6 +960,7 @@ impl DistributedGpt2 {
 
         // LM head for the final prompt token only (non-final outputs are
         // discarded, paper Fig. 1).
+        // lint: allow(panic_free) — engine invariant; a panic poisons the backend via catch_unwind
         let last = xs.last().expect("non-empty prompt");
         layernorm_into(last, &self.nodes[0].weights.ln_f, &mut scratch.h);
         let hf_scale = quantize_into(&scratch.h, &mut scratch.q8);
@@ -1087,6 +1095,7 @@ impl DistributedGpt2 {
             .map(|_| {
                 per_node
                     .iter_mut()
+                    // lint: allow(panic_free) — engine invariant; a panic poisons the backend via catch_unwind
                     .flat_map(|it| it.next().expect("one row per entry"))
                     .collect()
             })
@@ -1206,6 +1215,7 @@ impl StackScratch {
             self.rows8.extend_from_slice(&self.q8);
             self.scales.push(scale);
         }
+        // lint: allow(panic_free) — engine invariant; a panic poisons the backend via catch_unwind
         Matrix::from_vec(rows.len(), width, std::mem::take(&mut self.rows8)).expect("stacked rows")
     }
 
@@ -1233,6 +1243,7 @@ fn gather_rows(router: &Router, shards: Vec<Vec<Vec<f32>>>) -> Vec<Vec<f32>> {
         .map(|_| {
             let row_shards: Vec<Vec<f32>> = per_node
                 .iter_mut()
+                // lint: allow(panic_free) — engine invariant; a panic poisons the backend via catch_unwind
                 .map(|it| it.next().expect("one shard per row per node"))
                 .collect();
             router.all_gather_owned(row_shards)

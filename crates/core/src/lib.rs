@@ -43,6 +43,7 @@
 //! # }
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -76,6 +76,7 @@ impl WorkerPool {
                             job();
                         }
                     })
+                    // lint: allow(panic_free) — documented `# Panics` construction contract; pools are built at startup, not per request
                     .expect("spawn pool worker");
                 Worker {
                     tx,
@@ -175,14 +176,16 @@ impl WorkerPool {
                 // send can only fail if the caller itself is unwinding.
                 let _ = rtx.send(result);
             });
-            // SAFETY: `run` does not return (normally or by panic) before
-            // every receiver below has yielded, so the job — and every
-            // borrow of 'env it captures — is finished by the time the
-            // caller's frame can be torn down. Nothing between here and
-            // the barrier can unwind: dispatch is channel sends and Vec
-            // pushes only (allocation failure aborts, not unwinds).
-            let task: Job =
-                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(task) };
+            let task: Job = {
+                // SAFETY: `run` does not return (normally or by panic)
+                // before every receiver below has yielded, so the job —
+                // and every borrow of 'env it captures — is finished by
+                // the time the caller's frame can be torn down. Nothing
+                // between here and the barrier can unwind: dispatch is
+                // channel sends and Vec pushes only (allocation failure
+                // aborts, not unwinds).
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(task) }
+            };
             if worker.tx.send(task).is_err() {
                 // Worker thread died (it only exits when the pool drops);
                 // drain what we dispatched, then report.
@@ -195,7 +198,17 @@ impl WorkerPool {
         // can unwind out of this function.
         let results: Vec<std::thread::Result<T>> = receivers
             .into_iter()
-            .map(|rx| rx.recv().expect("pool worker died mid-job"))
+            .map(|rx| {
+                rx.recv().unwrap_or_else(|_| {
+                    // The worker dropped its result sender without
+                    // answering — it died mid-job (and dropped the job,
+                    // releasing its borrows). Surface that as a job
+                    // panic: `try_run` reports it, `run` re-throws it.
+                    let payload: Box<dyn std::any::Any + Send> =
+                        Box::new("pool worker died mid-job".to_string());
+                    Err(payload)
+                })
+            })
             .collect();
         assert!(!worker_died, "pool worker died before dispatch");
         results

@@ -25,6 +25,7 @@
 //! assert!(two_node.fits_within(&FpgaDevice::alveo_u50().resources()));
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

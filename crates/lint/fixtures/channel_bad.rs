@@ -1,0 +1,9 @@
+// Negative fixture for `bounded_channel`: unbounded mpsc in serve.
+
+use std::sync::mpsc;
+
+fn offender() {
+    let (tx, rx) = mpsc::channel::<u32>();
+    tx.send(1).ok();
+    let _ = rx.recv();
+}

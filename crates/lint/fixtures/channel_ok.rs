@@ -1,0 +1,20 @@
+// Positive fixture for `bounded_channel`: bounded channels carry their
+// backpressure in the type.
+
+use std::sync::mpsc;
+
+fn fine() {
+    let (tx, rx) = mpsc::sync_channel::<u32>(8);
+    tx.send(1).ok();
+    let _ = rx.recv();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_unbounded() {
+        let (tx, rx) = std::sync::mpsc::channel::<u32>();
+        tx.send(1).ok();
+        assert_eq!(rx.recv().ok(), Some(1));
+    }
+}

@@ -1,0 +1,14 @@
+// Negative fixture for `determinism`: wall-clock, hash-order
+// collections, and entropy seeding in a bit-exact crate.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn offenders() {
+    let t = Instant::now();
+    let mut m = HashMap::new();
+    m.insert(1u32, t);
+    let s: std::collections::HashSet<u32> = Default::default();
+    let _ = (m, s);
+    let _ = std::time::SystemTime::now();
+}

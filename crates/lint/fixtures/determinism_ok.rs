@@ -1,0 +1,23 @@
+// Positive fixture for `determinism`: ordered collections, seeded RNG,
+// waived wall-clock, and test-only hash sets are all fine.
+
+use std::collections::BTreeMap;
+
+fn fine(seed: u64) -> BTreeMap<u32, u64> {
+    let mut m = BTreeMap::new();
+    m.insert(0, seed.wrapping_mul(6364136223846793005));
+    // lint: allow(determinism) — fixture: measured wall-clock, tokens unaffected
+    let _t = std::time::Instant::now();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn tests_may_hash() {
+        let mut seen = HashSet::new();
+        assert!(seen.insert(1u32));
+    }
+}

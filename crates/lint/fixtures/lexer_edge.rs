@@ -1,0 +1,18 @@
+// Lexer resync fixture: after every tricky literal below, the lexer
+// must be back in sync — the single real offender at the end is the
+// only thing a serving-path lint may report.
+
+fn tricky() -> usize {
+    let a = r##"raw with "quote"# and x.unwrap() inside"##;
+    let b = "escaped \" quote then // not a comment";
+    let c = 'x';
+    let d = '\'';
+    let e: &'static str = "lifetime ahead";
+    /* nested /* block /* deep */ */ comment with panic!("?") */
+    let f = b"byte string with .expect(msg)";
+    a.len() + b.len() + (c as usize) + (d as usize) + e.len() + f.len()
+}
+
+fn the_offender(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,14 @@
+// Negative fixture for `panic_free`: every construct below must fire
+// when linted as a serving-path file.
+
+fn offenders(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("must exist");
+    if a == 0 {
+        panic!("boom");
+    }
+    if b == 1 {
+        todo!();
+    }
+    unimplemented!("later")
+}

@@ -1,0 +1,26 @@
+// Positive fixture for `panic_free`: none of this may fire.
+
+/// Docs may say unwrap() and panic! freely.
+fn fine(x: Option<u32>) -> u32 {
+    // A comment mentioning x.unwrap() is not a call.
+    let s = "x.unwrap() and panic! inside a string";
+    let r = r#"raw string with .expect("…") inside"#;
+    let _ = (s, r);
+    /* block comment: /* nested */ still a comment: todo!() */
+    let a = x.unwrap_or_default();
+    let b = x.unwrap_or_else(|| 7);
+    // lint: allow(panic_free) — fixture exercising a reasoned waiver
+    let c = x.expect("waived deliberately");
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let w: Result<u32, ()> = Ok(2);
+        w.expect("test code is exempt");
+    }
+}

@@ -1,0 +1,9 @@
+// Negative fixture for `safety_comment`: undocumented unsafe.
+
+fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+unsafe fn also_undocumented(p: *const u8) -> u8 {
+    *p
+}

@@ -1,0 +1,22 @@
+// Positive fixture for `safety_comment`: every unsafe is documented.
+
+fn documented(p: &u8) -> u8 {
+    // SAFETY: the reference guarantees the pointer is valid and aligned.
+    unsafe { *(p as *const u8) }
+}
+
+fn trailing(p: &u8) -> u8 {
+    unsafe { *(p as *const u8) } // SAFETY: derived from a live reference.
+}
+
+/// Reads one byte.
+///
+/// # Safety
+///
+/// `p` must point to a valid, initialized byte.
+#[inline]
+#[allow(dead_code)]
+unsafe fn documented_fn(p: *const u8) -> u8 {
+    // SAFETY: the function contract requires `p` valid (see # Safety).
+    unsafe { *p }
+}

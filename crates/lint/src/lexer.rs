@@ -1,0 +1,572 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant checking.
+//!
+//! The build environment is offline, so no `syn`/`proc-macro2`: this
+//! module tokenizes Rust source by hand. It understands exactly what the
+//! rules need and nothing more:
+//!
+//! * line comments (`//`, `///`, `//!`) — kept, with their text, so the
+//!   rule engine can find waivers and `// SAFETY:` comments;
+//! * block comments (`/* … */`), **nested** as in real Rust — skipped;
+//! * string literals (`"…"` with escapes, spanning lines), byte strings
+//!   (`b"…"`), and raw strings (`r"…"`, `r#"…"#` with any number of
+//!   hashes, `br#"…"#`) — skipped, so `let s = "x.unwrap()";` never
+//!   trips a rule;
+//! * char literals (`'a'`, `'\n'`, `'\''`) vs lifetimes (`'static`) —
+//!   both skipped, disambiguated the way rustc does;
+//! * identifiers and raw identifiers (`r#type`) — kept;
+//! * numbers — skipped (with care: in `x.0.unwrap()` the `.` before
+//!   `unwrap` must survive as punctuation, so a `.` is part of a number
+//!   only when a digit follows);
+//! * everything else — kept as single-character punctuation.
+//!
+//! A second pass ([`mark_test_code`]) flags the tokens that live inside
+//! `#[cfg(test)]`-gated items or `mod tests { … }` blocks so rules can
+//! restrict themselves to non-test code.
+
+/// What a token is. Literals and block comments never become tokens —
+/// the lexer consumes them silently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers lose their `r#` prefix).
+    Ident(String),
+    /// Any other non-whitespace character.
+    Punct(char),
+    /// A `//` line comment; the text excludes the leading slashes.
+    LineComment(String),
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The punctuation character, if this token is punctuation.
+    pub fn punct(&self) -> Option<char> {
+        match &self.kind {
+            TokenKind::Punct(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenizes `source`. Never fails: unterminated literals simply consume
+/// the rest of the input (the compiler will reject such files anyway —
+/// the linter's job is only to not misread valid code).
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                c => {
+                    self.out.push(Token {
+                        kind: TokenKind::Punct(c),
+                        line: self.line,
+                    });
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one char, keeping the line count honest.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.pos += 2;
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.push(Token {
+            kind: TokenKind::LineComment(text),
+            line,
+        });
+    }
+
+    /// Skips a `/* … */` comment, honoring nesting.
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Skips a `"…"` literal (escapes honored, may span lines).
+    fn string_literal(&mut self) {
+        self.pos += 1;
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Skips a raw string `r"…"` / `r#"…"#` (any hash count). The caller
+    /// has consumed the prefix letters; `self.pos` is at the first `#`
+    /// or the opening quote.
+    fn raw_string_literal(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        debug_assert_eq!(self.peek(0), Some('"'), "caller checked the quote");
+        self.pos += 1;
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        seen += 1;
+                        self.pos += 1;
+                    }
+                    if seen == hashes {
+                        return;
+                    }
+                }
+                Some(_) => {}
+                None => return,
+            }
+        }
+    }
+
+    /// `'a'` (char literal) vs `'a` (lifetime): after the quote, an
+    /// escape or a non-identifier char means char literal; an identifier
+    /// char followed by a closing quote is a one-char literal like `'x'`;
+    /// otherwise it is a lifetime and only the quote + name is consumed.
+    fn char_or_lifetime(&mut self) {
+        self.pos += 1;
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume through the closing quote.
+                self.pos += 1;
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            Some(c) if is_ident_start(c) => {
+                if self.peek(1) == Some('\'') {
+                    self.pos += 2; // 'x'
+                } else {
+                    // Lifetime: consume the name, emit nothing.
+                    while let Some(c) = self.peek(0) {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+            }
+            Some(_) => {
+                // Non-identifier char literal like '+' or '\u{…}' start.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.pos += 1;
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// Skips a numeric literal. A `.` joins the number only when a digit
+    /// follows, so `x.0.unwrap()` keeps its method-call dot.
+    fn number(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let joins = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !joins {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// An identifier — or the prefix of a raw/byte string (`r"`, `r#"`,
+    /// `b"`, `br#"`) or raw identifier (`r#name`).
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            self.pos += 1;
+        }
+        let word: String = self.chars[start..self.pos].iter().collect();
+        match word.as_str() {
+            "r" | "br" | "b" if self.peek(0) == Some('"') => {
+                if word == "b" {
+                    self.string_literal();
+                } else {
+                    self.raw_string_literal();
+                }
+                return;
+            }
+            "r" | "br" if self.peek(0) == Some('#') => {
+                // `r#"…"#` raw string or `r#name` raw identifier.
+                if self.peek(1) == Some('"') || self.peek(1) == Some('#') {
+                    self.raw_string_literal();
+                } else {
+                    // Raw identifier: consume `#` + name, emit the name.
+                    self.pos += 1;
+                    let istart = self.pos;
+                    while let Some(c) = self.peek(0) {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let name: String = self.chars[istart..self.pos].iter().collect();
+                    self.out.push(Token {
+                        kind: TokenKind::Ident(name),
+                        line,
+                    });
+                }
+                return;
+            }
+            _ => {}
+        }
+        self.out.push(Token {
+            kind: TokenKind::Ident(word),
+            line,
+        });
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Marks the tokens that belong to test code: items gated by a
+/// `#[cfg(test)]` / `#[test]` attribute (through any further attributes,
+/// to the end of the item — its `;` or its balanced `{ … }` block) and
+/// `mod tests { … }` blocks. Returns one flag per token.
+pub fn mark_test_code(tokens: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(end) = test_item_end(tokens, i) {
+            for flag in &mut flags[i..end] {
+                *flag = true;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+/// If the token at `start` begins a test-gated item, returns the index
+/// one past its end.
+fn test_item_end(tokens: &[Token], start: usize) -> Option<usize> {
+    if is_test_attr(tokens, start) {
+        return Some(item_end(tokens, start));
+    }
+    // `mod tests { … }`
+    if tokens[start].ident() == Some("mod")
+        && tokens.get(start + 1).and_then(Token::ident) == Some("tests")
+        && tokens.get(start + 2).and_then(Token::punct) == Some('{')
+    {
+        return Some(skip_balanced(tokens, start + 2));
+    }
+    None
+}
+
+/// Whether tokens at `start` spell `#[cfg(test)]`-like or `#[test]`:
+/// a `#[ … ]` attribute whose content mentions the identifier `test`
+/// with `cfg`, or is exactly `test`.
+fn is_test_attr(tokens: &[Token], start: usize) -> bool {
+    if tokens[start].punct() != Some('#')
+        || tokens.get(start + 1).and_then(Token::punct) != Some('[')
+    {
+        return false;
+    }
+    let close = match matching_bracket(tokens, start + 1) {
+        Some(c) => c,
+        None => return false,
+    };
+    let inner = &tokens[start + 2..close];
+    let mentions = |name: &str| inner.iter().any(|t| t.ident() == Some(name));
+    // `#[test]` exactly, or any `#[cfg(… test …)]` shape.
+    (inner.len() == 1 && inner[0].ident() == Some("test")) || (mentions("cfg") && mentions("test"))
+}
+
+/// One past the end of the item starting at the attribute at `start`:
+/// skips further attributes and doc comments, then either the item's
+/// balanced `{ … }` block or its terminating `;` — whichever comes
+/// first at nesting depth zero.
+fn item_end(tokens: &[Token], start: usize) -> usize {
+    let mut i = start;
+    // Skip the attribute itself plus any stacked attributes/comments.
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct('#') if tokens.get(i + 1).and_then(Token::punct) == Some('[') => {
+                match matching_bracket(tokens, i + 1) {
+                    Some(close) => i = close + 1,
+                    None => return tokens.len(),
+                }
+            }
+            TokenKind::LineComment(_) => i += 1,
+            _ => break,
+        }
+    }
+    // Scan the item header for `{` (block) or `;` (e.g. `use …;`).
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        match tokens[i].punct() {
+            Some('{') => return skip_balanced(tokens, i),
+            Some(';') if depth == 0 => return i + 1,
+            Some('(') | Some('[') => depth += 1,
+            Some(')') | Some(']') => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// One past the `}` matching the `{` at `open`.
+fn skip_balanced(tokens: &[Token], open: usize) -> usize {
+    debug_assert_eq!(tokens[open].punct(), Some('{'));
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.punct() {
+            Some('{') => depth += 1,
+            Some('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn matching_bracket(tokens: &[Token], open: usize) -> Option<usize> {
+    debug_assert_eq!(tokens[open].punct(), Some('['));
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.punct() {
+            Some('[') => depth += 1,
+            Some(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        assert_eq!(idents(r#"let s = "x.unwrap()";"#), ["let", "s"]);
+    }
+
+    #[test]
+    fn line_comment_inside_string_is_not_a_comment() {
+        let toks = lex(r#"let url = "https://example.com"; call()"#);
+        assert!(
+            !toks
+                .iter()
+                .any(|t| matches!(t.kind, TokenKind::LineComment(_))),
+            "`//` inside a string must not open a comment: {toks:?}"
+        );
+        assert!(toks.iter().any(|t| t.ident() == Some("call")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        assert_eq!(
+            idents(r###"let s = r#"quote " and .unwrap() inside"#; done()"###),
+            ["let", "s", "done"]
+        );
+        assert_eq!(
+            idents(r#"let s = r"plain raw .expect("; end()"#),
+            ["let", "s", "end"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(
+            idents("before /* outer /* inner panic!() */ still comment */ after"),
+            ["before", "after"]
+        );
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        assert_eq!(
+            idents("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }"),
+            ["fn", "f", "x", "str", "let", "c", "let", "q"]
+        );
+    }
+
+    #[test]
+    fn tuple_field_method_call_keeps_its_dot() {
+        let toks = lex("pair.0.unwrap()");
+        let has_unwrap = toks
+            .windows(2)
+            .any(|w| w[0].punct() == Some('.') && w[1].ident() == Some("unwrap"));
+        assert!(has_unwrap, "number lexing swallowed `.unwrap`: {toks:?}");
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        let toks = lex(src);
+        let flags = mark_test_code(&toks);
+        let unwrap_idx = toks
+            .iter()
+            .position(|t| t.ident() == Some("unwrap"))
+            .expect("unwrap token present");
+        assert!(flags[unwrap_idx], "unwrap inside cfg(test) not marked");
+        let live_idx = toks
+            .iter()
+            .position(|t| t.ident() == Some("live"))
+            .expect("live token present");
+        assert!(!flags[live_idx], "non-test code wrongly marked");
+    }
+
+    #[test]
+    fn cfg_test_use_statement_is_marked() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n";
+        let toks = lex(src);
+        let flags = mark_test_code(&toks);
+        let hm = toks
+            .iter()
+            .position(|t| t.ident() == Some("HashMap"))
+            .expect("HashMap token present");
+        assert!(flags[hm], "cfg(test) use-item not marked");
+        let live = toks
+            .iter()
+            .position(|t| t.ident() == Some("live"))
+            .expect("live token present");
+        assert!(!flags[live]);
+    }
+
+    #[test]
+    fn stacked_attributes_stay_in_scope() {
+        let src =
+            "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { x.expect(\"\"); }\nfn live() {}";
+        let toks = lex(src);
+        let flags = mark_test_code(&toks);
+        let expect_idx = toks
+            .iter()
+            .position(|t| t.ident() == Some("expect"))
+            .expect("expect token present");
+        assert!(flags[expect_idx], "attribute stack broke cfg(test) scoping");
+        let live = toks
+            .iter()
+            .position(|t| t.ident() == Some("live"))
+            .expect("live token present");
+        assert!(!flags[live]);
+    }
+}

@@ -1,0 +1,40 @@
+//! `looplynx-lint` binary: lints the workspace, prints findings as
+//! `file:line: [rule] message`, and exits non-zero when any survive.
+//! CI runs this as a gate; `cargo test -p looplynx-lint` asserts the
+//! same cleanliness plus the rule engine's own fixtures.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use looplynx_lint::{lint_workspace, workspace_root};
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "looplynx-lint: cannot walk workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        println!("looplynx-lint: workspace clean");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!(
+        "\nlooplynx-lint: {} finding(s). Fix the code, or — when the panic/\
+         nondeterminism is a documented design decision — waive the site with\n\
+         \t// lint: allow(<rule>) — <reason>\n\
+         on the offending line or the line above (reason mandatory; see \
+         docs/INVARIANTS.md).",
+        findings.len()
+    );
+    ExitCode::FAILURE
+}

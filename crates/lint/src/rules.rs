@@ -1,0 +1,326 @@
+//! The rule engine: what the workspace promises, checked token by token.
+//!
+//! Each rule scans the token stream of one file (lexed by
+//! [`crate::lexer`]) and emits [`Finding`]s for non-test code. A finding
+//! can be waived **per site** with a comment on the offending line or
+//! the line above:
+//!
+//! ```text
+//! // lint: allow(<rule>) — <reason>
+//! ```
+//!
+//! The reason is mandatory — a waiver without one does not suppress
+//! anything. See `docs/INVARIANTS.md` for the catalogue of rules and
+//! the policy on when a waiver is acceptable.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, mark_test_code, Token, TokenKind};
+
+/// Rule names, as used in findings and waiver comments.
+pub const RULE_PANIC_FREE: &str = "panic_free";
+/// See [`RULE_PANIC_FREE`].
+pub const RULE_SAFETY_COMMENT: &str = "safety_comment";
+/// See [`RULE_PANIC_FREE`].
+pub const RULE_DETERMINISM: &str = "determinism";
+/// See [`RULE_PANIC_FREE`].
+pub const RULE_BOUNDED_CHANNEL: &str = "bounded_channel";
+
+/// Every rule the engine knows, for waiver validation and reporting.
+pub const ALL_RULES: [&str; 4] = [
+    RULE_PANIC_FREE,
+    RULE_SAFETY_COMMENT,
+    RULE_DETERMINISM,
+    RULE_BOUNDED_CHANNEL,
+];
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Which rule fired (one of [`ALL_RULES`]).
+    pub rule: &'static str,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Serving-path files that must be panic-free (errors flow through
+/// `BackendError` instead).
+const PANIC_FREE_FILES: [&str; 5] = [
+    "crates/serve/src/gateway.rs",
+    "crates/serve/src/batcher.rs",
+    "crates/core/src/backend.rs",
+    "crates/core/src/engine.rs",
+    "crates/core/src/pool.rs",
+];
+
+/// Method calls banned on the panic-free paths.
+const PANIC_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Macros banned on the panic-free paths. `assert!`/`debug_assert!` stay
+/// allowed: they document caller contracts and the test wall exercises
+/// them.
+const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+
+/// Identifiers that betray nondeterminism in the bit-exact crates:
+/// wall-clock types, hash-order collections, entropy-seeded RNGs.
+const NONDETERMINISM_IDENTS: [&str; 6] = [
+    "Instant",
+    "SystemTime",
+    "HashMap",
+    "HashSet",
+    "thread_rng",
+    "from_entropy",
+];
+
+fn panic_free_applies(path: &str) -> bool {
+    PANIC_FREE_FILES.contains(&path)
+}
+
+fn determinism_applies(path: &str) -> bool {
+    path.starts_with("crates/model/src/") || path == "crates/core/src/backend.rs"
+}
+
+fn bounded_channel_applies(path: &str) -> bool {
+    path.starts_with("crates/serve/src/")
+}
+
+/// Lints one file's source as if it lived at `path` (repo-relative,
+/// forward slashes). Waivers are already applied; what comes back is
+/// actionable.
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    let tokens = lex(source);
+    let in_test = mark_test_code(&tokens);
+    let lines: Vec<&str> = source.lines().collect();
+    let waivers = collect_waivers(&tokens);
+    let mut findings = Vec::new();
+
+    for (i, tok) in tokens.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let ident = match tok.ident() {
+            Some(s) => s,
+            None => continue,
+        };
+        let next_punct = tokens[i + 1..]
+            .iter()
+            .find(|t| !matches!(t.kind, TokenKind::LineComment(_)))
+            .and_then(Token::punct);
+        let prev_punct = tokens[..i]
+            .iter()
+            .rev()
+            .find(|t| !matches!(t.kind, TokenKind::LineComment(_)))
+            .and_then(Token::punct);
+
+        if panic_free_applies(path) {
+            if PANIC_METHODS.contains(&ident)
+                && next_punct == Some('(')
+                && matches!(prev_punct, Some('.') | Some(':'))
+            {
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line: tok.line,
+                    rule: RULE_PANIC_FREE,
+                    message: format!(
+                        "`{ident}()` on a serving path — route the error through \
+                         `BackendError` or a typed result"
+                    ),
+                });
+            }
+            if PANIC_MACROS.contains(&ident) && next_punct == Some('!') {
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line: tok.line,
+                    rule: RULE_PANIC_FREE,
+                    message: format!(
+                        "`{ident}!` on a serving path — return an error instead of \
+                         panicking"
+                    ),
+                });
+            }
+        }
+
+        if ident == "unsafe" && !has_adjacent_safety_comment(&tokens, tok.line, &lines) {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: tok.line,
+                rule: RULE_SAFETY_COMMENT,
+                message: "`unsafe` without an adjacent `// SAFETY:` comment (or \
+                          `/// # Safety` section for an unsafe fn)"
+                    .to_string(),
+            });
+        }
+
+        if determinism_applies(path) && NONDETERMINISM_IDENTS.contains(&ident) {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: tok.line,
+                rule: RULE_DETERMINISM,
+                message: format!(
+                    "`{ident}` in a bit-exact crate — use seeded RNGs, BTree \
+                     collections, and keep wall-clock out of token-affecting paths"
+                ),
+            });
+        }
+
+        if bounded_channel_applies(path)
+            && ident == "channel"
+            && (next_punct == Some('(') || prev_punct == Some(':'))
+        {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: tok.line,
+                rule: RULE_BOUNDED_CHANNEL,
+                message: "unbounded `channel()` in serve — use `sync_channel(n)` so \
+                          backpressure is explicit"
+                    .to_string(),
+            });
+        }
+    }
+
+    findings.retain(|f| !is_waived(&waivers, f));
+    findings
+}
+
+/// Waivers by line: `line → rules waived there`. Only waivers carrying a
+/// reason count.
+fn collect_waivers(tokens: &[Token]) -> BTreeMap<u32, Vec<String>> {
+    let mut out: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    for tok in tokens {
+        let text = match &tok.kind {
+            TokenKind::LineComment(text) => text,
+            _ => continue,
+        };
+        if let Some((rule, has_reason)) = parse_waiver(text) {
+            if has_reason {
+                out.entry(tok.line).or_default().push(rule);
+            }
+        }
+    }
+    out
+}
+
+/// Parses `lint: allow(<rule>) — <reason>` from a comment body. Returns
+/// the rule name and whether a non-empty reason follows.
+fn parse_waiver(comment: &str) -> Option<(String, bool)> {
+    let rest = comment.trim_start().strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let reason = rest[close + 1..]
+        .trim_start_matches(|c: char| c.is_whitespace() || c == '—' || c == '-' || c == ':')
+        .trim();
+    Some((rule, !reason.is_empty()))
+}
+
+/// A finding is waived by a matching waiver on its own line or the line
+/// directly above.
+fn is_waived(waivers: &BTreeMap<u32, Vec<String>>, f: &Finding) -> bool {
+    [f.line, f.line.saturating_sub(1)].iter().any(|line| {
+        waivers
+            .get(line)
+            .is_some_and(|rules| rules.iter().any(|r| r == f.rule))
+    })
+}
+
+/// Whether the `unsafe` at `line` has a SAFETY comment adjacent: a
+/// trailing comment on the same line, or — scanning upward over comment
+/// and attribute lines — a `// SAFETY:` / `/// # Safety` marker. The
+/// upward scan works on raw lines so it can cross rustfmt-wrapped
+/// comment blocks and attribute stacks (e.g. `#[target_feature(…)]`
+/// between an unsafe fn and its `# Safety` docs).
+fn has_adjacent_safety_comment(tokens: &[Token], line: u32, lines: &[&str]) -> bool {
+    let marker = |text: &str| text.contains("SAFETY") || text.contains("# Safety");
+    // Trailing comment on the same line.
+    if tokens
+        .iter()
+        .any(|t| t.line == line && matches!(&t.kind, TokenKind::LineComment(text) if marker(text)))
+    {
+        return true;
+    }
+    // Upward over contiguous comments and attributes.
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        let text = match lines.get(l as usize - 1) {
+            Some(t) => t.trim(),
+            None => return false,
+        };
+        if text.starts_with("//") {
+            if marker(text) {
+                return true;
+            }
+        } else if !text.starts_with("#[") {
+            return false;
+        }
+        l -= 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_parses_with_reason() {
+        assert_eq!(
+            parse_waiver(" lint: allow(panic_free) — scheduler contract"),
+            Some(("panic_free".to_string(), true))
+        );
+        assert_eq!(
+            parse_waiver(" lint: allow(determinism) - measured wall clock"),
+            Some(("determinism".to_string(), true))
+        );
+    }
+
+    #[test]
+    fn waiver_without_reason_does_not_count() {
+        assert_eq!(
+            parse_waiver(" lint: allow(panic_free)"),
+            Some(("panic_free".to_string(), false))
+        );
+        let src = "fn f() {\n    // lint: allow(panic_free)\n    x.unwrap();\n}\n";
+        let findings = lint_source("crates/core/src/engine.rs", src);
+        assert_eq!(findings.len(), 1, "reasonless waiver must not suppress");
+    }
+
+    #[test]
+    fn waiver_suppresses_same_and_next_line() {
+        let above =
+            "fn f() {\n    // lint: allow(panic_free) — test of the waiver\n    x.unwrap();\n}\n";
+        assert!(lint_source("crates/core/src/engine.rs", above).is_empty());
+        let trailing =
+            "fn f() {\n    x.unwrap(); // lint: allow(panic_free) — test of the waiver\n}\n";
+        assert!(lint_source("crates/core/src/engine.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn rule_scoping_by_path() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(lint_source("crates/core/src/engine.rs", src).len(), 1);
+        assert!(
+            lint_source("crates/model/src/attention.rs", src).is_empty(),
+            "panic_free only guards the serving-path files"
+        );
+    }
+
+    #[test]
+    fn unwrap_combinators_are_fine() {
+        let src = "fn f() { x.unwrap_or_else(|| 0); y.unwrap_or_default(); }\n";
+        assert!(lint_source("crates/serve/src/gateway.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! The rule engine's own test wall: every rule fires on its negative
+//! fixture, stays silent on its positive fixture, and the lexer
+//! resyncs after every literal form Rust can throw at it.
+
+use looplynx_lint::lint_source;
+use looplynx_lint::rules::{
+    RULE_BOUNDED_CHANNEL, RULE_DETERMINISM, RULE_PANIC_FREE, RULE_SAFETY_COMMENT,
+};
+
+/// Each fixture is linted as if it lived at a path its rule guards.
+const SERVE_PATH: &str = "crates/serve/src/gateway.rs";
+const MODEL_PATH: &str = "crates/model/src/fixture.rs";
+const ANY_PATH: &str = "crates/tensor/src/fixture.rs";
+
+#[test]
+fn panic_free_fires_on_negative_fixture() {
+    let findings = lint_source(SERVE_PATH, include_str!("../fixtures/panic_free_bad.rs"));
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == RULE_PANIC_FREE)
+        .collect();
+    assert!(
+        hits.len() >= 5,
+        "expected unwrap/expect/panic!/todo!/unimplemented! all flagged, got {hits:?}"
+    );
+}
+
+#[test]
+fn panic_free_silent_on_positive_fixture() {
+    let findings = lint_source(SERVE_PATH, include_str!("../fixtures/panic_free_ok.rs"));
+    assert!(
+        findings.is_empty(),
+        "comments, strings, combinators, waivers and test code must pass: {findings:?}"
+    );
+}
+
+#[test]
+fn safety_comment_fires_on_negative_fixture() {
+    let findings = lint_source(ANY_PATH, include_str!("../fixtures/safety_bad.rs"));
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == RULE_SAFETY_COMMENT)
+        .collect();
+    assert!(
+        hits.len() >= 2,
+        "both the bare unsafe block and the bare unsafe fn must be flagged: {hits:?}"
+    );
+}
+
+#[test]
+fn safety_comment_silent_on_positive_fixture() {
+    let findings = lint_source(ANY_PATH, include_str!("../fixtures/safety_ok.rs"));
+    assert!(
+        findings.is_empty(),
+        "SAFETY comments above, trailing, and `# Safety` docs through an \
+         attribute stack must all be accepted: {findings:?}"
+    );
+}
+
+#[test]
+fn determinism_fires_on_negative_fixture() {
+    let findings = lint_source(MODEL_PATH, include_str!("../fixtures/determinism_bad.rs"));
+    let rules_hit: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == RULE_DETERMINISM)
+        .collect();
+    assert!(
+        rules_hit.len() >= 4,
+        "Instant, SystemTime, HashMap and HashSet must all be flagged: {rules_hit:?}"
+    );
+}
+
+#[test]
+fn determinism_silent_on_positive_fixture_and_outside_scope() {
+    let src = include_str!("../fixtures/determinism_ok.rs");
+    let findings = lint_source(MODEL_PATH, src);
+    assert!(findings.is_empty(), "{findings:?}");
+    // The same offending source outside the bit-exact crates is fine.
+    let bad = include_str!("../fixtures/determinism_bad.rs");
+    assert!(
+        lint_source("crates/hw/src/fixture.rs", bad).is_empty(),
+        "determinism rule must not fire outside model/core::backend"
+    );
+}
+
+#[test]
+fn bounded_channel_fires_on_negative_fixture() {
+    let findings = lint_source(
+        "crates/serve/src/stream.rs",
+        include_str!("../fixtures/channel_bad.rs"),
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == RULE_BOUNDED_CHANNEL),
+        "unbounded channel() in serve must be flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn bounded_channel_silent_on_positive_fixture() {
+    let findings = lint_source(
+        "crates/serve/src/stream.rs",
+        include_str!("../fixtures/channel_ok.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn lexer_resyncs_after_every_literal_form() {
+    let findings = lint_source(SERVE_PATH, include_str!("../fixtures/lexer_edge.rs"));
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly the one real offender after the literal gauntlet: {findings:?}"
+    );
+    assert_eq!(findings[0].rule, RULE_PANIC_FREE);
+    assert!(
+        findings[0].line >= 16,
+        "the finding must be the trailing unwrap, not a literal misread \
+         (line {})",
+        findings[0].line
+    );
+}

@@ -1,0 +1,21 @@
+//! The tier-1 gate: the workspace itself must lint clean. This is the
+//! same check `cargo run -p looplynx-lint` (and CI) performs, expressed
+//! as a test so `cargo test -q` cannot go green over a violation.
+
+use looplynx_lint::{lint_workspace, workspace_root};
+
+#[test]
+fn workspace_has_no_unwaived_findings() {
+    let root = workspace_root();
+    let findings = lint_workspace(&root).expect("workspace sources readable");
+    assert!(
+        findings.is_empty(),
+        "workspace lint violations (fix, or waive with \
+         `// lint: allow(<rule>) — <reason>`; see docs/INVARIANTS.md):\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -220,6 +220,9 @@ pub fn attend_heads_segments_into<'a, I, F>(
             );
             remaining = valid_len - scores.len();
         }
+        // Stays a release-build assert: it runs once per head (not per
+        // token), and a short segment walk would otherwise feed the
+        // softmax a truncated score row — silently wrong tokens.
         assert!(remaining == 0, "valid_len beyond cache");
         // --- mask unit: only forward attention survives
         causal_mask(scores, valid_len);

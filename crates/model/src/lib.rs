@@ -44,6 +44,7 @@
 //! assert_eq!(out.len(), 4);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -375,17 +375,21 @@ impl PagedKvArena {
     ///
     /// # Panics
     ///
-    /// Panics if indices are out of range, `t` has no granted page, or
-    /// the vector geometry disagrees with the arena.
+    /// Panics if indices are out of range or `t` has no granted page.
+    /// Debug builds additionally assert the vector geometry and the
+    /// slot's in-use flag — both loop-invariant caller contracts on the
+    /// per-token append path, so release builds skip the re-check (a
+    /// violation still cannot write out of bounds: the page-table lookup
+    /// below and the pool slices bound every index).
     pub fn append_at(&mut self, slot: usize, layer: usize, t: usize, k: &[f32], v: &[f32]) {
-        assert_eq!(k.len(), v.len(), "key/value length mismatch");
-        assert_eq!(
+        debug_assert_eq!(k.len(), v.len(), "key/value length mismatch");
+        debug_assert_eq!(
             k.len(),
             self.heads * self.d_head,
             "vector geometry mismatch"
         );
         let state = &self.slots[slot];
-        assert!(state.in_use, "slot {slot} not in use");
+        debug_assert!(state.in_use, "slot {slot} not in use");
         let (pt, d, heads) = (self.page_tokens, self.d_head, self.heads);
         let page = *state
             .table

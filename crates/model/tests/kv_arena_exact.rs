@@ -54,8 +54,12 @@ fn arb_vec(d: usize, seed: u64) -> Vec<f32> {
         .collect()
 }
 
+/// Reduced under Miri (interpreted execution is ~100× slower); the CI
+/// Miri job still covers the arena's index arithmetic end to end.
+const CASES: u32 = if cfg!(miri) { 2 } else { 16 };
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
 
     /// Arena cache ≡ nested-Vec cache: every per-(token, head) payload,
     /// scale and the byte accounting agree for arbitrary geometries and

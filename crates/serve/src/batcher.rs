@@ -100,11 +100,9 @@ fn admission_queue<B: InferenceBackend>(backend: &B, requests: &[Request]) -> Ve
         );
     }
     let mut sorted: Vec<Request> = requests.to_vec();
-    sorted.sort_by(|a, b| {
-        a.arrival_ms
-            .partial_cmp(&b.arrival_ms)
-            .expect("arrival times are finite")
-    });
+    // total_cmp: a total order even on NaN arrival times, so the sort
+    // itself can never panic.
+    sorted.sort_by(|a, b| a.arrival_ms.total_cmp(&b.arrival_ms));
     sorted.into()
 }
 
@@ -116,9 +114,14 @@ fn finish<B: InferenceBackend>(
     active: Active,
     completion_ms: f64,
 ) {
-    backend
-        .release(active.slot)
-        .expect("scheduler releases only resident slots");
+    // The scheduler releases only slots it owns; on these fair-weather
+    // paths a failed release means the accounting is already broken, and
+    // the debug assertion (not a release-path panic) pins that contract.
+    let released = backend.release(active.slot);
+    debug_assert!(
+        released.is_ok(),
+        "scheduler released a non-resident slot: {released:?}"
+    );
     done.push(RequestMetrics {
         id: active.req.id,
         arrival_ms: active.req.arrival_ms,
@@ -175,7 +178,9 @@ pub fn serve_continuous_on<B: InferenceBackend>(
         }
         // Admit every arrived request, FIFO, up to the batch ceiling.
         while active.len() < max_batch && queue.front().is_some_and(|r| r.arrival_ms <= clock) {
-            let req = queue.pop_front().expect("front checked");
+            let Some(req) = queue.pop_front() else {
+                break;
+            };
             let start = clock.max(req.arrival_ms);
             // These schedulers assume a well-behaved backend (the gateway
             // is the fault-tolerant path): admission respects capacity and
@@ -189,6 +194,7 @@ pub fn serve_continuous_on<B: InferenceBackend>(
                     queue.push_front(req);
                     break;
                 }
+                // lint: allow(panic_free) — documented `# Panics` contract: fair-weather scheduler; fault-tolerant callers use serve_gateway_on
                 Err(e) => panic!("prefill of request {} failed: {e}", req.id),
             };
             clock = start + outcome.elapsed_ms;
@@ -213,6 +219,7 @@ pub fn serve_continuous_on<B: InferenceBackend>(
         let slots: Vec<usize> = active.iter().map(|a| a.slot).collect();
         let outcome = backend
             .decode_batch(&slots)
+            // lint: allow(panic_free) — documented `# Panics` contract: fair-weather scheduler; fault-tolerant callers use serve_gateway_on
             .expect("decode of resident slots failed");
         clock += outcome.elapsed_ms;
         iterations += 1;
@@ -258,6 +265,7 @@ pub fn serve_sequential_on<B: InferenceBackend>(
         let start = clock.max(req.arrival_ms);
         let outcome = backend
             .prefill(req.prefill_tokens, req.prompt.as_deref(), req.id)
+            // lint: allow(panic_free) — documented `# Panics` contract: fair-weather scheduler; fault-tolerant callers use serve_gateway_on
             .unwrap_or_else(|e| panic!("prefill of request {} failed: {e}", req.id));
         clock = start + outcome.elapsed_ms;
         let mut entry = Active {
@@ -273,6 +281,7 @@ pub fn serve_sequential_on<B: InferenceBackend>(
         for _ in 1..entry.req.decode_tokens {
             let outcome = backend
                 .decode_batch(&[entry.slot])
+                // lint: allow(panic_free) — documented `# Panics` contract: fair-weather scheduler; fault-tolerant callers use serve_gateway_on
                 .expect("decode of resident slot failed");
             clock += outcome.elapsed_ms;
             iterations += 1;

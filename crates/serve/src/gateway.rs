@@ -450,6 +450,16 @@ impl<B: InferenceBackend> Run<'_, B> {
         });
     }
 
+    /// Releases a slot whose owner is leaving the gateway. A failure
+    /// here is not actionable at the call site: `SlotNotResident` means
+    /// the slot was already lost (leaked by an injected fault or a
+    /// drain) and the capacity accounting absorbs it, while a poisoned
+    /// backend is observed by the next backend operation, which calls
+    /// `drain_lost_backend`. The drain paths release the same way.
+    fn release_quietly(&mut self, slot: usize) {
+        let _ = self.backend.release(slot);
+    }
+
     /// Absolute E2E deadline of a request (override beats config).
     fn e2e_deadline_at(&self, gr: &GatewayRequest) -> Option<f64> {
         gr.deadline_ms
@@ -465,7 +475,9 @@ impl<B: InferenceBackend> Run<'_, B> {
             .front()
             .is_some_and(|g| g.req.arrival_ms <= self.clock)
         {
-            let gr = self.pending.pop_front().expect("front checked");
+            let Some(gr) = self.pending.pop_front() else {
+                break;
+            };
             if gr.req.peak_context() > self.backend.max_seq() {
                 self.terminate(&gr, Terminal::Rejected(RejectReason::TooLong));
             } else if self.queued.len() >= self.cfg.queue_depth {
@@ -542,7 +554,9 @@ impl<B: InferenceBackend> Run<'_, B> {
                 }
                 return;
             }
-            let gr = self.queued.pop_front().expect("non-empty checked");
+            let Some(gr) = self.queued.pop_front() else {
+                return;
+            };
 
             // Under pressure, the degrade policy trades answer length for
             // admission throughput.
@@ -634,9 +648,7 @@ impl<B: InferenceBackend> Run<'_, B> {
                 .is_some_and(|d| self.clock > gr.req.arrival_ms + d);
             let e2e_deadline_at = self.e2e_deadline_at(&gr);
             if ttft_late || e2e_deadline_at.is_some_and(|at| self.clock > at) {
-                self.backend
-                    .release(outcome.slot)
-                    .expect("slot just prefilled");
+                self.release_quietly(outcome.slot);
                 self.terminate(&gr, Terminal::TimedOut(TimeoutPhase::FirstToken));
                 continue;
             }
@@ -663,9 +675,7 @@ impl<B: InferenceBackend> Run<'_, B> {
     /// Completes a resident request: releases its slot, records metrics,
     /// tokens and the terminal state.
     fn complete(&mut self, a: ActiveReq) {
-        self.backend
-            .release(a.slot)
-            .expect("completed request owned its slot");
+        self.release_quietly(a.slot);
         self.done.push(RequestMetrics {
             id: a.gr.req.id,
             arrival_ms: a.gr.req.arrival_ms,
@@ -800,7 +810,9 @@ impl<B: InferenceBackend> Run<'_, B> {
                 }
                 return;
             }
-            let p = self.preempted.pop_front().expect("non-empty checked");
+            let Some(p) = self.preempted.pop_front() else {
+                return;
+            };
             // The resumable context is the prompt plus every produced
             // token except the last: the last produced token is the next
             // decode *input* and was never appended to the KV cache.
@@ -892,7 +904,7 @@ impl<B: InferenceBackend> Run<'_, B> {
                         .ttft_deadline_ms
                         .is_some_and(|d| self.clock > p.gr.req.arrival_ms + d);
                     if ttft_late || p.e2e_deadline_at.is_some_and(|at| self.clock > at) {
-                        self.backend.release(p.slot).expect("slot just prefilled");
+                        self.release_quietly(p.slot);
                         self.terminate(&p.gr, Terminal::TimedOut(TimeoutPhase::FirstToken));
                         continue;
                     }
@@ -1001,14 +1013,10 @@ impl<B: InferenceBackend> Run<'_, B> {
             if a.produced >= a.target {
                 self.complete(a);
             } else if a.gr.cancel_ms.is_some_and(|t| t <= self.clock) {
-                self.backend
-                    .release(a.slot)
-                    .expect("cancelled request owned its slot");
+                self.release_quietly(a.slot);
                 self.terminate(&a.gr, Terminal::Cancelled);
             } else if a.e2e_deadline_at.is_some_and(|at| self.clock > at) {
-                self.backend
-                    .release(a.slot)
-                    .expect("timed-out request owned its slot");
+                self.release_quietly(a.slot);
                 self.terminate(&a.gr, Terminal::TimedOut(TimeoutPhase::Decode));
             } else {
                 still_active.push(a);
@@ -1043,12 +1051,9 @@ pub fn serve_gateway_on<B: InferenceBackend>(
 ) -> GatewayReport {
     cfg.validate();
     let mut sorted: Vec<GatewayRequest> = requests.to_vec();
-    sorted.sort_by(|a, b| {
-        a.req
-            .arrival_ms
-            .partial_cmp(&b.req.arrival_ms)
-            .expect("arrival times are finite")
-    });
+    // total_cmp: a total order even on NaN arrival times, so the sort
+    // itself can never panic.
+    sorted.sort_by(|a, b| a.req.arrival_ms.total_cmp(&b.req.arrival_ms));
     {
         let mut ids: Vec<u64> = sorted.iter().map(|g| g.req.id).collect();
         ids.sort_unstable();

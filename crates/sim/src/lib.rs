@@ -40,6 +40,7 @@
 //! assert!(run.makespan().as_u64() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -59,8 +59,12 @@ unsafe fn dot_i8_i32_avx2(a: &[i8], b: &[i8]) -> i32 {
     let mut i = 0;
     while i + 16 <= n {
         // SAFETY: i + 16 <= n keeps both 16-byte loads in bounds.
-        let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(i) as *const __m128i));
-        let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(i) as *const __m128i));
+        let (va, vb) = unsafe {
+            (
+                _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(i) as *const __m128i)),
+                _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(i) as *const __m128i)),
+            )
+        };
         acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
         i += 16;
     }
@@ -224,9 +228,10 @@ unsafe fn dot_biased_i8_i32_batch_vnni512<const N: usize>(
     while i + 64 <= n {
         // SAFETY: i + 64 <= n keeps every 64-byte load in bounds (the
         // debug assertion above pins xs lengths to w's).
-        let vw = _mm512_loadu_si512(w.as_ptr().add(i) as *const _);
+        let vw = unsafe { _mm512_loadu_si512(w.as_ptr().add(i) as *const _) };
         for (t, x) in xs.iter().enumerate() {
-            let vx = _mm512_loadu_si512(x.as_ptr().add(i) as *const _);
+            // SAFETY: same bounds as `vw` — x.len() == w.len().
+            let vx = unsafe { _mm512_loadu_si512(x.as_ptr().add(i) as *const _) };
             acc[t] = _mm512_dpbusd_epi32(acc[t], vx, vw);
         }
         i += 64;
@@ -268,10 +273,11 @@ unsafe fn dot_i8_i32_batch_vnni<const N: usize>(w: &[i8], xs: [&[i8]; N]) -> [i3
     while i + 32 <= n {
         // SAFETY: i + 32 <= n keeps every 32-byte load in bounds (the
         // debug assertion above pins xs lengths to w's).
-        let vw = _mm256_loadu_si256(w.as_ptr().add(i) as *const __m256i);
+        let vw = unsafe { _mm256_loadu_si256(w.as_ptr().add(i) as *const __m256i) };
         let vwabs = _mm256_abs_epi8(vw);
         for (t, x) in xs.iter().enumerate() {
-            let vx = _mm256_loadu_si256(x.as_ptr().add(i) as *const __m256i);
+            // SAFETY: same bounds as `vw` — x.len() == w.len().
+            let vx = unsafe { _mm256_loadu_si256(x.as_ptr().add(i) as *const __m256i) };
             acc[t] = _mm256_dpbusd_epi32(acc[t], vwabs, _mm256_sign_epi8(vx, vw));
         }
         i += 32;
@@ -316,10 +322,11 @@ unsafe fn dot_i8_i32_batch_avx2<const N: usize>(w: &[i8], xs: [&[i8]; N]) -> [i3
     while i + 32 <= n {
         // SAFETY: i + 32 <= n keeps every 32-byte load in bounds (the
         // debug assertion above pins xs lengths to w's).
-        let vw = _mm256_loadu_si256(w.as_ptr().add(i) as *const __m256i);
+        let vw = unsafe { _mm256_loadu_si256(w.as_ptr().add(i) as *const __m256i) };
         let vwabs = _mm256_abs_epi8(vw);
         for (t, x) in xs.iter().enumerate() {
-            let vx = _mm256_loadu_si256(x.as_ptr().add(i) as *const __m256i);
+            // SAFETY: same bounds as `vw` — x.len() == w.len().
+            let vx = unsafe { _mm256_loadu_si256(x.as_ptr().add(i) as *const __m256i) };
             // |w| · sign(x, w) == w · x element-wise for |x| ≤ 127.
             let signed = _mm256_sign_epi8(vx, vw);
             let pairs = _mm256_maddubs_epi16(vwabs, signed);
@@ -365,6 +372,13 @@ pub fn absmax_scalar(xs: &[f32]) -> f32 {
     xs.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
 }
 
+/// AVX2 absmax: lane-wise `|x|` + max fold, exact parity with the scalar
+/// fold (including NaN handling — see the operand-order comment below).
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2 (e.g. via
+/// `is_x86_feature_detected!("avx2")`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn absmax_avx2(xs: &[f32]) -> f32 {
@@ -378,7 +392,7 @@ unsafe fn absmax_avx2(xs: &[f32]) -> f32 {
     let mut i = 0;
     while i + 8 <= xs.len() {
         // SAFETY: i + 8 <= len keeps the 32-byte load in bounds.
-        let v = _mm256_loadu_ps(xs.as_ptr().add(i));
+        let v = unsafe { _mm256_loadu_ps(xs.as_ptr().add(i)) };
         // Operand order matters for NaN parity with the scalar fold:
         // maxps returns its *second* operand when either is NaN, so the
         // data must be first and the accumulator second — a NaN element
@@ -430,6 +444,14 @@ pub fn quantize_slice_scalar(src: &[f32], scale: f32, dst: &mut [i8]) {
     }
 }
 
+/// AVX2 quantization: lane-wise divide, ties-even round, clamp and
+/// narrow — bit-identical to [`quantize_slice_scalar`].
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2 (e.g. via
+/// `is_x86_feature_detected!("avx2")`); `src` and `dst` must be the same
+/// length (checked by the [`quantize_slice`] dispatcher).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn quantize_slice_avx2(src: &[f32], scale: f32, dst: &mut [i8]) {
@@ -446,14 +468,15 @@ unsafe fn quantize_slice_avx2(src: &[f32], scale: f32, dst: &mut [i8]) {
     let mut lanes = [0i32; 8];
     while i + 8 <= n {
         // SAFETY: i + 8 <= n keeps the load in bounds; `lanes` is 32 bytes.
-        let v = _mm256_loadu_ps(src.as_ptr().add(i));
+        let v = unsafe { _mm256_loadu_ps(src.as_ptr().add(i)) };
         let q = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(
             _mm256_div_ps(v, vscale),
         );
         let c = _mm256_max_ps(lo, _mm256_min_ps(hi, q));
         // The value is already integral and within i8 range, so the
         // i32 conversion and narrowing cast are exact.
-        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut _, _mm256_cvtps_epi32(c));
+        // SAFETY: `lanes` is a 32-byte local, exactly one store wide.
+        unsafe { _mm256_storeu_si256(lanes.as_mut_ptr() as *mut _, _mm256_cvtps_epi32(c)) };
         for (d, &l) in dst[i..i + 8].iter_mut().zip(&lanes) {
             *d = l as i8;
         }
@@ -485,6 +508,13 @@ pub fn gelu_slice(xs: &mut [f32]) {
     }
 }
 
+/// AVX2 GELU: the scalar polynomial spelled out lane-wise — see
+/// [`gelu_slice`] for the bit-exactness argument.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2 (e.g. via
+/// `is_x86_feature_detected!("avx2")`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn gelu_slice_avx2(xs: &mut [f32]) {
@@ -517,7 +547,7 @@ unsafe fn gelu_slice_avx2(xs: &mut [f32]) {
     let mut i = 0;
     while i + 8 <= n {
         // SAFETY: i + 8 <= n keeps the 32-byte load/store in bounds.
-        let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+        let x = unsafe { _mm256_loadu_ps(xs.as_ptr().add(i)) };
         // u = K * (x + C·x·x·x), grouped ((C·x)·x)·x like the scalar.
         let x3 = _mm256_mul_ps(_mm256_mul_ps(_mm256_mul_ps(c, x), x), x);
         let u = _mm256_mul_ps(k, _mm256_add_ps(x, x3));
@@ -544,7 +574,8 @@ unsafe fn gelu_slice_avx2(xs: &mut [f32]) {
         let tanh = _mm256_or_ps(_mm256_andnot_ps(sign_mask, r), _mm256_and_ps(sign_mask, u));
         // gelu = (0.5 · x) · (1 + tanh)
         let out = _mm256_mul_ps(_mm256_mul_ps(half, x), _mm256_add_ps(one, tanh));
-        _mm256_storeu_ps(xs.as_mut_ptr().add(i), out);
+        // SAFETY: same bounds as the load above.
+        unsafe { _mm256_storeu_ps(xs.as_mut_ptr().add(i), out) };
         i += 8;
     }
     for x in xs[i..].iter_mut() {
@@ -582,6 +613,13 @@ pub fn accumulate_scaled_i8_scalar(acc: &mut [f32], v: &[i8], s: f32) {
     }
 }
 
+/// AVX2 scaled accumulate: widen 8 int8 lanes to f32, one multiply and
+/// one add rounding per lane — bit-identical to the scalar loop.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2 (e.g. via
+/// `is_x86_feature_detected!("avx2")`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn accumulate_scaled_i8_avx2(acc: &mut [f32], v: &[i8], s: f32) {
@@ -595,13 +633,16 @@ unsafe fn accumulate_scaled_i8_avx2(acc: &mut [f32], v: &[i8], s: f32) {
     while i + 8 <= n {
         // SAFETY: i + 8 <= n keeps the 8-byte int8 load and the 32-byte
         // f32 load/store in bounds.
-        let v8 = _mm_loadl_epi64(v.as_ptr().add(i) as *const _);
+        let v8 = unsafe { _mm_loadl_epi64(v.as_ptr().add(i) as *const _) };
         let vf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(v8));
-        let a = _mm256_loadu_ps(acc.as_ptr().add(i));
-        _mm256_storeu_ps(
-            acc.as_mut_ptr().add(i),
-            _mm256_add_ps(a, _mm256_mul_ps(vf, vs)),
-        );
+        // SAFETY: same bounds as above for both the load and the store.
+        unsafe {
+            let a = _mm256_loadu_ps(acc.as_ptr().add(i));
+            _mm256_storeu_ps(
+                acc.as_mut_ptr().add(i),
+                _mm256_add_ps(a, _mm256_mul_ps(vf, vs)),
+            );
+        }
         i += 8;
     }
     accumulate_scaled_i8_scalar(&mut acc[i..], &v[i..], s);

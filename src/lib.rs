@@ -32,6 +32,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use looplynx_baselines as baselines;
 pub use looplynx_core as core;
 pub use looplynx_hw as hw;
