@@ -2,7 +2,7 @@
 //!
 //! Measures what the backend refactor bought: sustained output tokens/s
 //! of the *functional* W8A8 engine serving a saturating request workload,
-//! continuous batching at decode-batch ceilings of 1/4/16 against the
+//! continuous batching at decode-batch ceilings of 1/4/8/16 against the
 //! one-request-at-a-time sequential baseline. Unlike `serve_sweep`
 //! (simulated accelerator time) this is measured host wall-clock — the
 //! same clock domain as the `hotpath` benchmark.
@@ -30,7 +30,7 @@ use looplynx_serve::{serve_continuous_on, serve_sequential_on, ArrivalProcess, S
 use crate::hotpath::medium_shaped;
 
 /// Decode-batch ceilings swept.
-pub const BATCH_SWEEP: [usize; 3] = [1, 4, 16];
+pub const BATCH_SWEEP: [usize; 4] = [1, 4, 8, 16];
 
 /// Timed repetitions per cell; the best (highest-throughput) repetition
 /// is reported, matching the `hotpath` methodology.
@@ -95,6 +95,21 @@ pub struct PagePressure {
     pub fixed_tok_s: f64,
     /// Sustained tokens/s over the makespan, paged arena.
     pub paged_tok_s: f64,
+}
+
+/// One row of the `batch_scaling` report section: how steady-state
+/// decode throughput scales with the batch ceiling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchScalingRow {
+    /// Decode-batch ceiling.
+    pub max_batch: usize,
+    /// Steady-state decode tokens/s at this ceiling (best repetition).
+    pub decode_tok_s: f64,
+    /// Scaling over the batch-1 decode cell — the batching win isolated
+    /// from everything else (same engine, same kernel, same slots).
+    pub speedup_vs_batch1: f64,
+    /// Speedup over the sequential decode phase (single-slot engine).
+    pub speedup_vs_sequential_decode: f64,
 }
 
 /// One measured serving cell.
@@ -178,6 +193,31 @@ impl ServeFunctionalReport {
             return 0.0;
         }
         self.batched_decode_tok_s(16) / self.sequential_decode_tok_s
+    }
+
+    /// The `batch_scaling` section: one row per swept ceiling with the
+    /// decode-phase throughput and its speedups over the batch-1 cell
+    /// and the sequential decode baseline. This is what CI gates on
+    /// (batch 16 must not lose to batch 4).
+    pub fn batch_scaling(&self) -> Vec<BatchScalingRow> {
+        let batch1 = self.batched_decode_tok_s(1);
+        self.batched
+            .iter()
+            .map(|p| BatchScalingRow {
+                max_batch: p.max_batch,
+                decode_tok_s: p.decode_tok_s,
+                speedup_vs_batch1: if batch1 > 0.0 {
+                    p.decode_tok_s / batch1
+                } else {
+                    0.0
+                },
+                speedup_vs_sequential_decode: if self.sequential_decode_tok_s > 0.0 {
+                    p.decode_tok_s / self.sequential_decode_tok_s
+                } else {
+                    0.0
+                },
+            })
+            .collect()
     }
 }
 
@@ -462,6 +502,19 @@ pub fn to_json(report: &ServeFunctionalReport) -> String {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"batch_scaling\": [\n");
+    let scaling = report.batch_scaling();
+    for (i, row) in scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"max_batch\": {}, \"decode_tok_s\": {}, \"speedup_vs_batch1\": {}, \"speedup_vs_sequential_decode\": {}}}{}\n",
+            row.max_batch,
+            json_f64(row.decode_tok_s),
+            json_f64(row.speedup_vs_batch1),
+            json_f64(row.speedup_vs_sequential_decode),
+            if i + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
     let pp = &report.page_pressure;
     out.push_str(&format!(
         "  \"page_pressure\": {{\n    \"capacity\": {},\n    \"arena_tokens\": {},\n    \"fixed_slots\": {},\n    \"paged_slots\": {},\n    \"page_tokens\": {},\n    \"pool_pages\": {},\n    \"requests\": {},\n    \"prefill_tokens\": {},\n    \"decode_tokens\": {},\n    \"fixed_peak_resident\": {},\n    \"paged_peak_resident\": {},\n    \"concurrency_ratio\": {},\n    \"fixed_tok_s\": {},\n    \"paged_tok_s\": {}\n  }},\n",
@@ -510,14 +563,20 @@ pub fn render(report: &ServeFunctionalReport) -> String {
         report.sequential_tok_s,
         report.sequential_decode_tok_s,
     );
+    let batch1 = report.batched_decode_tok_s(1);
     for p in &report.batched {
         out.push_str(&format!(
-            "  batch {:>2}          : {:>9.1} tok/s e2e, {:>9.1} tok/s decode-phase ({:>5.2}x seq e2e)\n",
+            "  batch {:>2}          : {:>9.1} tok/s e2e, {:>9.1} tok/s decode-phase ({:>5.2}x seq e2e, {:>5.2}x batch 1)\n",
             p.max_batch,
             p.tok_s,
             p.decode_tok_s,
             if report.sequential_tok_s > 0.0 {
                 p.decode_tok_s / report.sequential_tok_s
+            } else {
+                0.0
+            },
+            if batch1 > 0.0 {
+                p.decode_tok_s / batch1
             } else {
                 0.0
             },
@@ -634,6 +693,24 @@ mod tests {
         assert!(j.contains("\"baseline\""));
         assert!(j.contains("\"concurrency_ratio\": 4.000"));
         assert!(j.contains("\"batch16_speedup_vs_sequential\": 6.000"));
+        assert!(j.contains("\"batch_scaling\""));
+        // batch 16 at 1500 decode tok/s over batch 1 at 260.
+        assert!(j.contains("\"speedup_vs_batch1\": 5.769"));
         assert!(render(&report).contains("tok/s"));
+    }
+
+    #[test]
+    fn batch_scaling_rows_mirror_the_sweep() {
+        let r = measure_model(&ModelConfig::tiny(), 1, 16, 4, 6);
+        let scaling = r.batch_scaling();
+        assert_eq!(scaling.len(), r.batched.len());
+        for (row, p) in scaling.iter().zip(&r.batched) {
+            assert_eq!(row.max_batch, p.max_batch);
+            assert!(row.decode_tok_s > 0.0, "degenerate row {row:?}");
+            assert!(row.speedup_vs_batch1 > 0.0);
+        }
+        // batch 1 over itself is exactly 1.
+        assert_eq!(scaling[0].max_batch, 1);
+        assert_eq!(scaling[0].speedup_vs_batch1, 1.0);
     }
 }

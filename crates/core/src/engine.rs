@@ -17,21 +17,25 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use looplynx_model::attention::{attend_heads_segments_into, AttnScratch};
+use looplynx_model::attention::{
+    attend_heads_fused_segments_into, attend_heads_fused_segments_to, attend_heads_segments_into,
+    attend_heads_segments_to, AttnMode, AttnScratch,
+};
 use looplynx_model::config::ModelConfig;
 use looplynx_model::generate::Autoregressive;
 use looplynx_model::gpt2::Gpt2Model;
 use looplynx_model::kv_cache::LayerKvCache;
 use looplynx_model::paged::PagedKvArena;
 use looplynx_tensor::activation::gelu_in_place;
+use looplynx_tensor::linear::QuantLinear;
 use looplynx_tensor::matrix::Matrix;
-use looplynx_tensor::norm::{layernorm_into, residual_add, residual_add_into, LayerNormParams};
+use looplynx_tensor::norm::{layernorm_into, residual_add_into, LayerNormParams};
 use looplynx_tensor::quant::quantize_into;
 
 use crate::config::ArchConfig;
 use crate::energy::{fpga_energy, EnergyReport};
 use crate::latency::LatencyBreakdown;
-use crate::parallel::{shard_weights, NodeWeights, PartitionError};
+use crate::parallel::{shard_weights, split_range, NodeWeights, PartitionError};
 use crate::pool::WorkerPool;
 use crate::router::{RingMode, Router};
 use crate::scheduler::{Scheduler, TokenTiming};
@@ -303,10 +307,26 @@ struct NodeState {
     weights: NodeWeights,
     arena: PagedKvArena,
     scratch: AttnScratch,
-    /// Batched-GEMM i32 accumulator scratch (`forward_batch_scaled_into`).
-    gemm_acc: Vec<i32>,
-    /// Batched-GEMM f32 output scratch, row-major.
+    /// The node's full per-stage output, row-major `batch × out_features`.
+    /// With one row shard this is the GEMM destination itself (swapped in
+    /// from the shard slab); with several it is the stitched slabs.
     gemm_out: Vec<f32>,
+    /// The node's attention output, row-major `batch × shard_width`; row
+    /// shards write disjoint row blocks of it in place.
+    attn_out: Vec<f32>,
+    /// Per-row-shard working memory (`row_shards` entries).
+    shards: Vec<ShardScratch>,
+}
+
+/// Working memory owned by one row shard of one node: GEMM slab buffers
+/// (the shard's weight-row range × the whole batch) plus attention
+/// scratch for the batch rows the shard attends. Purely scratch — every
+/// buffer is overwritten before use.
+#[derive(Debug, Clone, Default)]
+struct ShardScratch {
+    acc: Vec<i32>,
+    out: Vec<f32>,
+    attn: AttnScratch,
 }
 
 /// Scratch holds no semantic state (every buffer is overwritten before
@@ -343,10 +363,292 @@ fn par_map_nodes<T: Send>(
     }
 }
 
+/// Runs a batch of prepared jobs — one per (node, row-shard) — on the
+/// pool when present, else sequentially on the caller. Results are
+/// discarded (jobs communicate through the disjoint buffers they
+/// captured), so sequential and pooled execution are trivially
+/// bit-identical: each job touches only its own slab.
+fn run_jobs(pool: Option<&WorkerPool>, jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    match pool {
+        Some(pool) if jobs.len() >= 2 => {
+            pool.run(jobs);
+        }
+        _ => {
+            for job in jobs {
+                job();
+            }
+        }
+    }
+}
+
 /// Smallest `d_model` for which threading per-node stages pays for the
 /// thread spawn/join overhead (below it, a node's whole shard pass is
 /// cheaper than dispatching a thread).
 const THREADING_MIN_D_MODEL: usize = 256;
+
+/// Most batch-row shards a node's batched stages split into. Beyond this
+/// the per-shard GEMM slabs get too thin to amortize dispatch (and
+/// host-side stitching starts to show), so extra cores go unused rather
+/// than oversubscribed.
+const MAX_ROW_SHARDS: usize = 4;
+
+/// Smallest per-worker working set (weight or KV bytes touched) for which
+/// dispatching a pool job pays for the channel round-trip. Stages below
+/// this run sequentially even on a threaded engine — the per-dispatch
+/// work-size gate that keeps small shapes single-threaded (a tiny model's
+/// whole per-node stage costs less than waking a worker).
+const MIN_DISPATCH_BYTES: usize = 1 << 18;
+
+/// Applies the work-size gate: the pool, but only when each worker's
+/// share of the stage touches at least [`MIN_DISPATCH_BYTES`].
+fn gate(pool: Option<&WorkerPool>, per_worker_bytes: usize) -> Option<&WorkerPool> {
+    pool.filter(|_| per_worker_bytes >= MIN_DISPATCH_BYTES)
+}
+
+/// Splits a flat row-major `rows × width` buffer into one contiguous
+/// block per row shard, matching [`split_range`]`(rows, parts, s)` — the
+/// disjoint `&mut` windows the attention phase hands its workers.
+fn split_row_chunks<T>(
+    mut buf: &mut [T],
+    rows: usize,
+    width: usize,
+    parts: usize,
+) -> Vec<&mut [T]> {
+    let mut out = Vec::with_capacity(parts);
+    for s in 0..parts {
+        let len = split_range(rows, parts, s).len() * width;
+        let (head, tail) = buf.split_at_mut(len);
+        out.push(head);
+        buf = tail;
+    }
+    out
+}
+
+/// One sharded batched linear over every node: each (node, row-shard)
+/// worker computes its weight-row range of `lin(node)`'s output into its
+/// own slab (`forward_batch_scaled_range_into`), optionally applying the
+/// node-local GELU (elementwise, so per-slab application equals
+/// whole-output application bit for bit); the host then stitches each
+/// node's slabs side by side into `gemm_out` (`batch × out_features`
+/// row-major). With one shard the slab *is* the full output and is
+/// swapped in instead of copied. Because no dot product is ever split
+/// across shards, the stitched result is bit-identical to the unsharded
+/// `forward_batch_scaled_into` for any shard count.
+#[allow(clippy::too_many_arguments)]
+fn sharded_linear_phase(
+    nodes: &mut [NodeState],
+    pool: Option<&WorkerPool>,
+    row_shards: usize,
+    b: usize,
+    lin: fn(&NodeWeights, usize) -> &QuantLinear,
+    layer: usize,
+    xmat: &Matrix<i8>,
+    scales: &[f32],
+    gelu: bool,
+) {
+    let width = xmat.cols();
+    let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(nodes.len() * row_shards);
+    let mut per_worker_bytes = usize::MAX;
+    for node in nodes.iter_mut() {
+        let NodeState {
+            weights, shards, ..
+        } = node;
+        let linear = lin(weights, layer);
+        let out_rows = linear.out_features();
+        per_worker_bytes = per_worker_bytes.min(out_rows * width / row_shards.max(1));
+        for (s, shard) in shards.iter_mut().enumerate() {
+            let range = split_range(out_rows, row_shards, s);
+            jobs.push(Box::new(move || {
+                linear.forward_batch_scaled_range_into(
+                    xmat,
+                    scales,
+                    range,
+                    &mut shard.acc,
+                    &mut shard.out,
+                );
+                if gelu {
+                    gelu_in_place(&mut shard.out);
+                }
+            }));
+        }
+    }
+    run_jobs(gate(pool, per_worker_bytes), jobs);
+    // Stitch slabs into each node's full output.
+    for node in nodes.iter_mut() {
+        let out_rows = lin(&node.weights, layer).out_features();
+        if row_shards == 1 {
+            std::mem::swap(&mut node.gemm_out, &mut node.shards[0].out);
+        } else {
+            node.gemm_out.clear();
+            node.gemm_out.resize(b * out_rows, 0.0);
+            for (s, shard) in node.shards.iter().enumerate() {
+                let range = split_range(out_rows, row_shards, s);
+                let cols = range.len();
+                for t in 0..b {
+                    node.gemm_out[t * out_rows + range.start..t * out_rows + range.end]
+                        .copy_from_slice(&shard.out[t * cols..(t + 1) * cols]);
+                }
+            }
+        }
+    }
+}
+
+/// Which sequence each batch row attends (and how far).
+#[derive(Clone, Copy)]
+enum AttnRows<'a> {
+    /// Batched decode: row `t` is one new token of sequence `slots[t]`
+    /// (valid length = its current position + 1).
+    Decode { slots: &'a [usize] },
+    /// Batched prefill: row `t` is prompt token `start + t` of one slot
+    /// (causal: valid length = `start + t + 1`).
+    Prefill { slot: usize, start: usize },
+}
+
+/// The row-partitioned attention phase: every (node, row-shard) worker
+/// attends its contiguous block of batch rows over the node's immutable
+/// paged KV view (all appends for the step already happened), writing
+/// each row's heads directly into its strip of the node's flat
+/// `attn_out` buffer. Row blocks are disjoint and each row's computation
+/// is byte-for-byte the single-row path, so any shard count and any
+/// execution order produce identical buffers.
+#[allow(clippy::too_many_arguments)]
+fn batch_attention_phase(
+    nodes: &mut [NodeState],
+    pool: Option<&WorkerPool>,
+    row_shards: usize,
+    layer: usize,
+    rows: AttnRows<'_>,
+    b: usize,
+    d_head: usize,
+    mode: AttnMode,
+) {
+    let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(nodes.len() * row_shards);
+    let mut per_worker_bytes = usize::MAX;
+    for node in nodes.iter_mut() {
+        let NodeState {
+            weights,
+            arena,
+            gemm_out,
+            attn_out,
+            shards,
+            ..
+        } = node;
+        let head_range = weights.head_range.clone();
+        let w = head_range.len() * d_head;
+        // KV bytes one worker streams: Σ valid_len × shard width / shards.
+        let kv_tokens: usize = match rows {
+            AttnRows::Decode { slots } => slots.iter().map(|&s| arena.pos(s) + 1).sum(),
+            AttnRows::Prefill { start, .. } => (0..b).map(|t| start + t + 1).sum(),
+        };
+        per_worker_bytes = per_worker_bytes.min(2 * kv_tokens * w / row_shards.max(1));
+        attn_out.clear();
+        attn_out.resize(b * w, 0.0);
+        let gemm_out = &*gemm_out;
+        let arena = &*arena;
+        for ((s, shard), chunk) in shards
+            .iter_mut()
+            .enumerate()
+            .zip(split_row_chunks(attn_out, b, w, row_shards))
+        {
+            let row_range = split_range(b, row_shards, s);
+            let head_range = head_range.clone();
+            jobs.push(Box::new(move || {
+                for (t, row_out) in row_range.clone().zip(chunk.chunks_exact_mut(w)) {
+                    let (slot, valid_len) = match rows {
+                        AttnRows::Decode { slots } => (slots[t], arena.pos(slots[t]) + 1),
+                        AttnRows::Prefill { slot, start } => (slot, start + t + 1),
+                    };
+                    let q = &gemm_out[t * 3 * w..t * 3 * w + w];
+                    let view = arena.layer_view(slot, layer);
+                    match mode {
+                        AttnMode::Materialized => attend_heads_segments_to(
+                            q,
+                            |h| view.segments(h),
+                            head_range.clone(),
+                            head_range.start,
+                            d_head,
+                            valid_len,
+                            &mut shard.attn,
+                            row_out,
+                        ),
+                        AttnMode::Fused => attend_heads_fused_segments_to(
+                            q,
+                            |h| view.segments(h),
+                            head_range.clone(),
+                            head_range.start,
+                            d_head,
+                            valid_len,
+                            &mut shard.attn,
+                            row_out,
+                        ),
+                    }
+                }
+            }));
+        }
+    }
+    run_jobs(gate(pool, per_worker_bytes), jobs);
+}
+
+/// Flat counterpart of one ring all-gather per batch row: for every row
+/// `t`, node shards land in node order at offset `node × shard_w`,
+/// exactly the router's node-id offset rule. [`RingMode::Exact`] copies
+/// the f32 shard; [`RingMode::Quantized`] quantizes each (row, node)
+/// shard with its own per-shard scale and dequantizes — operation for
+/// operation what [`Router::all_gather`] does per row, so the flat form
+/// is bit-identical to gathering row vectors.
+fn gather_rows_flat(
+    router: &Router,
+    nodes: &mut [NodeState],
+    src: GatherSrc,
+    b: usize,
+    shard_w: usize,
+    q8: &mut Vec<i8>,
+    out: &mut Vec<f32>,
+) {
+    let n = nodes.len();
+    if n == 1 && router.mode() == RingMode::Exact {
+        // The 1-node exact gather is the identity; move the buffer out
+        // instead of copying it (the source is scratch, overwritten by
+        // the next stage) — the flat twin of `all_gather_owned`'s
+        // single-shard fast path.
+        std::mem::swap(out, src.buf(&mut nodes[0]));
+        return;
+    }
+    out.clear();
+    out.reserve(b * n * shard_w);
+    for t in 0..b {
+        for node in nodes.iter_mut() {
+            let shard = &src.buf(node)[t * shard_w..(t + 1) * shard_w];
+            match router.mode() {
+                RingMode::Exact => out.extend_from_slice(shard),
+                RingMode::Quantized => {
+                    // quant unit → datapacks → router → dequantize at the
+                    // consumer; per-shard scale travels in the header.
+                    let scale = quantize_into(shard, q8);
+                    out.extend(q8.iter().map(|&q| q as f32 * scale));
+                }
+            }
+        }
+    }
+}
+
+/// Which per-node buffer [`gather_rows_flat`] gathers from.
+#[derive(Clone, Copy)]
+enum GatherSrc {
+    /// The node's attention output (`attn_out`).
+    Attn,
+    /// The node's stitched GEMM output (`gemm_out`).
+    Gemm,
+}
+
+impl GatherSrc {
+    fn buf(self, node: &mut NodeState) -> &mut Vec<f32> {
+        match self {
+            GatherSrc::Attn => &mut node.attn_out,
+            GatherSrc::Gemm => &mut node.gemm_out,
+        }
+    }
+}
 
 /// Default KV page size in tokens for engines built without explicit page
 /// geometry ([`DistributedGpt2::with_slots`] /
@@ -380,8 +682,17 @@ pub struct DistributedGpt2 {
     /// Execute per-node stages on the persistent worker pool
     /// (bit-identical either way; see [`DistributedGpt2::set_threaded`]).
     threaded: bool,
-    /// Long-lived per-node workers; `Some` iff `threaded` and the ring has
-    /// more than one node.
+    /// Batch-row shards per node in the batched hot paths: each node's
+    /// GEMMs split into that many weight-row slabs and its attention into
+    /// that many batch-row blocks, all bit-identical to one shard (see
+    /// [`DistributedGpt2::set_row_shards`]).
+    row_shards: usize,
+    /// Attention kernel for every functional path (default
+    /// [`AttnMode::Materialized`], the bit-exact oracle; fused is
+    /// opt-in via [`DistributedGpt2::set_attn_mode`]).
+    attn_mode: AttnMode,
+    /// Long-lived workers, one per (node, row-shard); `Some` iff
+    /// `threaded` and there is more than one worker's worth of jobs.
     pool: Option<WorkerPool>,
 }
 
@@ -482,6 +793,17 @@ impl DistributedGpt2 {
         );
         let shards = shard_weights(model.weights(), &cfg, nodes)?;
         let d_head = cfg.d_head();
+        // Sizing heuristic: use spare cores for batch-row sharding within
+        // each node, capped so nodes × row_shards never exceeds the
+        // host's cores (and by the point where slabs get dispatch-bound).
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let big = cfg.d_model >= THREADING_MIN_D_MODEL;
+        let row_shards = if cores > 1 && big {
+            (cores / nodes).clamp(1, MAX_ROW_SHARDS)
+        } else {
+            1
+        };
+        let threaded = cores > 1 && big && nodes * row_shards > 1;
         let node_states: Vec<NodeState> = shards
             .into_iter()
             .map(|weights| NodeState {
@@ -496,19 +818,20 @@ impl DistributedGpt2 {
                 ),
                 weights,
                 scratch: AttnScratch::new(),
-                gemm_acc: Vec::new(),
                 gemm_out: Vec::new(),
+                attn_out: Vec::new(),
+                shards: vec![ShardScratch::default(); row_shards],
             })
             .collect();
-        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        let threaded = nodes > 1 && cores > 1 && cfg.d_model >= THREADING_MIN_D_MODEL;
-        let pool = (threaded && nodes > 1).then(|| WorkerPool::new(nodes));
+        let pool = threaded.then(|| WorkerPool::new(nodes * row_shards));
         Ok(DistributedGpt2 {
             router: Router::new(nodes, mode),
             nodes: node_states,
             host: model.clone(),
             model_cfg: cfg,
             threaded,
+            row_shards,
+            attn_mode: AttnMode::default(),
             pool,
         })
     }
@@ -529,9 +852,51 @@ impl DistributedGpt2 {
     /// tears the pool down.
     pub fn set_threaded(&mut self, threaded: bool) {
         self.threaded = threaded;
-        if threaded && self.nodes.len() > 1 {
-            if self.pool.is_none() {
-                self.pool = Some(WorkerPool::new(self.nodes.len()));
+        self.resize_pool();
+    }
+
+    /// Batch-row shards per node in the batched hot paths.
+    pub fn row_shards(&self) -> usize {
+        self.row_shards
+    }
+
+    /// The attention kernel this engine evaluates.
+    pub fn attn_mode(&self) -> AttnMode {
+        self.attn_mode
+    }
+
+    /// Selects the attention kernel. [`AttnMode::Fused`] is opt-in: its
+    /// results are close to — deterministic and geometry-invariant, but
+    /// not bit-identical with — the materialized default, so engines
+    /// compared against the reference model must stay materialized.
+    pub fn set_attn_mode(&mut self, mode: AttnMode) {
+        self.attn_mode = mode;
+    }
+
+    /// Forces the per-node batch-row shard count. Results are
+    /// bit-identical for every count (pinned by tests); only the number
+    /// of independent jobs per stage changes. The worker pool is resized
+    /// to `nodes × row_shards` when threading is on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_shards` is zero.
+    pub fn set_row_shards(&mut self, row_shards: usize) {
+        assert!(row_shards > 0, "at least one row shard per node");
+        self.row_shards = row_shards;
+        for node in &mut self.nodes {
+            node.shards.resize_with(row_shards, ShardScratch::default);
+        }
+        self.resize_pool();
+    }
+
+    /// (Re)creates or tears down the worker pool to match `threaded` and
+    /// the current `nodes × row_shards` job count.
+    fn resize_pool(&mut self) {
+        let workers = self.nodes.len() * self.row_shards;
+        if self.threaded && workers > 1 {
+            if self.pool.as_ref().map(WorkerPool::workers) != Some(workers) {
+                self.pool = Some(WorkerPool::new(workers));
             }
         } else {
             self.pool = None;
@@ -702,7 +1067,17 @@ impl DistributedGpt2 {
         let d_head = cfg.d_head();
         let n = self.nodes.len();
         let pos = self.nodes[0].arena.pos(slot);
+        // Work-size gate per stage: each hint is the weight (plus KV)
+        // bytes one node streams, the dominant cost of its job — tiny
+        // models fall below MIN_DISPATCH_BYTES and stay sequential.
+        let d_ff = cfg.d_ff;
+        let vocab = cfg.vocab;
+        let attn_mode = self.attn_mode;
         let pool = self.pool.as_ref();
+        let qkv_pool = gate(pool, (3 * d * d + 2 * (pos + 1) * d) / n);
+        let proj_pool = gate(pool, d * d / n);
+        let mlp_pool = gate(pool, d_ff * d / n);
+        let lm_pool = gate(pool, vocab * d / n);
 
         // Host distributes the same full embedding vector to all nodes.
         let mut x = self.host.embed(token, pos);
@@ -720,7 +1095,7 @@ impl DistributedGpt2 {
             let h_scale = quantize_into(&h, &mut q8);
 
             // QKV projection: head-aligned shards, attention node-local.
-            let attn_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
+            let attn_shards = par_map_nodes(&mut self.nodes, qkv_pool, |_, node| {
                 let NodeState {
                     weights,
                     arena,
@@ -737,23 +1112,35 @@ impl DistributedGpt2 {
                 let head_range = weights.head_range.clone();
                 let view = arena.layer_view(slot, layer);
                 let mut attn = Vec::new();
-                attend_heads_segments_into(
-                    q,
-                    |h| view.segments(h),
-                    head_range.clone(),
-                    head_range.start,
-                    d_head,
-                    pos + 1,
-                    scratch,
-                    &mut attn,
-                );
+                match attn_mode {
+                    AttnMode::Materialized => attend_heads_segments_into(
+                        q,
+                        |h| view.segments(h),
+                        head_range.clone(),
+                        head_range.start,
+                        d_head,
+                        pos + 1,
+                        scratch,
+                        &mut attn,
+                    ),
+                    AttnMode::Fused => attend_heads_fused_segments_into(
+                        q,
+                        |h| view.segments(h),
+                        head_range.clone(),
+                        head_range.start,
+                        d_head,
+                        pos + 1,
+                        scratch,
+                        &mut attn,
+                    ),
+                }
                 attn
             });
             let attn = self.router.all_gather_owned(attn_shards);
 
             // Output projection shards + gather, then residual.
             let a_scale = quantize_into(&attn, &mut q8);
-            let proj_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
+            let proj_shards = par_map_nodes(&mut self.nodes, proj_pool, |_, node| {
                 let mut out = Vec::new();
                 node.weights.layers[layer]
                     .proj
@@ -766,7 +1153,7 @@ impl DistributedGpt2 {
             // MLP: FC1 + node-local GELU, gather, FC2, gather, residual.
             layernorm_into(&x1, &self.nodes[0].weights.layers[layer].ln2, &mut h);
             let h2_scale = quantize_into(&h, &mut q8);
-            let gelu_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
+            let gelu_shards = par_map_nodes(&mut self.nodes, mlp_pool, |_, node| {
                 let mut f1 = Vec::new();
                 node.weights.layers[layer]
                     .fc1
@@ -776,7 +1163,7 @@ impl DistributedGpt2 {
             });
             let g = self.router.all_gather_owned(gelu_shards);
             let g_scale = quantize_into(&g, &mut q8);
-            let f2_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
+            let f2_shards = par_map_nodes(&mut self.nodes, mlp_pool, |_, node| {
                 let mut out = Vec::new();
                 node.weights.layers[layer]
                     .fc2
@@ -797,7 +1184,7 @@ impl DistributedGpt2 {
         // concatenates logit shards in node order over PCIe.
         layernorm_into(&x, &self.nodes[0].weights.ln_f, &mut h);
         let hf_scale = quantize_into(&h, &mut q8);
-        let logits: Vec<f32> = par_map_nodes(&mut self.nodes, pool, |_, node| {
+        let logits: Vec<f32> = par_map_nodes(&mut self.nodes, lm_pool, |_, node| {
             let mut out = Vec::new();
             node.weights
                 .lm_head
@@ -888,67 +1275,75 @@ impl DistributedGpt2 {
     ) -> Option<Vec<f32>> {
         assert!(!prompt.is_empty(), "prompt must not be empty");
         self.reserve_for(&[(slot, prompt.len())]);
-        let cfg = &self.model_cfg;
-        let d = cfg.d_model;
-        let d_head = cfg.d_head();
+        let layers = self.model_cfg.layers;
+        let vocab = self.model_cfg.vocab;
+        let d = self.model_cfg.d_model;
+        let d_head = self.model_cfg.d_head();
         let n = self.nodes.len();
         let b = prompt.len();
+        let row_shards = self.row_shards;
         let start = self.nodes[0].arena.pos(slot);
 
-        // Host embeds every prompt token at its absolute position.
-        let mut xs: Vec<Vec<f32>> = prompt
-            .iter()
-            .enumerate()
-            .map(|(t, &token)| self.host.embed(token, start + t))
-            .collect();
+        // Host embeds every prompt token at its absolute position into one
+        // flat `b × d` activation buffer.
+        let mut xs: Vec<f32> = Vec::with_capacity(b * d);
+        for (t, &token) in prompt.iter().enumerate() {
+            xs.extend_from_slice(&self.host.embed(token, start + t));
+        }
 
         let mut scratch = StackScratch::default();
-        for layer in 0..cfg.layers {
-            // Shared QKV GEMM per node; append the whole prompt's K/V to
-            // the slot, then attend each token causally over its prefix.
-            let xmat = scratch.stack(&xs, Some(&self.nodes[0].weights.layers[layer].ln1), d);
-            let scales = &scratch.scales;
-            let pool = self.pool.as_ref();
-            let attn_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
-                let w = d / n;
+        let mut gathered: Vec<f32> = Vec::new();
+        for layer in 0..layers {
+            // Sharded QKV GEMM per node; append the whole prompt's K/V to
+            // the slot, then attend each token causally over its prefix
+            // (rows partitioned across the node's row shards).
+            let xmat = scratch.stack_flat(&xs, Some(&self.nodes[0].weights.layers[layer].ln1), d);
+            sharded_linear_phase(
+                &mut self.nodes,
+                self.pool.as_ref(),
+                row_shards,
+                b,
+                |w, l| &w.layers[l].qkv,
+                layer,
+                &xmat,
+                &scratch.scales,
+                false,
+            );
+            scratch.reclaim(xmat);
+            for node in &mut self.nodes {
                 let NodeState {
                     weights,
                     arena,
-                    scratch,
-                    gemm_acc,
                     gemm_out,
+                    ..
                 } = node;
-                weights.layers[layer]
-                    .qkv
-                    .forward_batch_scaled_into(&xmat, scales, gemm_acc, gemm_out);
+                let w = weights.head_range.len() * d_head;
                 for t in 0..b {
                     let row = &gemm_out[t * 3 * w..(t + 1) * 3 * w];
                     let (k, v) = row[w..].split_at(w);
                     arena.append_at(slot, layer, start + t, k, v);
                 }
-                let head_range = weights.head_range.clone();
-                let view = arena.layer_view(slot, layer);
-                (0..b)
-                    .map(|t| {
-                        let q = &gemm_out[t * 3 * w..t * 3 * w + w];
-                        let mut attn = Vec::new();
-                        attend_heads_segments_into(
-                            q,
-                            |h| view.segments(h),
-                            head_range.clone(),
-                            head_range.start,
-                            d_head,
-                            start + t + 1,
-                            scratch,
-                            &mut attn,
-                        );
-                        attn
-                    })
-                    .collect::<Vec<Vec<f32>>>()
-            });
-            let attn_rows = gather_rows(&self.router, attn_shards);
-            scratch.reclaim(xmat);
-            xs = self.finish_layer_batch(layer, &xs, &attn_rows, &mut scratch);
+            }
+            batch_attention_phase(
+                &mut self.nodes,
+                self.pool.as_ref(),
+                row_shards,
+                layer,
+                AttnRows::Prefill { slot, start },
+                b,
+                d_head,
+                self.attn_mode,
+            );
+            gather_rows_flat(
+                &self.router,
+                &mut self.nodes,
+                GatherSrc::Attn,
+                b,
+                d / n,
+                &mut scratch.q8,
+                &mut gathered,
+            );
+            self.finish_layer_batch(layer, b, &mut xs, &mut gathered, &mut scratch);
         }
         for node in &mut self.nodes {
             node.arena.advance(slot, b);
@@ -960,12 +1355,11 @@ impl DistributedGpt2 {
 
         // LM head for the final prompt token only (non-final outputs are
         // discarded, paper Fig. 1).
-        // lint: allow(panic_free) — engine invariant; a panic poisons the backend via catch_unwind
-        let last = xs.last().expect("non-empty prompt");
+        let last = &xs[(b - 1) * d..];
         layernorm_into(last, &self.nodes[0].weights.ln_f, &mut scratch.h);
         let hf_scale = quantize_into(&scratch.h, &mut scratch.q8);
         let q8 = &scratch.q8;
-        let pool = self.pool.as_ref();
+        let pool = gate(self.pool.as_ref(), vocab * d / n);
         Some(
             par_map_nodes(&mut self.nodes, pool, |_, node| {
                 let mut out = Vec::new();
@@ -1008,66 +1402,76 @@ impl DistributedGpt2 {
         );
         let reserve: Vec<(usize, usize)> = slots.iter().map(|&s| (s, 1)).collect();
         self.reserve_for(&reserve);
-        let cfg = &self.model_cfg;
-        let d = cfg.d_model;
-        let d_head = cfg.d_head();
+        let layers = self.model_cfg.layers;
+        let vocab = self.model_cfg.vocab;
+        let d = self.model_cfg.d_model;
+        let d_head = self.model_cfg.d_head();
         let n = self.nodes.len();
         let b = entries.len();
+        let row_shards = self.row_shards;
 
-        // Host embeds each sequence's token at its own position.
-        let mut xs: Vec<Vec<f32>> = entries
-            .iter()
-            .map(|&(slot, token)| self.host.embed(token, self.nodes[0].arena.pos(slot)))
-            .collect();
+        // Host embeds each sequence's token at its own position into one
+        // flat `b × d` activation buffer.
+        let mut xs: Vec<f32> = Vec::with_capacity(b * d);
+        for &(slot, token) in entries {
+            let pos = self.nodes[0].arena.pos(slot);
+            xs.extend_from_slice(&self.host.embed(token, pos));
+        }
 
         let mut scratch = StackScratch::default();
-        for layer in 0..cfg.layers {
-            // LN1 + per-row quantize (replicated), one shared QKV GEMM per
-            // node, then per-sequence cache append + attention.
-            let xmat = scratch.stack(&xs, Some(&self.nodes[0].weights.layers[layer].ln1), d);
-            let scales = &scratch.scales;
-            let pool = self.pool.as_ref();
-            let attn_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
-                let w = d / n;
+        let mut gathered: Vec<f32> = Vec::new();
+        for layer in 0..layers {
+            // LN1 + per-row quantize (replicated), one sharded QKV GEMM
+            // per node, per-sequence cache append, then attention with the
+            // batch rows partitioned across the node's row shards.
+            let xmat = scratch.stack_flat(&xs, Some(&self.nodes[0].weights.layers[layer].ln1), d);
+            sharded_linear_phase(
+                &mut self.nodes,
+                self.pool.as_ref(),
+                row_shards,
+                b,
+                |w, l| &w.layers[l].qkv,
+                layer,
+                &xmat,
+                &scratch.scales,
+                false,
+            );
+            scratch.reclaim(xmat);
+            for node in &mut self.nodes {
                 let NodeState {
                     weights,
                     arena,
-                    scratch,
-                    gemm_acc,
                     gemm_out,
+                    ..
                 } = node;
-                weights.layers[layer]
-                    .qkv
-                    .forward_batch_scaled_into(&xmat, scales, gemm_acc, gemm_out);
-                let head_range = weights.head_range.clone();
-                slots
-                    .iter()
-                    .enumerate()
-                    .map(|(t, &slot)| {
-                        let row = &gemm_out[t * 3 * w..(t + 1) * 3 * w];
-                        let (q, kv) = row.split_at(w);
-                        let (k, v) = kv.split_at(w);
-                        let t_abs = arena.pos(slot);
-                        arena.append_at(slot, layer, t_abs, k, v);
-                        let view = arena.layer_view(slot, layer);
-                        let mut attn = Vec::new();
-                        attend_heads_segments_into(
-                            q,
-                            |h| view.segments(h),
-                            head_range.clone(),
-                            head_range.start,
-                            d_head,
-                            t_abs + 1,
-                            scratch,
-                            &mut attn,
-                        );
-                        attn
-                    })
-                    .collect::<Vec<Vec<f32>>>()
-            });
-            let attn_rows = gather_rows(&self.router, attn_shards);
-            scratch.reclaim(xmat);
-            xs = self.finish_layer_batch(layer, &xs, &attn_rows, &mut scratch);
+                let w = weights.head_range.len() * d_head;
+                for (t, &slot) in slots.iter().enumerate() {
+                    let row = &gemm_out[t * 3 * w..(t + 1) * 3 * w];
+                    let (k, v) = row[w..].split_at(w);
+                    let t_abs = arena.pos(slot);
+                    arena.append_at(slot, layer, t_abs, k, v);
+                }
+            }
+            batch_attention_phase(
+                &mut self.nodes,
+                self.pool.as_ref(),
+                row_shards,
+                layer,
+                AttnRows::Decode { slots: &slots },
+                b,
+                d_head,
+                self.attn_mode,
+            );
+            gather_rows_flat(
+                &self.router,
+                &mut self.nodes,
+                GatherSrc::Attn,
+                b,
+                d / n,
+                &mut scratch.q8,
+                &mut gathered,
+            );
+            self.finish_layer_batch(layer, b, &mut xs, &mut gathered, &mut scratch);
         }
         for node in &mut self.nodes {
             for &slot in &slots {
@@ -1075,36 +1479,41 @@ impl DistributedGpt2 {
             }
         }
 
-        // Final LN (replicated) and vocabulary-sharded LM head, one shared
-        // GEMM per node; the host concatenates logit shards in node order.
-        let fmat = scratch.stack(&xs, Some(&self.nodes[0].weights.ln_f), d);
-        let scales = &scratch.scales;
-        let pool = self.pool.as_ref();
-        let logit_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
-            node.weights.lm_head.forward_batch_scaled_into(
-                &fmat,
-                scales,
-                &mut node.gemm_acc,
-                &mut node.gemm_out,
-            );
-            split_rows(&node.gemm_out, b)
-        });
-        let mut per_node: Vec<std::vec::IntoIter<Vec<f32>>> =
-            logit_shards.into_iter().map(Vec::into_iter).collect();
+        // Final LN (replicated) and vocabulary-sharded LM head, sharded
+        // like every other linear; the host concatenates logit shards in
+        // node order (raw f32 over PCIe — logits never ride the ring).
+        let fmat = scratch.stack_flat(&xs, Some(&self.nodes[0].weights.ln_f), d);
+        sharded_linear_phase(
+            &mut self.nodes,
+            self.pool.as_ref(),
+            row_shards,
+            b,
+            |w, _| &w.lm_head,
+            0,
+            &fmat,
+            &scratch.scales,
+            false,
+        );
+        scratch.reclaim(fmat);
         (0..b)
-            .map(|_| {
-                per_node
-                    .iter_mut()
-                    // lint: allow(panic_free) — engine invariant; a panic poisons the backend via catch_unwind
-                    .flat_map(|it| it.next().expect("one row per entry"))
-                    .collect()
+            .map(|t| {
+                let mut row = Vec::with_capacity(vocab);
+                for node in &self.nodes {
+                    let vw = node.weights.lm_head.out_features();
+                    row.extend_from_slice(&node.gemm_out[t * vw..(t + 1) * vw]);
+                }
+                row
             })
             .collect()
     }
 
     /// Shared tail of one batched layer — output projection + residual,
     /// then the MLP (FC1 + node-local GELU, FC2) with a residual — over
-    /// `b` stacked rows, given the already-gathered attention rows.
+    /// `b` stacked rows, given the already-gathered attention rows in
+    /// `gathered` (clobbered as the stage-to-stage gather buffer) and the
+    /// flat `b × d` activations in `xs` (updated in place; the in-place
+    /// `+=` adds the same two floats the old row-wise `residual_add`
+    /// did, so the folded residuals are bit-identical).
     ///
     /// Batched prefill (rows = one slot's prompt tokens) and batched
     /// decode (rows = resident sequences) differ only in their
@@ -1113,66 +1522,93 @@ impl DistributedGpt2 {
     fn finish_layer_batch(
         &mut self,
         layer: usize,
-        xs: &[Vec<f32>],
-        attn_rows: &[Vec<f32>],
+        b: usize,
+        xs: &mut [f32],
+        gathered: &mut Vec<f32>,
         scratch: &mut StackScratch,
-    ) -> Vec<Vec<f32>> {
-        let b = xs.len();
+    ) {
         let d = self.model_cfg.d_model;
         let d_ff = self.model_cfg.d_ff;
+        let n = self.nodes.len();
+        let row_shards = self.row_shards;
 
-        // Shared projection GEMM per node, gather per row, residual.
-        let amat = scratch.stack(attn_rows, None, d);
-        let scales = &scratch.scales;
-        let pool = self.pool.as_ref();
-        let proj_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
-            node.weights.layers[layer].proj.forward_batch_scaled_into(
-                &amat,
-                scales,
-                &mut node.gemm_acc,
-                &mut node.gemm_out,
-            );
-            split_rows(&node.gemm_out, b)
-        });
-        let proj_rows = gather_rows(&self.router, proj_shards);
+        // Sharded projection GEMM per node, gather per row, residual.
+        let amat = scratch.stack_flat(gathered, None, d);
+        sharded_linear_phase(
+            &mut self.nodes,
+            self.pool.as_ref(),
+            row_shards,
+            b,
+            |w, l| &w.layers[l].proj,
+            layer,
+            &amat,
+            &scratch.scales,
+            false,
+        );
         scratch.reclaim(amat);
-        let x1: Vec<Vec<f32>> = (0..b)
-            .map(|t| residual_add(&xs[t], &proj_rows[t]))
-            .collect();
+        gather_rows_flat(
+            &self.router,
+            &mut self.nodes,
+            GatherSrc::Gemm,
+            b,
+            d / n,
+            &mut scratch.q8,
+            gathered,
+        );
+        for (x, p) in xs.iter_mut().zip(gathered.iter()) {
+            *x += p;
+        }
 
-        // MLP: shared FC1 GEMM + node-local GELU, gather, shared FC2
+        // MLP: sharded FC1 GEMM + per-slab GELU, gather, sharded FC2
         // GEMM, gather, residual.
-        let h2mat = scratch.stack(&x1, Some(&self.nodes[0].weights.layers[layer].ln2), d);
-        let scales = &scratch.scales;
-        let pool = self.pool.as_ref();
-        let gelu_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
-            node.weights.layers[layer].fc1.forward_batch_scaled_into(
-                &h2mat,
-                scales,
-                &mut node.gemm_acc,
-                &mut node.gemm_out,
-            );
-            gelu_in_place(&mut node.gemm_out);
-            split_rows(&node.gemm_out, b)
-        });
-        let g_rows = gather_rows(&self.router, gelu_shards);
-        scratch.reclaim(h2mat);
+        let hmat = scratch.stack_flat(xs, Some(&self.nodes[0].weights.layers[layer].ln2), d);
+        sharded_linear_phase(
+            &mut self.nodes,
+            self.pool.as_ref(),
+            row_shards,
+            b,
+            |w, l| &w.layers[l].fc1,
+            layer,
+            &hmat,
+            &scratch.scales,
+            true,
+        );
+        scratch.reclaim(hmat);
+        gather_rows_flat(
+            &self.router,
+            &mut self.nodes,
+            GatherSrc::Gemm,
+            b,
+            d_ff / n,
+            &mut scratch.q8,
+            gathered,
+        );
 
-        let gmat = scratch.stack(&g_rows, None, d_ff);
-        let scales = &scratch.scales;
-        let pool = self.pool.as_ref();
-        let f2_shards = par_map_nodes(&mut self.nodes, pool, |_, node| {
-            node.weights.layers[layer].fc2.forward_batch_scaled_into(
-                &gmat,
-                scales,
-                &mut node.gemm_acc,
-                &mut node.gemm_out,
-            );
-            split_rows(&node.gemm_out, b)
-        });
-        let f2_rows = gather_rows(&self.router, f2_shards);
+        let gmat = scratch.stack_flat(gathered, None, d_ff);
+        sharded_linear_phase(
+            &mut self.nodes,
+            self.pool.as_ref(),
+            row_shards,
+            b,
+            |w, l| &w.layers[l].fc2,
+            layer,
+            &gmat,
+            &scratch.scales,
+            false,
+        );
         scratch.reclaim(gmat);
-        (0..b).map(|t| residual_add(&x1[t], &f2_rows[t])).collect()
+        gather_rows_flat(
+            &self.router,
+            &mut self.nodes,
+            GatherSrc::Gemm,
+            b,
+            d / n,
+            &mut scratch.q8,
+            gathered,
+        );
+        for (x, f) in xs.iter_mut().zip(gathered.iter()) {
+            *x += f;
+        }
     }
 }
 
@@ -1192,19 +1628,21 @@ struct StackScratch {
 
 impl StackScratch {
     /// Stacks `ln(row)` (or the raw row when `ln` is `None`) quantized
-    /// per-row into a `rows.len() × width` int8 matrix — the host-side
-    /// replicated prologue of every sharded batched linear, one row per
-    /// token (batched prefill) or per resident sequence (batched decode).
-    /// Per-row scales land in `self.scales`.
-    fn stack(
+    /// per-row into a `rows / width × width` int8 matrix from a flat
+    /// row-major buffer — the host-side replicated prologue of every
+    /// sharded batched linear, one row per token (batched prefill) or per
+    /// resident sequence (batched decode). Per-row scales land in
+    /// `self.scales`.
+    fn stack_flat(
         &mut self,
-        rows: &[Vec<f32>],
+        rows: &[f32],
         ln: Option<&LayerNormParams>,
         width: usize,
     ) -> Matrix<i8> {
+        debug_assert_eq!(rows.len() % width, 0, "flat buffer must be row-aligned");
         self.rows8.clear();
         self.scales.clear();
-        for row in rows {
+        for row in rows.chunks_exact(width) {
             let scale = match ln {
                 Some(params) => {
                     layernorm_into(row, params, &mut self.h);
@@ -1215,40 +1653,15 @@ impl StackScratch {
             self.rows8.extend_from_slice(&self.q8);
             self.scales.push(scale);
         }
+        let stacked = Matrix::from_vec(rows.len() / width, width, std::mem::take(&mut self.rows8));
         // lint: allow(panic_free) — engine invariant; a panic poisons the backend via catch_unwind
-        Matrix::from_vec(rows.len(), width, std::mem::take(&mut self.rows8)).expect("stacked rows")
+        stacked.expect("stacked rows")
     }
 
     /// Returns a stacked matrix's storage for reuse by the next stage.
     fn reclaim(&mut self, mat: Matrix<i8>) {
         self.rows8 = mat.into_vec();
     }
-}
-
-/// Splits a flat row-major buffer of `rows` rows into owned vectors.
-fn split_rows(flat: &[f32], rows: usize) -> Vec<Vec<f32>> {
-    let width = flat.len() / rows;
-    flat.chunks_exact(width).map(<[f32]>::to_vec).collect()
-}
-
-/// Transposes per-node row shards into per-row node shards and ring-
-/// gathers each row — the batched counterpart of one
-/// [`Router::all_gather_owned`] call per sequence, in the same node
-/// order (bit-identical per row to the single-sequence gather).
-fn gather_rows(router: &Router, shards: Vec<Vec<Vec<f32>>>) -> Vec<Vec<f32>> {
-    let rows = shards.first().map_or(0, Vec::len);
-    let mut per_node: Vec<std::vec::IntoIter<Vec<f32>>> =
-        shards.into_iter().map(Vec::into_iter).collect();
-    (0..rows)
-        .map(|_| {
-            let row_shards: Vec<Vec<f32>> = per_node
-                .iter_mut()
-                // lint: allow(panic_free) — engine invariant; a panic poisons the backend via catch_unwind
-                .map(|it| it.next().expect("one shard per row per node"))
-                .collect();
-            router.all_gather_owned(row_shards)
-        })
-        .collect()
 }
 
 impl Autoregressive for DistributedGpt2 {

@@ -23,11 +23,35 @@
 
 use std::ops::Range;
 
+use serde::{Deserialize, Serialize};
+
 use looplynx_tensor::activation::{causal_mask, softmax_into};
 use looplynx_tensor::quant::quantize_into;
 use looplynx_tensor::simd::{accumulate_scaled_i8, dot_i8_i32 as dot_i8};
 
 use crate::kv_cache::LayerKvCache;
+
+/// Which attention kernel the functional paths evaluate.
+///
+/// [`AttnMode::Materialized`] is the default and the bit-exact oracle
+/// every equivalence test pins against. [`AttnMode::Fused`] is the
+/// flash-style tiled online-softmax path
+/// ([`attend_heads_fused_segments_to`]): O([`FUSED_TILE`]) working
+/// memory, deterministic and bitwise-invariant across page geometry /
+/// node counts / row shards / threading, but *close to* rather than
+/// bit-identical with the materialized kernel (its mixing weights stay
+/// in f32 and its normalizer accumulates online), so it is strictly
+/// opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AttnMode {
+    /// Two-phase softmax over a materialized score row, int8 mixing
+    /// weights — the paper's kernel and the repo-wide exactness oracle.
+    #[default]
+    Materialized,
+    /// Tiled online-softmax with f32 mixing weights and a rescaled
+    /// accumulator; never materializes the score row.
+    Fused,
+}
 
 /// Reusable attention working memory: quantized query head, score /
 /// weight vectors, quantized weights. One instance serves any number of
@@ -180,16 +204,58 @@ pub fn attend_heads_segments_into<'a, I, F>(
     I: Iterator<Item = KvSegment<'a>>,
     F: Fn(usize) -> I,
 {
+    out.clear();
+    out.resize(head_range.len() * d_head, 0.0);
+    attend_heads_segments_to(
+        q,
+        segments_of,
+        head_range,
+        cache_head_offset,
+        d_head,
+        valid_len,
+        scratch,
+        out,
+    );
+}
+
+/// [`attend_heads_segments_into`] writing into a caller-provided slice of
+/// exactly `head_range.len() × d_head` elements (overwritten) — the
+/// batched engine points this at each row's strip of one flat per-node
+/// output buffer, so a whole batch's attention produces zero allocations
+/// and no per-row `Vec`s to gather.
+///
+/// # Panics
+///
+/// Panics if the query or output length disagrees with the head range,
+/// `valid_len` is zero, or the segments of some head cover fewer than
+/// `valid_len` tokens.
+#[allow(clippy::too_many_arguments)]
+pub fn attend_heads_segments_to<'a, I, F>(
+    q: &[f32],
+    segments_of: F,
+    head_range: Range<usize>,
+    cache_head_offset: usize,
+    d_head: usize,
+    valid_len: usize,
+    scratch: &mut AttnScratch,
+    out: &mut [f32],
+) where
+    I: Iterator<Item = KvSegment<'a>>,
+    F: Fn(usize) -> I,
+{
     assert_eq!(
         q.len(),
         head_range.len() * d_head,
         "query length mismatch for head range"
     );
+    assert_eq!(
+        out.len(),
+        head_range.len() * d_head,
+        "output length mismatch for head range"
+    );
     assert!(valid_len > 0, "attention needs at least one cached token");
 
     let inv_sqrt = 1.0 / (d_head as f32).sqrt();
-    out.clear();
-    out.reserve(head_range.len() * d_head);
     let AttnScratch {
         q8,
         scores,
@@ -232,9 +298,8 @@ pub fn attend_heads_segments_into<'a, I, F>(
         // Attention weights are requantized to int8 so the mixing MACs stay
         // on the integer path; each cached head has its own value scale.
         let w_scale = quantize_into(weights, w8_buf);
-        let base = out.len();
-        out.resize(base + d_head, 0.0);
-        let acc = &mut out[base..];
+        let acc = &mut out[local_idx * d_head..(local_idx + 1) * d_head];
+        acc.fill(0.0);
         let mut t = 0usize;
         'mix: for seg in segments_of(cache_h) {
             for (local, v) in seg.values.chunks_exact(d_head).enumerate() {
@@ -262,6 +327,204 @@ pub fn attend_all(
     valid_len: usize,
 ) -> Vec<f32> {
     attend_heads(q, cache, 0..heads, 0, d_head, valid_len)
+}
+
+/// Logical tile width (in tokens) of the fused online-softmax path. Tiles
+/// are cut by **token index**, never by storage segment, so the fused
+/// recurrence — and therefore its output, bit for bit — is independent of
+/// KV page geometry.
+pub const FUSED_TILE: usize = 64;
+
+/// Fused (flash-style) tiled online-softmax attention over KV segments.
+///
+/// Where the materialized path buffers one score per cached token, runs a
+/// two-phase softmax over the full row and requantizes the weights to
+/// int8 before value mixing, this path streams the cache once in logical
+/// tiles of [`FUSED_TILE`] tokens keeping only a running maximum `m`, a
+/// running normalizer `σ` and a `d_head`-wide accumulator that is
+/// rescaled by `exp(m_old − m_new)` whenever a tile raises the maximum;
+/// the weights stay in f32 and the score row is never materialized
+/// (working memory is O(`FUSED_TILE`), not O(tokens)).
+///
+/// Numerics: the integer score dots are identical to the materialized
+/// path, but the online rescaling and the f32 (unquantized) mixing
+/// weights make the result *close to*, not bit-identical with,
+/// [`attend_heads_segments_to`] — the materialized path remains the
+/// oracle the property tests compare against. The fused result itself is
+/// fully deterministic and bitwise-invariant across page geometry, node
+/// counts, row shards and threading: tiles follow token indices, so the
+/// segment layout never changes the arithmetic.
+///
+/// # Panics
+///
+/// Panics if the query or output length disagrees with the head range,
+/// `valid_len` is zero, or the segments of some head cover fewer than
+/// `valid_len` tokens.
+#[allow(clippy::too_many_arguments)]
+pub fn attend_heads_fused_segments_to<'a, I, F>(
+    q: &[f32],
+    segments_of: F,
+    head_range: Range<usize>,
+    cache_head_offset: usize,
+    d_head: usize,
+    valid_len: usize,
+    scratch: &mut AttnScratch,
+    out: &mut [f32],
+) where
+    I: Iterator<Item = KvSegment<'a>>,
+    F: Fn(usize) -> I,
+{
+    assert_eq!(
+        q.len(),
+        head_range.len() * d_head,
+        "query length mismatch for head range"
+    );
+    assert_eq!(
+        out.len(),
+        head_range.len() * d_head,
+        "output length mismatch for head range"
+    );
+    assert!(valid_len > 0, "attention needs at least one cached token");
+
+    let inv_sqrt = 1.0 / (d_head as f32).sqrt();
+    let q8 = &mut scratch.q8;
+    const EMPTY: &[i8] = &[];
+
+    for (local_idx, h) in head_range.clone().enumerate() {
+        let cache_h = h - cache_head_offset;
+        let q_scale = quantize_into(&q[local_idx * d_head..(local_idx + 1) * d_head], q8);
+        let acc = &mut out[local_idx * d_head..(local_idx + 1) * d_head];
+        acc.fill(0.0);
+
+        // Online-softmax state: running max, running normalizer, and the
+        // value accumulator in `acc` (rescaled on max updates).
+        let mut m = f32::NEG_INFINITY;
+        let mut sigma = 0.0f32;
+
+        // One logical tile: scores plus borrowed value rows, filled in
+        // token order across segment boundaries.
+        let mut tile_scores = [0.0f32; FUSED_TILE];
+        let mut tile_vals: [(&[i8], f32); FUSED_TILE] = [(EMPTY, 0.0); FUSED_TILE];
+        let mut fill = 0usize;
+        let mut seen = 0usize;
+
+        let mut flush = |tile_scores: &[f32], tile_vals: &[(&[i8], f32)], acc: &mut [f32]| {
+            let m_tile = tile_scores.iter().fold(f32::NEG_INFINITY, |a, &s| a.max(s));
+            let m_new = m.max(m_tile);
+            if m_new > m && sigma > 0.0 {
+                let rescale = (m - m_new).exp();
+                sigma *= rescale;
+                for a in acc.iter_mut() {
+                    *a *= rescale;
+                }
+            }
+            for (&s, &(v, vscale)) in tile_scores.iter().zip(tile_vals) {
+                let e = (s - m_new).exp();
+                sigma += e;
+                if e != 0.0 {
+                    accumulate_scaled_i8(acc, v, e * vscale);
+                }
+            }
+            m = m_new;
+        };
+
+        'walk: for seg in segments_of(cache_h) {
+            for ((k, v), (&k_scale, &v_scale)) in seg
+                .keys
+                .chunks_exact(d_head)
+                .zip(seg.values.chunks_exact(d_head))
+                .zip(seg.key_scales.iter().zip(seg.value_scales))
+            {
+                if seen == valid_len {
+                    break 'walk;
+                }
+                let s = dot_i8(q8, k) as f32 * q_scale * k_scale * inv_sqrt;
+                tile_scores[fill] = s;
+                tile_vals[fill] = (v, v_scale);
+                fill += 1;
+                seen += 1;
+                if fill == FUSED_TILE {
+                    flush(&tile_scores[..fill], &tile_vals[..fill], acc);
+                    fill = 0;
+                }
+            }
+        }
+        assert!(seen == valid_len, "valid_len beyond cache");
+        if fill > 0 {
+            flush(&tile_scores[..fill], &tile_vals[..fill], acc);
+        }
+        let inv_sigma = 1.0 / sigma;
+        for a in acc.iter_mut() {
+            *a *= inv_sigma;
+        }
+    }
+}
+
+/// [`attend_heads_fused_segments_to`] writing into a cleared/resized
+/// `Vec` — convenience for tests and single-token callers.
+#[allow(clippy::too_many_arguments)]
+pub fn attend_heads_fused_segments_into<'a, I, F>(
+    q: &[f32],
+    segments_of: F,
+    head_range: Range<usize>,
+    cache_head_offset: usize,
+    d_head: usize,
+    valid_len: usize,
+    scratch: &mut AttnScratch,
+    out: &mut Vec<f32>,
+) where
+    I: Iterator<Item = KvSegment<'a>>,
+    F: Fn(usize) -> I,
+{
+    out.clear();
+    out.resize(head_range.len() * d_head, 0.0);
+    attend_heads_fused_segments_to(
+        q,
+        segments_of,
+        head_range,
+        cache_head_offset,
+        d_head,
+        valid_len,
+        scratch,
+        out,
+    );
+}
+
+/// Full-width fused attention over all heads of a contiguous cache — the
+/// single-node reference counterpart of [`attend_all`].
+pub fn attend_all_fused(
+    q: &[f32],
+    cache: &LayerKvCache,
+    heads: usize,
+    d_head: usize,
+    valid_len: usize,
+) -> Vec<f32> {
+    assert!(valid_len <= cache.len(), "valid_len beyond cache");
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<AttnScratch> =
+            std::cell::RefCell::new(AttnScratch::new());
+    }
+    let mut out = Vec::new();
+    SCRATCH.with(|scratch| {
+        attend_heads_fused_segments_into(
+            q,
+            |cache_h| {
+                std::iter::once(KvSegment {
+                    keys: cache.key_strip(cache_h),
+                    values: cache.value_strip(cache_h),
+                    key_scales: cache.key_scales(cache_h),
+                    value_scales: cache.value_scales(cache_h),
+                })
+            },
+            0..heads,
+            0,
+            d_head,
+            valid_len,
+            &mut scratch.borrow_mut(),
+            &mut out,
+        );
+    });
+    out
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use looplynx_tensor::activation::gelu_vec;
 use looplynx_tensor::norm::{layernorm, residual_add};
 use looplynx_tensor::quant::quantize_vec;
 
-use crate::attention::attend_all;
+use crate::attention::{attend_all, attend_all_fused, AttnMode};
 use crate::config::ModelConfig;
 use crate::kv_cache::LayerKvCache;
 use crate::weights::BlockWeights;
@@ -33,6 +33,19 @@ pub fn block_forward(
     cfg: &ModelConfig,
     pos: usize,
 ) -> Vec<f32> {
+    block_forward_mode(x, w, cache, cfg, pos, AttnMode::Materialized)
+}
+
+/// [`block_forward`] with an explicit attention kernel; the MHA stage
+/// runs materialized or fused per `mode`, everything else is identical.
+pub fn block_forward_mode(
+    x: &[f32],
+    w: &BlockWeights,
+    cache: &mut LayerKvCache,
+    cfg: &ModelConfig,
+    pos: usize,
+    mode: AttnMode,
+) -> Vec<f32> {
     assert_eq!(x.len(), cfg.d_model, "block input dimension");
     assert_eq!(cache.len(), pos, "cache out of step with position");
     let d = cfg.d_model;
@@ -48,7 +61,7 @@ pub fn block_forward(
 
     // KV cache append (int8), then the fused MHA kernel.
     cache.append(k, v);
-    let attn = attend_all(q, cache, cfg.heads, cfg.d_head(), pos + 1);
+    let attn = attend(mode, q, cache, cfg, pos + 1);
 
     // Fused MP kernel activation #2: output projection, then residual.
     let aq = quantize_vec(&attn);
@@ -85,6 +98,18 @@ pub fn block_forward_batch(
     cfg: &ModelConfig,
     pos: usize,
 ) -> Vec<Vec<f32>> {
+    block_forward_batch_mode(xs, w, cache, cfg, pos, AttnMode::Materialized)
+}
+
+/// [`block_forward_batch`] with an explicit attention kernel.
+pub fn block_forward_batch_mode(
+    xs: &[Vec<f32>],
+    w: &BlockWeights,
+    cache: &mut LayerKvCache,
+    cfg: &ModelConfig,
+    pos: usize,
+    mode: AttnMode,
+) -> Vec<Vec<f32>> {
     assert!(!xs.is_empty(), "batch must not be empty");
     assert!(
         xs.iter().all(|x| x.len() == cfg.d_model),
@@ -109,7 +134,7 @@ pub fn block_forward_batch(
     let attn_rows: Vec<Vec<f32>> = (0..b)
         .map(|t| {
             let q = &qkv.row(t)[..d];
-            attend_all(q, cache, cfg.heads, cfg.d_head(), pos + t + 1)
+            attend(mode, q, cache, cfg, pos + t + 1)
         })
         .collect();
 
@@ -160,6 +185,20 @@ pub fn block_forward_decode_batch(
     slots: &[usize],
     cfg: &ModelConfig,
 ) -> Vec<Vec<f32>> {
+    block_forward_decode_batch_mode(xs, w, arena, layer, slots, cfg, AttnMode::Materialized)
+}
+
+/// [`block_forward_decode_batch`] with an explicit attention kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn block_forward_decode_batch_mode(
+    xs: &[Vec<f32>],
+    w: &BlockWeights,
+    arena: &mut crate::kv_cache::SlotKvArena,
+    layer: usize,
+    slots: &[usize],
+    cfg: &ModelConfig,
+    mode: AttnMode,
+) -> Vec<Vec<f32>> {
     assert!(!xs.is_empty(), "batch must not be empty");
     assert_eq!(xs.len(), slots.len(), "one slot per token row");
     assert!(
@@ -192,7 +231,7 @@ pub fn block_forward_decode_batch(
             let row = qkv.row(t);
             let cache = arena.layer_mut(slot, layer);
             cache.append(&row[d..2 * d], &row[2 * d..3 * d]);
-            attend_all(&row[..d], cache, cfg.heads, cfg.d_head(), cache.len())
+            attend(mode, &row[..d], cache, cfg, cache.len())
         })
         .collect();
 
@@ -216,6 +255,20 @@ pub fn block_forward_decode_batch(
         &g_scales,
     );
     (0..b).map(|t| residual_add(&x1[t], f2.row(t))).collect()
+}
+
+/// Dispatches one full-width attention call to the selected kernel.
+fn attend(
+    mode: AttnMode,
+    q: &[f32],
+    cache: &LayerKvCache,
+    cfg: &ModelConfig,
+    valid: usize,
+) -> Vec<f32> {
+    match mode {
+        AttnMode::Materialized => attend_all(q, cache, cfg.heads, cfg.d_head(), valid),
+        AttnMode::Fused => attend_all_fused(q, cache, cfg.heads, cfg.d_head(), valid),
+    }
 }
 
 /// Quantizes each produced vector with its own scale and concatenates the

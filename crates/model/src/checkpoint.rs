@@ -1,0 +1,557 @@
+//! Quantized checkpoint save/load with a memory-mapped, zero-copy arena.
+//!
+//! The paper's host loads W8A8 weights once and streams them to the
+//! accelerator; the functional reproduction mirrors that with an on-disk
+//! checkpoint format built for `mmap(2)`:
+//!
+//! ```text
+//! offset 0   magic    b"LLXCKPT1"
+//!        8   version  u32 (= 1)
+//!       12   layers, d_model, heads, d_ff, vocab, max_seq   6 × u32
+//!       36   name_len u32
+//!       40   file_len u64   (total size — cheap truncation check)
+//!       48   arena_offset u64  (page-aligned: 4096)
+//!       56   name bytes (UTF-8, name_len long)
+//!       ...  zero padding
+//! arena_offset   tensor arena
+//! ```
+//!
+//! The arena holds every tensor back to back, each aligned to 64 bytes,
+//! in an order derived purely from the header dims — there is no tensor
+//! directory to parse or trust. Large payloads (the int8 weight matrices
+//! and the f32 embedding tables) become zero-copy
+//! [`Matrix::from_arena`] views into the mapping, so loading touches no
+//! weight pages until the first decode step streams them. Small per-row
+//! vectors (scales, sums, biases, layernorm params) are copied to the
+//! heap — they are a rounding error next to the matrices.
+//!
+//! All multi-byte fields are little-endian, and the zero-copy views
+//! reinterpret bytes natively, so the format is only portable between
+//! little-endian hosts (every target this workspace supports).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use looplynx_tensor::linear::QuantLinear;
+use looplynx_tensor::matrix::Matrix;
+use looplynx_tensor::mmap::{ArenaError, MappedArena};
+use looplynx_tensor::norm::LayerNormParams;
+use looplynx_tensor::quant::QuantizedMatrix;
+
+use crate::config::ModelConfig;
+use crate::gpt2::Gpt2Model;
+use crate::weights::{BlockWeights, Gpt2Weights};
+
+/// File identifier, first 8 bytes of every checkpoint.
+pub const MAGIC: [u8; 8] = *b"LLXCKPT1";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// The arena starts on a page boundary so `mmap` hands out aligned,
+/// page-granular views.
+pub const ARENA_ALIGN: usize = 4096;
+/// Every tensor inside the arena starts on a 64-byte (cache-line)
+/// boundary, which also satisfies f32/i32 alignment for the zero-copy
+/// views.
+pub const TENSOR_ALIGN: usize = 64;
+
+const HEADER_FIXED: usize = 56;
+
+/// Why a checkpoint failed to load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file is shorter than its header claims.
+    Truncated {
+        /// Bytes the header (or fixed layout) requires.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The first 8 bytes are not [`MAGIC`].
+    BadMagic([u8; 8]),
+    /// Unknown format version.
+    BadVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this loader understands.
+        expected: u32,
+    },
+    /// The arena does not start on an [`ARENA_ALIGN`] boundary.
+    MisalignedArena {
+        /// Arena offset found in the header.
+        offset: u64,
+    },
+    /// Structurally invalid contents (bad dims, overlapping sections,
+    /// non-UTF-8 name, out-of-range tensor, …).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "checkpoint truncated: need {expected} bytes, have {actual}"
+                )
+            }
+            CheckpointError::BadMagic(m) => write!(f, "not a checkpoint (magic {m:02x?})"),
+            CheckpointError::BadVersion { found, expected } => {
+                write!(
+                    f,
+                    "checkpoint version {found}, loader understands {expected}"
+                )
+            }
+            CheckpointError::MisalignedArena { offset } => {
+                write!(
+                    f,
+                    "tensor arena at byte {offset} is not {ARENA_ALIGN}-aligned"
+                )
+            }
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<ArenaError> for CheckpointError {
+    fn from(e: ArenaError) -> Self {
+        match e {
+            ArenaError::OutOfBounds { .. } => {
+                CheckpointError::Corrupt("tensor runs past the end of the arena")
+            }
+            ArenaError::Misaligned { .. } => {
+                CheckpointError::Corrupt("tensor not aligned inside the arena")
+            }
+        }
+    }
+}
+
+fn align_up(x: usize, a: usize) -> usize {
+    x.div_ceil(a) * a
+}
+
+// ---------------------------------------------------------------------------
+// Save
+// ---------------------------------------------------------------------------
+
+/// Sequential arena writer: pads to [`TENSOR_ALIGN`] before each tensor.
+struct ArenaWriter<W: Write> {
+    w: W,
+    /// Bytes written into the arena so far.
+    off: usize,
+}
+
+impl<W: Write> ArenaWriter<W> {
+    fn pad_to(&mut self, align: usize) -> std::io::Result<()> {
+        let target = align_up(self.off, align);
+        const ZEROS: [u8; 64] = [0; 64];
+        let mut gap = target - self.off;
+        while gap > 0 {
+            let n = gap.min(ZEROS.len());
+            self.w.write_all(&ZEROS[..n])?;
+            gap -= n;
+        }
+        self.off = target;
+        Ok(())
+    }
+
+    fn tensor(&mut self, bytes_len: usize) -> std::io::Result<&mut W> {
+        self.pad_to(TENSOR_ALIGN)?;
+        self.off += bytes_len;
+        Ok(&mut self.w)
+    }
+
+    fn f32s(&mut self, xs: &[f32]) -> std::io::Result<()> {
+        let w = self.tensor(xs.len() * 4)?;
+        for &x in xs {
+            w.write_all(&x.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    fn i32s(&mut self, xs: &[i32]) -> std::io::Result<()> {
+        let w = self.tensor(xs.len() * 4)?;
+        for &x in xs {
+            w.write_all(&x.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    fn i8_matrix(&mut self, m: &Matrix<i8>) -> std::io::Result<()> {
+        let w = self.tensor(m.len())?;
+        // i8 → u8 is a bit-preserving cast; write row-major as stored.
+        let mut buf = Vec::with_capacity(m.cols());
+        for row in m.iter_rows() {
+            buf.clear();
+            buf.extend(row.iter().map(|&v| v as u8));
+            w.write_all(&buf)?;
+        }
+        Ok(())
+    }
+
+    fn f32_matrix(&mut self, m: &Matrix<f32>) -> std::io::Result<()> {
+        self.f32s(m.as_slice())
+    }
+
+    fn linear(&mut self, lin: &QuantLinear) -> std::io::Result<()> {
+        let q = lin.weight();
+        self.i8_matrix(q.data())?;
+        self.f32s(q.row_scales())?;
+        self.i32s(q.row_sums())?;
+        self.f32s(lin.bias())
+    }
+
+    fn layernorm(&mut self, ln: &LayerNormParams) -> std::io::Result<()> {
+        self.f32s(&ln.gamma)?;
+        self.f32s(&ln.beta)?;
+        self.f32s(&[ln.eps])
+    }
+}
+
+/// Bytes the arena will occupy for `cfg` (including inter-tensor
+/// padding). Mirrors the save/load walk exactly.
+fn arena_len(cfg: &ModelConfig) -> usize {
+    let (d, d_ff, vocab, max_seq) = (cfg.d_model, cfg.d_ff, cfg.vocab, cfg.max_seq);
+    let mut off = 0usize;
+    let mut take = |bytes: usize| off = align_up(off, TENSOR_ALIGN) + bytes;
+    let ln = |take: &mut dyn FnMut(usize)| {
+        take(d * 4); // gamma
+        take(d * 4); // beta
+        take(4); // eps
+    };
+    let linear = |take: &mut dyn FnMut(usize), rows: usize, cols: usize| {
+        take(rows * cols); // i8 data
+        take(rows * 4); // scales
+        take(rows * 4); // sums
+        take(rows * 4); // bias
+    };
+    take(vocab * d * 4); // wte
+    take(max_seq * d * 4); // wpe
+    for _ in 0..cfg.layers {
+        ln(&mut take);
+        linear(&mut take, 3 * d, d);
+        linear(&mut take, d, d);
+        ln(&mut take);
+        linear(&mut take, d_ff, d);
+        linear(&mut take, d, d_ff);
+    }
+    ln(&mut take);
+    linear(&mut take, vocab, d);
+    off
+}
+
+/// Writes `weights` for `cfg` to `path` in the checkpoint format.
+///
+/// # Errors
+///
+/// Any I/O error from creating or writing the file.
+pub fn save(cfg: &ModelConfig, weights: &Gpt2Weights, path: &Path) -> std::io::Result<()> {
+    let name = cfg.name.as_bytes();
+    let file_len = ARENA_ALIGN as u64 + arena_len(cfg) as u64;
+
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    for dim in [
+        cfg.layers,
+        cfg.d_model,
+        cfg.heads,
+        cfg.d_ff,
+        cfg.vocab,
+        cfg.max_seq,
+    ] {
+        w.write_all(&(dim as u32).to_le_bytes())?;
+    }
+    w.write_all(&(name.len() as u32).to_le_bytes())?;
+    w.write_all(&file_len.to_le_bytes())?;
+    w.write_all(&(ARENA_ALIGN as u64).to_le_bytes())?;
+    w.write_all(name)?;
+    assert!(
+        HEADER_FIXED + name.len() <= ARENA_ALIGN,
+        "model name too long for the header page"
+    );
+
+    let mut aw = ArenaWriter {
+        off: HEADER_FIXED + name.len(),
+        w,
+    };
+    aw.pad_to(ARENA_ALIGN)?;
+    aw.off = 0; // arena-relative from here on
+
+    aw.f32_matrix(&weights.wte)?;
+    aw.f32_matrix(&weights.wpe)?;
+    for block in &weights.blocks {
+        aw.layernorm(&block.ln1)?;
+        aw.linear(&block.qkv)?;
+        aw.linear(&block.proj)?;
+        aw.layernorm(&block.ln2)?;
+        aw.linear(&block.fc1)?;
+        aw.linear(&block.fc2)?;
+    }
+    aw.layernorm(&weights.ln_f)?;
+    aw.linear(&weights.lm_head)?;
+    aw.w.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Load
+// ---------------------------------------------------------------------------
+
+/// Positional reader over the mapped arena; must consume tensors in the
+/// exact order [`save`] wrote them.
+struct ArenaCursor<'a> {
+    arena: &'a Arc<MappedArena>,
+    /// Absolute byte offset of the arena within the file.
+    base: usize,
+    /// Arena-relative offset of the next tensor.
+    off: usize,
+}
+
+impl ArenaCursor<'_> {
+    /// Aligns, bounds-checks, and consumes `bytes` — returning the
+    /// absolute file offset of the tensor.
+    fn tensor(&mut self, bytes: usize) -> Result<usize, CheckpointError> {
+        self.off = align_up(self.off, TENSOR_ALIGN);
+        let abs = self
+            .base
+            .checked_add(self.off)
+            .ok_or(CheckpointError::Corrupt("tensor offset overflows"))?;
+        let end = abs
+            .checked_add(bytes)
+            .ok_or(CheckpointError::Corrupt("tensor offset overflows"))?;
+        if end > self.arena.len() {
+            return Err(CheckpointError::Truncated {
+                expected: end as u64,
+                actual: self.arena.len() as u64,
+            });
+        }
+        self.off += bytes;
+        Ok(abs)
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, CheckpointError> {
+        let bytes = n
+            .checked_mul(4)
+            .ok_or(CheckpointError::Corrupt("tensor size overflows"))?;
+        let abs = self.tensor(bytes)?;
+        let raw = &self.arena.bytes()[abs..abs + bytes];
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    fn i32s(&mut self, n: usize) -> Result<Vec<i32>, CheckpointError> {
+        let bytes = n
+            .checked_mul(4)
+            .ok_or(CheckpointError::Corrupt("tensor size overflows"))?;
+        let abs = self.tensor(bytes)?;
+        let raw = &self.arena.bytes()[abs..abs + bytes];
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    fn i8_matrix(&mut self, rows: usize, cols: usize) -> Result<Matrix<i8>, CheckpointError> {
+        let bytes = rows
+            .checked_mul(cols)
+            .ok_or(CheckpointError::Corrupt("tensor size overflows"))?;
+        let abs = self.tensor(bytes)?;
+        Ok(Matrix::from_arena(rows, cols, self.arena, abs)?)
+    }
+
+    fn f32_matrix(&mut self, rows: usize, cols: usize) -> Result<Matrix<f32>, CheckpointError> {
+        let bytes = rows
+            .checked_mul(cols)
+            .and_then(|n| n.checked_mul(4))
+            .ok_or(CheckpointError::Corrupt("tensor size overflows"))?;
+        let abs = self.tensor(bytes)?;
+        Ok(Matrix::from_arena(rows, cols, self.arena, abs)?)
+    }
+
+    fn linear(&mut self, rows: usize, cols: usize) -> Result<QuantLinear, CheckpointError> {
+        let data = self.i8_matrix(rows, cols)?;
+        let scales = self.f32s(rows)?;
+        if !scales.iter().all(|&s| s > 0.0 && s.is_finite()) {
+            return Err(CheckpointError::Corrupt("non-positive quantization scale"));
+        }
+        let sums = self.i32s(rows)?;
+        let bias = self.f32s(rows)?;
+        let weight = QuantizedMatrix::from_parts(data, scales, sums);
+        QuantLinear::new(weight, bias)
+            .map_err(|_| CheckpointError::Corrupt("linear bias length mismatch"))
+    }
+
+    fn layernorm(&mut self, dim: usize) -> Result<LayerNormParams, CheckpointError> {
+        let gamma = self.f32s(dim)?;
+        let beta = self.f32s(dim)?;
+        let eps = self.f32s(1)?[0];
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(CheckpointError::Corrupt("layernorm eps must be positive"));
+        }
+        LayerNormParams::new(gamma, beta, eps)
+            .map_err(|_| CheckpointError::Corrupt("layernorm length mismatch"))
+    }
+}
+
+fn header_u32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+}
+
+fn header_u64(bytes: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Loads a checkpoint, returning its config and weights. The large
+/// matrices are zero-copy views into the file mapping.
+///
+/// # Errors
+///
+/// Any [`CheckpointError`]; this function never panics on malformed
+/// input.
+pub fn load(path: &Path) -> Result<(ModelConfig, Gpt2Weights), CheckpointError> {
+    let arena = MappedArena::map_file(path)?;
+    let bytes = arena.bytes();
+
+    if bytes.len() < HEADER_FIXED {
+        return Err(CheckpointError::Truncated {
+            expected: HEADER_FIXED as u64,
+            actual: bytes.len() as u64,
+        });
+    }
+    let mut magic = [0u8; 8];
+    magic.copy_from_slice(&bytes[..8]);
+    if magic != MAGIC {
+        return Err(CheckpointError::BadMagic(magic));
+    }
+    let version = header_u32(bytes, 8);
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion {
+            found: version,
+            expected: VERSION,
+        });
+    }
+    let layers = header_u32(bytes, 12) as usize;
+    let d_model = header_u32(bytes, 16) as usize;
+    let heads = header_u32(bytes, 20) as usize;
+    let d_ff = header_u32(bytes, 24) as usize;
+    let vocab = header_u32(bytes, 28) as usize;
+    let max_seq = header_u32(bytes, 32) as usize;
+    let name_len = header_u32(bytes, 36) as usize;
+    let file_len = header_u64(bytes, 40);
+    let arena_offset = header_u64(bytes, 48);
+
+    if file_len != bytes.len() as u64 {
+        return Err(CheckpointError::Truncated {
+            expected: file_len,
+            actual: bytes.len() as u64,
+        });
+    }
+    if !(arena_offset as usize).is_multiple_of(ARENA_ALIGN) {
+        return Err(CheckpointError::MisalignedArena {
+            offset: arena_offset,
+        });
+    }
+    if HEADER_FIXED + name_len > arena_offset as usize {
+        return Err(CheckpointError::Corrupt("name overruns the arena"));
+    }
+    if arena_offset > file_len {
+        return Err(CheckpointError::Corrupt("arena starts past end of file"));
+    }
+    if d_model == 0 || heads == 0 || vocab == 0 || max_seq == 0 || d_ff == 0 {
+        return Err(CheckpointError::Corrupt("zero model dimension"));
+    }
+    // Each layer occupies far more than one byte, so a layer count at or
+    // beyond the file length is definitely corrupt — reject it before
+    // looping (a hostile count must not drive allocation).
+    if layers as u64 >= file_len {
+        return Err(CheckpointError::Corrupt("layer count exceeds file size"));
+    }
+    if !d_model.is_multiple_of(heads) {
+        return Err(CheckpointError::Corrupt("heads must divide d_model"));
+    }
+    let name = std::str::from_utf8(&bytes[HEADER_FIXED..HEADER_FIXED + name_len])
+        .map_err(|_| CheckpointError::Corrupt("model name is not UTF-8"))?
+        .to_string();
+
+    let cfg = ModelConfig {
+        name,
+        layers,
+        d_model,
+        heads,
+        d_ff,
+        vocab,
+        max_seq,
+    };
+
+    let mut cur = ArenaCursor {
+        arena: &arena,
+        base: arena_offset as usize,
+        off: 0,
+    };
+    let wte = cur.f32_matrix(vocab, d_model)?;
+    let wpe = cur.f32_matrix(max_seq, d_model)?;
+    let mut blocks = Vec::new();
+    for _ in 0..layers {
+        let ln1 = cur.layernorm(d_model)?;
+        let qkv = cur.linear(3 * d_model, d_model)?;
+        let proj = cur.linear(d_model, d_model)?;
+        let ln2 = cur.layernorm(d_model)?;
+        let fc1 = cur.linear(d_ff, d_model)?;
+        let fc2 = cur.linear(d_model, d_ff)?;
+        blocks.push(BlockWeights {
+            ln1,
+            qkv,
+            proj,
+            ln2,
+            fc1,
+            fc2,
+        });
+    }
+    let ln_f = cur.layernorm(d_model)?;
+    let lm_head = cur.linear(vocab, d_model)?;
+
+    Ok((
+        cfg,
+        Gpt2Weights {
+            wte,
+            wpe,
+            blocks,
+            ln_f,
+            lm_head,
+        },
+    ))
+}
+
+/// [`load`] plus model construction — the one-call path from a
+/// checkpoint file to a ready [`Gpt2Model`].
+///
+/// # Errors
+///
+/// Any [`CheckpointError`] from [`load`].
+pub fn load_model(path: &Path) -> Result<Gpt2Model, CheckpointError> {
+    let (cfg, weights) = load(path)?;
+    Ok(Gpt2Model::from_weights(cfg, weights))
+}

@@ -11,7 +11,8 @@ use serde::{Deserialize, Serialize};
 use looplynx_tensor::norm::layernorm;
 use looplynx_tensor::quant::quantize_vec;
 
-use crate::block::{block_forward, block_forward_decode_batch};
+use crate::attention::AttnMode;
+use crate::block::{block_forward_batch_mode, block_forward_decode_batch_mode, block_forward_mode};
 use crate::config::ModelConfig;
 use crate::generate::Autoregressive;
 use crate::kv_cache::{KvCache, SlotKvArena};
@@ -27,6 +28,9 @@ pub struct Gpt2Model {
     weights: Gpt2Weights,
     cache: KvCache,
     pos: usize,
+    /// Attention kernel for every forward path (default
+    /// [`AttnMode::Materialized`], the bit-exact oracle).
+    attn_mode: AttnMode,
 }
 
 impl Gpt2Model {
@@ -52,12 +56,24 @@ impl Gpt2Model {
             weights,
             cache,
             pos: 0,
+            attn_mode: AttnMode::default(),
         }
     }
 
     /// The model configuration.
     pub fn config(&self) -> &ModelConfig {
         &self.cfg
+    }
+
+    /// The attention kernel this model evaluates.
+    pub fn attn_mode(&self) -> AttnMode {
+        self.attn_mode
+    }
+
+    /// Selects the attention kernel ([`AttnMode::Fused`] is opt-in and
+    /// close-to, not bit-identical with, the materialized default).
+    pub fn set_attn_mode(&mut self, mode: AttnMode) {
+        self.attn_mode = mode;
     }
 
     /// The weights (shared with the partitioned multi-node engine).
@@ -112,7 +128,14 @@ impl Gpt2Model {
         );
         let mut x = self.embed(token, self.pos);
         for (l, block) in self.weights.blocks.iter().enumerate() {
-            x = block_forward(&x, block, self.cache.layer_mut(l), &self.cfg, self.pos);
+            x = block_forward_mode(
+                &x,
+                block,
+                self.cache.layer_mut(l),
+                &self.cfg,
+                self.pos,
+                self.attn_mode,
+            );
         }
         self.pos += 1;
         if !want_logits {
@@ -165,12 +188,13 @@ impl Gpt2Model {
             .map(|(i, &t)| self.embed(t, start + i))
             .collect();
         for (l, block) in self.weights.blocks.iter().enumerate() {
-            xs = crate::block::block_forward_batch(
+            xs = block_forward_batch_mode(
                 &xs,
                 block,
                 self.cache.layer_mut(l),
                 &self.cfg,
                 start,
+                self.attn_mode,
             );
         }
         self.pos += prompt.len();
@@ -221,12 +245,13 @@ impl Gpt2Model {
             .map(|(i, &t)| self.embed(t, start + i))
             .collect();
         for (l, block) in self.weights.blocks.iter().enumerate() {
-            xs = crate::block::block_forward_batch(
+            xs = block_forward_batch_mode(
                 &xs,
                 block,
                 arena.layer_mut(slot, l),
                 &self.cfg,
                 start,
+                self.attn_mode,
             );
         }
         arena.advance(slot, prompt.len());
@@ -260,7 +285,15 @@ impl Gpt2Model {
             .map(|&(slot, token)| self.embed(token, arena.pos(slot)))
             .collect();
         for (l, block) in self.weights.blocks.iter().enumerate() {
-            xs = block_forward_decode_batch(&xs, block, arena, l, &slots, &self.cfg);
+            xs = block_forward_decode_batch_mode(
+                &xs,
+                block,
+                arena,
+                l,
+                &slots,
+                &self.cfg,
+                self.attn_mode,
+            );
         }
         for &slot in &slots {
             arena.advance(slot, 1);

@@ -15,6 +15,8 @@
 //!
 //! * [`config`] — model hyper-parameters and derived byte counts.
 //! * [`weights`] — seeded synthetic weight generation.
+//! * [`checkpoint`] — on-disk quantized checkpoints with a page-aligned
+//!   tensor arena, loaded zero-copy through `mmap`.
 //! * [`kv_cache`] — the quantized key/value cache, single-sequence
 //!   ([`kv_cache::KvCache`]) and multi-sequence
 //!   ([`kv_cache::SlotKvArena`], the continuous-batching slot arena).
@@ -50,6 +52,7 @@
 
 pub mod attention;
 pub mod block;
+pub mod checkpoint;
 pub mod config;
 pub mod eval;
 pub mod generate;

@@ -1,0 +1,232 @@
+//! Checkpoint test wall: round-trip fidelity and malformed-input
+//! robustness.
+//!
+//! The save→map→load cycle must reproduce the exact weights (and
+//! therefore bit-identical generations), keep the big matrices as
+//! zero-copy arena views, and turn every class of file corruption into a
+//! typed [`CheckpointError`] — never a panic.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use looplynx_model::checkpoint::{self, CheckpointError, ARENA_ALIGN, MAGIC, VERSION};
+use looplynx_model::config::ModelConfig;
+use looplynx_model::gpt2::Gpt2Model;
+use looplynx_model::sampler::Sampler;
+use looplynx_model::weights::Gpt2Weights;
+use looplynx_model::Autoregressive;
+
+/// Miri interprets every access (~100× slower), so the fuzz loops shrink
+/// their case counts under it — same convention as `paged_alloc_fuzz`.
+const CASES: u32 = if cfg!(miri) { 3 } else { 64 };
+
+fn tiny_cfg() -> ModelConfig {
+    ModelConfig {
+        name: "ckpt-tiny".into(),
+        layers: 2,
+        d_model: 32,
+        heads: 4,
+        d_ff: 64,
+        vocab: 50,
+        max_seq: 48,
+    }
+}
+
+/// Unique temp path per test (process id keeps parallel `cargo test`
+/// invocations apart; the name keeps tests within one process apart).
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("looplynx_ckpt_{}_{name}.bin", std::process::id()))
+}
+
+fn saved_bytes(cfg: &ModelConfig, weights: &Gpt2Weights, name: &str) -> (PathBuf, Vec<u8>) {
+    let path = tmp(name);
+    checkpoint::save(cfg, weights, &path).expect("save");
+    let bytes = std::fs::read(&path).expect("read back");
+    (path, bytes)
+}
+
+#[test]
+fn round_trip_preserves_config_and_weights() {
+    let cfg = tiny_cfg();
+    let weights = Gpt2Weights::synthetic(&cfg, 0xC0FFEE);
+    let path = tmp("round_trip");
+    checkpoint::save(&cfg, &weights, &path).expect("save");
+
+    let (loaded_cfg, loaded) = checkpoint::load(&path).expect("load");
+    assert_eq!(loaded_cfg, cfg);
+    assert_eq!(
+        loaded, weights,
+        "weights must survive the round trip exactly"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn round_trip_generations_are_bit_identical() {
+    let cfg = tiny_cfg();
+    let mut reference = Gpt2Model::synthetic(&cfg, 0x5EED);
+    let path = tmp("generate");
+    checkpoint::save(&cfg, reference.weights(), &path).expect("save");
+    let mut loaded = checkpoint::load_model(&path).expect("load");
+
+    let prompt = [3u32, 1, 4, 1, 5];
+    let a = reference.generate(&prompt, 12, &mut Sampler::greedy());
+    let b = loaded.generate(&prompt, 12, &mut Sampler::greedy());
+    assert_eq!(a, b, "loaded model must generate the exact same tokens");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn big_matrices_load_as_zero_copy_views() {
+    let cfg = tiny_cfg();
+    let weights = Gpt2Weights::synthetic(&cfg, 7);
+    let path = tmp("zero_copy");
+    checkpoint::save(&cfg, &weights, &path).expect("save");
+    let (_, loaded) = checkpoint::load(&path).expect("load");
+
+    assert!(loaded.wte.is_arena_view(), "wte should view the mapping");
+    assert!(loaded.wpe.is_arena_view(), "wpe should view the mapping");
+    for block in &loaded.blocks {
+        for lin in [&block.qkv, &block.proj, &block.fc1, &block.fc2] {
+            assert!(
+                lin.weight().data().is_arena_view(),
+                "int8 payloads should view the mapping"
+            );
+        }
+    }
+    assert!(loaded.lm_head.weight().data().is_arena_view());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn arena_starts_on_a_page_boundary() {
+    let cfg = tiny_cfg();
+    let weights = Gpt2Weights::synthetic(&cfg, 7);
+    let (path, bytes) = saved_bytes(&cfg, &weights, "layout");
+    assert_eq!(&bytes[..8], &MAGIC);
+    let arena_offset = u64::from_le_bytes(bytes[48..56].try_into().unwrap());
+    assert_eq!(arena_offset as usize % ARENA_ALIGN, 0);
+    let file_len = u64::from_le_bytes(bytes[40..48].try_into().unwrap());
+    assert_eq!(file_len, bytes.len() as u64);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_file_is_a_typed_error() {
+    let cfg = tiny_cfg();
+    let weights = Gpt2Weights::synthetic(&cfg, 1);
+    let (path, bytes) = saved_bytes(&cfg, &weights, "trunc");
+
+    // below the fixed header
+    std::fs::write(&path, &bytes[..20]).unwrap();
+    assert!(matches!(
+        checkpoint::load(&path),
+        Err(CheckpointError::Truncated { .. })
+    ));
+
+    // half the arena missing
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(matches!(
+        checkpoint::load(&path),
+        Err(CheckpointError::Truncated { .. })
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_magic_is_a_typed_error() {
+    let cfg = tiny_cfg();
+    let weights = Gpt2Weights::synthetic(&cfg, 2);
+    let (path, mut bytes) = saved_bytes(&cfg, &weights, "magic");
+    bytes[0] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        checkpoint::load(&path),
+        Err(CheckpointError::BadMagic(_))
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_version_is_a_typed_error() {
+    let cfg = tiny_cfg();
+    let weights = Gpt2Weights::synthetic(&cfg, 3);
+    let (path, mut bytes) = saved_bytes(&cfg, &weights, "version");
+    bytes[8..12].copy_from_slice(&(VERSION + 41).to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    match checkpoint::load(&path) {
+        Err(CheckpointError::BadVersion { found, expected }) => {
+            assert_eq!(found, VERSION + 41);
+            assert_eq!(expected, VERSION);
+        }
+        other => panic!("expected BadVersion, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn misaligned_arena_is_a_typed_error() {
+    let cfg = tiny_cfg();
+    let weights = Gpt2Weights::synthetic(&cfg, 4);
+    let (path, mut bytes) = saved_bytes(&cfg, &weights, "misaligned");
+    let off = ARENA_ALIGN as u64 + 64; // 64-aligned but not page-aligned
+    bytes[48..56].copy_from_slice(&off.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        checkpoint::load(&path),
+        Err(CheckpointError::MisalignedArena { .. })
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn garbage_file_is_a_typed_error() {
+    let path = tmp("garbage");
+    std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+    assert!(checkpoint::load(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_file_is_an_io_error() {
+    let path = tmp("does_not_exist");
+    std::fs::remove_file(&path).ok();
+    assert!(matches!(
+        checkpoint::load(&path),
+        Err(CheckpointError::Io(_))
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// Arbitrary single-byte corruption of the header page must yield
+    /// `Ok` or a typed error — never a panic, never an abort.
+    #[test]
+    fn corrupted_header_never_panics(pos in 0usize..ARENA_ALIGN, val in any::<u8>()) {
+        let cfg = tiny_cfg();
+        let weights = Gpt2Weights::synthetic(&cfg, 5);
+        let path = tmp(&format!("fuzz_{pos}_{val}"));
+        checkpoint::save(&cfg, &weights, &path).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[pos] = val;
+        std::fs::write(&path, &bytes).expect("write");
+        let _ = checkpoint::load(&path); // any Result is fine; panics fail the test
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Arbitrary truncation points must never panic either.
+    #[test]
+    fn arbitrary_truncation_never_panics(frac in 0.0f64..1.0) {
+        let cfg = tiny_cfg();
+        let weights = Gpt2Weights::synthetic(&cfg, 6);
+        let path = tmp(&format!("fuzztrunc_{}", (frac * 1e6) as u64));
+        checkpoint::save(&cfg, &weights, &path).expect("save");
+        let bytes = std::fs::read(&path).expect("read");
+        let keep = ((bytes.len() as f64) * frac) as usize;
+        std::fs::write(&path, &bytes[..keep]).expect("write");
+        prop_assert!(checkpoint::load(&path).is_err(), "shorter file must not load");
+        std::fs::remove_file(&path).ok();
+    }
+}

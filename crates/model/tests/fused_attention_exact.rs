@@ -1,0 +1,283 @@
+//! Fused online-softmax attention test wall.
+//!
+//! Two promises guard the fused path:
+//!
+//! 1. **Closeness** — against the materialized two-phase softmax oracle
+//!    (`attend_heads_segments_into`), the fused result agrees to tight
+//!    f32 tolerance for every head dim and KV length, including lengths
+//!    straddling [`FUSED_TILE`] and page boundaries.
+//! 2. **Bitwise invariance** — the fused arithmetic is a function of the
+//!    token sequence alone: page geometry, contiguous vs paged storage,
+//!    and head partitioning must not change a single bit.
+
+use proptest::prelude::*;
+
+use looplynx_model::attention::{
+    attend_all_fused, attend_heads_fused_segments_into, attend_heads_segments_into, AttnScratch,
+    FUSED_TILE,
+};
+use looplynx_model::kv_cache::LayerKvCache;
+use looplynx_model::paged::{PagedKvArena, PagedLayerView};
+use looplynx_tensor::quant::quantize_into;
+
+/// Proptest case count — shrunk under Miri (~100× interpreter slowdown).
+const CASES: u32 = if cfg!(miri) { 2 } else { 48 };
+
+/// Deterministic pseudo-random f32s in [-1, 1).
+fn arb_vec(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f32 / (1u64 << 53) as f32).mul_add(2.0, -1.0)
+        })
+        .collect()
+}
+
+/// Builds a single-layer paged arena with the given page size holding
+/// `tokens` seeded KV pairs across `heads` heads.
+fn paged_arena(
+    heads: usize,
+    d_head: usize,
+    tokens: usize,
+    page_tokens: usize,
+    seed: u64,
+) -> PagedKvArena {
+    let pages = tokens.div_ceil(page_tokens).max(1);
+    let mut arena = PagedKvArena::new(1, d_head, heads, 1, tokens.max(1), page_tokens, pages);
+    let slot = arena.acquire().expect("one slot");
+    assert_eq!(slot, 0);
+    arena.try_reserve(slot, tokens).expect("pool sized to fit");
+    let w = heads * d_head;
+    for t in 0..tokens {
+        let k = arb_vec(w, seed ^ (t as u64) << 1);
+        let v = arb_vec(w, seed ^ (t as u64) << 1 ^ 1);
+        arena.append_at(slot, 0, t, &k, &v);
+    }
+    arena.advance(slot, tokens);
+    arena
+}
+
+/// Scalar f64 reference: identical integer score dots, exact softmax, f64
+/// value mixing. The fused path must sit tight against this; the
+/// materialized path differs from it by its int8 *weight* requantization
+/// (a deliberate accuracy trade the fused path does not make), so it gets
+/// a quantization-sized tolerance.
+fn exact_oracle(
+    q: &[f32],
+    view: &PagedLayerView<'_>,
+    heads: usize,
+    d_head: usize,
+    tokens: usize,
+) -> Vec<f32> {
+    let inv_sqrt = 1.0 / (d_head as f32).sqrt();
+    let mut out = vec![0.0f32; heads * d_head];
+    let mut q8 = Vec::new();
+    for h in 0..heads {
+        let q_scale = quantize_into(&q[h * d_head..(h + 1) * d_head], &mut q8);
+        let mut scores: Vec<f32> = Vec::new();
+        let mut vals: Vec<(Vec<i8>, f32)> = Vec::new();
+        'walk: for seg in view.segments(h) {
+            for ((k, v), (&ks, &vs)) in seg
+                .keys
+                .chunks_exact(d_head)
+                .zip(seg.values.chunks_exact(d_head))
+                .zip(seg.key_scales.iter().zip(seg.value_scales))
+            {
+                if scores.len() == tokens {
+                    break 'walk;
+                }
+                let dot: i64 = q8.iter().zip(k).map(|(&a, &b)| a as i64 * b as i64).sum();
+                scores.push(dot as f32 * q_scale * ks * inv_sqrt);
+                vals.push((v.to_vec(), vs));
+            }
+        }
+        assert_eq!(scores.len(), tokens, "oracle saw fewer tokens than asked");
+        let m = scores
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, &s| a.max(s as f64));
+        let exps: Vec<f64> = scores.iter().map(|&s| (s as f64 - m).exp()).collect();
+        let sigma: f64 = exps.iter().sum();
+        let mut acc = vec![0.0f64; d_head];
+        for (e, (v, vs)) in exps.iter().zip(&vals) {
+            let w = e / sigma;
+            for (a, &x) in acc.iter_mut().zip(v) {
+                *a += w * x as f64 * *vs as f64;
+            }
+        }
+        for (o, a) in out[h * d_head..(h + 1) * d_head].iter_mut().zip(acc) {
+            *o = a as f32;
+        }
+    }
+    out
+}
+
+fn assert_close(a: &[f32], b: &[f32], abs_tol: f32, what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let tol = abs_tol.max(abs_tol * y.abs());
+        assert!((x - y).abs() <= tol, "{what}: element {i} got={x} want={y}");
+    }
+}
+
+fn assert_bits_equal(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{what}: element {i} {x} vs {y} (bits differ)"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// Fused matches the materialized oracle over paged storage for every
+    /// (head dim, KV length, page size) combination — lengths run past
+    /// the tile width so multi-tile rescaling is exercised.
+    #[test]
+    fn fused_close_to_materialized_over_pages(
+        d_head in prop::sample::select(vec![2usize, 4, 8, 16]),
+        heads in 1usize..4,
+        tokens in 1usize..150,
+        page_tokens in prop::sample::select(vec![3usize, 4, 16, 64]),
+        seed in any::<u64>(),
+    ) {
+        let arena = paged_arena(heads, d_head, tokens, page_tokens, seed);
+        let view = arena.layer_view(0, 0);
+        let q = arb_vec(heads * d_head, seed ^ 0xABCD);
+        let mut scratch = AttnScratch::new();
+
+        let exact = exact_oracle(&q, &view, heads, d_head, tokens);
+        let mut fused = Vec::new();
+        attend_heads_fused_segments_into(
+            &q, |h| view.segments(h), 0..heads, 0, d_head, tokens, &mut scratch, &mut fused,
+        );
+        // Fused keeps f32 softmax weights, so it must sit tight against
+        // the exact reference…
+        assert_close(&fused, &exact, 1e-3, "paged fused vs exact softmax");
+        // …while the materialized path's int8 weight requantization puts
+        // it within quantization noise of the same reference.
+        let mut materialized = Vec::new();
+        attend_heads_segments_into(
+            &q, |h| view.segments(h), 0..heads, 0, d_head, tokens, &mut scratch, &mut materialized,
+        );
+        assert_close(&materialized, &exact, 5e-2, "materialized vs exact softmax");
+    }
+
+    /// Page geometry must not change the fused output bitwise: the same
+    /// token sequence stored under different page sizes (and in a
+    /// contiguous cache) gives identical bits.
+    #[test]
+    fn fused_bitwise_invariant_across_page_geometry(
+        d_head in prop::sample::select(vec![2usize, 4, 8]),
+        heads in 1usize..3,
+        tokens in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let q = arb_vec(heads * d_head, seed ^ 0xABCD);
+        let mut scratch = AttnScratch::new();
+        let mut outputs: Vec<Vec<f32>> = Vec::new();
+
+        for page_tokens in [3usize, 7, 64] {
+            let arena = paged_arena(heads, d_head, tokens, page_tokens, seed);
+            let view = arena.layer_view(0, 0);
+            let mut out = Vec::new();
+            attend_heads_fused_segments_into(
+                &q, |h| view.segments(h), 0..heads, 0, d_head, tokens, &mut scratch, &mut out,
+            );
+            outputs.push(out);
+        }
+
+        // contiguous cache as a fourth geometry
+        let mut cache = LayerKvCache::new(d_head);
+        let w = heads * d_head;
+        for t in 0..tokens {
+            cache.append(
+                &arb_vec(w, seed ^ (t as u64) << 1),
+                &arb_vec(w, seed ^ (t as u64) << 1 ^ 1),
+            );
+        }
+        outputs.push(attend_all_fused(&q, &cache, heads, d_head, tokens));
+
+        for other in &outputs[1..] {
+            assert_bits_equal(&outputs[0], other, "page-geometry invariance");
+        }
+    }
+
+    /// Splitting the heads across "nodes" (head ranges with a cache
+    /// offset) and concatenating reproduces the full-width fused result
+    /// bitwise — the property the ring engine relies on.
+    #[test]
+    fn fused_bitwise_invariant_across_head_partition(
+        d_head in prop::sample::select(vec![2usize, 4, 8]),
+        tokens in 1usize..80,
+        seed in any::<u64>(),
+    ) {
+        let heads = 4usize;
+        let arena = paged_arena(heads, d_head, tokens, 16, seed);
+        let view = arena.layer_view(0, 0);
+        let q = arb_vec(heads * d_head, seed ^ 0xABCD);
+        let mut scratch = AttnScratch::new();
+
+        let mut full = Vec::new();
+        attend_heads_fused_segments_into(
+            &q, |h| view.segments(h), 0..heads, 0, d_head, tokens, &mut scratch, &mut full,
+        );
+
+        for split in [1usize, 2, 3] {
+            let mut stitched = Vec::new();
+            for range in [0..split, split..heads] {
+                let mut part = Vec::new();
+                attend_heads_fused_segments_into(
+                    &q[range.start * d_head..range.end * d_head],
+                    |h| view.segments(h),
+                    range.clone(),
+                    0,
+                    d_head,
+                    tokens,
+                    &mut scratch,
+                    &mut part,
+                );
+                stitched.extend_from_slice(&part);
+            }
+            assert_bits_equal(&full, &stitched, "head-partition invariance");
+        }
+    }
+}
+
+/// Exact tile-boundary lengths: one element under, at, and over each of
+/// the first two [`FUSED_TILE`] multiples.
+#[test]
+fn fused_handles_tile_boundaries() {
+    let (heads, d_head, seed) = (2usize, 8usize, 0xF00D_u64);
+    for tokens in [
+        1,
+        FUSED_TILE - 1,
+        FUSED_TILE,
+        FUSED_TILE + 1,
+        2 * FUSED_TILE,
+        2 * FUSED_TILE + 1,
+    ] {
+        let arena = paged_arena(heads, d_head, tokens, 16, seed);
+        let view = arena.layer_view(0, 0);
+        let q = arb_vec(heads * d_head, seed ^ 0xABCD);
+        let mut scratch = AttnScratch::new();
+        let mut fused = Vec::new();
+        attend_heads_fused_segments_into(
+            &q,
+            |h| view.segments(h),
+            0..heads,
+            0,
+            d_head,
+            tokens,
+            &mut scratch,
+            &mut fused,
+        );
+        let exact = exact_oracle(&q, &view, heads, d_head, tokens);
+        assert_close(&fused, &exact, 1e-3, &format!("tile boundary at {tokens}"));
+    }
+}

@@ -6,7 +6,9 @@
 //! hardware computes (`i8 × i8 → i32`, paper Section III-D). This crate
 //! provides that arithmetic as a standalone substrate:
 //!
-//! * [`matrix`] — row-major dense matrices.
+//! * [`matrix`] — row-major dense matrices (owned or zero-copy views
+//!   into a memory-mapped checkpoint arena).
+//! * [`mmap`] — read-only memory-mapped byte arenas backing those views.
 //! * [`quant`] — symmetric per-tensor / per-row quantization and
 //!   SmoothQuant-style activation-difficulty migration.
 //! * [`linear`] — integer GEMV/GEMM and the fused
@@ -42,6 +44,7 @@ pub mod activation;
 pub mod error;
 pub mod linear;
 pub mod matrix;
+pub mod mmap;
 pub mod norm;
 pub mod quant;
 pub mod simd;

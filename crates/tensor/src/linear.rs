@@ -96,7 +96,7 @@ pub fn gemm_i32(w: &Matrix<i8>, x: &Matrix<i8>) -> Result<Matrix<i32>, ShapeErro
         ));
     }
     let mut flat = vec![0i32; x.rows() * w.rows()];
-    gemm_tiled_flat(w, None, x, &mut flat);
+    gemm_tiled_flat(w, None, 0..w.rows(), x, &mut flat);
     Matrix::from_vec(x.rows(), w.rows(), flat)
 }
 
@@ -118,30 +118,44 @@ pub fn gemm_i32_into(w: &Matrix<i8>, x: &Matrix<i8>, out: &mut Vec<i32>) -> Resu
     }
     out.clear();
     out.resize(x.rows() * w.rows(), 0);
-    gemm_tiled_flat(w, None, x, out);
+    gemm_tiled_flat(w, None, 0..w.rows(), x, out);
     Ok(())
 }
 
-/// The shared tiled GEMM core writing into a flat `x.rows() × w.rows()`
-/// row-major buffer (shapes pre-validated and the buffer pre-sized by the
-/// public entry points). `w_row_sums` is the cached biased-dot correction
-/// when the caller holds a [`QuantizedMatrix`] (`None` computes it on the
-/// fly — only the raw-`Matrix` entry points pay that).
+/// The shared tiled GEMM core over weight rows `row_range`, writing into
+/// a flat `x.rows() × row_range.len()` row-major buffer with column `0`
+/// holding weight row `row_range.start` (shapes pre-validated and the
+/// buffer pre-sized by the public entry points). `w_row_sums` is the
+/// cached biased-dot correction when the caller holds a
+/// [`QuantizedMatrix`], indexed by **absolute** weight row (`None`
+/// computes it on the fly — only the raw-`Matrix` entry points pay
+/// that). The range form is what batch-row sharding partitions: each
+/// shard computes a disjoint slab of output columns, and stitching the
+/// slabs reproduces the full GEMM bit-for-bit because no dot product is
+/// ever split.
 ///
-/// Multi-row activations run in groups of up to 8 through a batched MAC
-/// kernel — the biased `vpdpbusd` path
-/// ([`crate::simd::dot_biased_i8_i32_batch`], exact for all i8) on VNNI
-/// hardware, else the `vpmaddubsw` path ([`crate::simd::dot_i8_i32_batch`],
+/// On VNNI hardware, multi-row activations run through the
+/// register-blocked 4×4 tile ([`crate::simd::dot_biased_i8_i32_tile4x4`],
+/// exact for all i8) with the per-row biased batch kernel
+/// ([`crate::simd::dot_biased_i8_i32_batch`]) covering ragged edges;
+/// without VNNI the `vpmaddubsw` path ([`crate::simd::dot_i8_i32_batch`],
 /// exact for activations above `-128`, which quantized activations
 /// always are — raw inputs containing `-128` fall back per row). Single
 /// rows take the per-row [`dot_i8_i32`] GEMV path. Integer accumulation
 /// makes every grouping bit-identical.
-fn gemm_tiled_flat(w: &Matrix<i8>, w_row_sums: Option<&[i32]>, x: &Matrix<i8>, out: &mut [i32]) {
+fn gemm_tiled_flat(
+    w: &Matrix<i8>,
+    w_row_sums: Option<&[i32]>,
+    row_range: std::ops::Range<usize>,
+    x: &Matrix<i8>,
+    out: &mut [i32],
+) {
     use crate::simd::{bias_to_unsigned, row_sum_i8, vnni512_available};
 
     let rows = x.rows();
     let width = x.cols();
-    debug_assert_eq!(out.len(), rows * w.rows());
+    debug_assert!(row_range.start <= row_range.end && row_range.end <= w.rows());
+    debug_assert_eq!(out.len(), rows * row_range.len());
 
     let path = if rows > 1 && vnni512_available() && width >= 64 {
         Path::Vnni
@@ -174,7 +188,7 @@ fn gemm_tiled_flat(w: &Matrix<i8>, w_row_sums: Option<&[i32]>, x: &Matrix<i8>, o
         } else {
             &[]
         };
-        gemm_tiled_blocks(w, x, out, &path, &xu, sums);
+        gemm_tiled_blocks(w, row_range, x, out, &path, &xu, sums);
     });
 }
 
@@ -189,29 +203,40 @@ enum Path {
 }
 
 /// The tiled block/group loop of [`gemm_tiled_flat`] (split out so the
-/// thread-local rebias buffer can be borrowed across it).
+/// thread-local rebias buffer can be borrowed across it). `out` columns
+/// are relative to `row_range.start`; `sums` is indexed by absolute
+/// weight row.
 fn gemm_tiled_blocks(
     w: &Matrix<i8>,
+    row_range: std::ops::Range<usize>,
     x: &Matrix<i8>,
     out: &mut [i32],
     path: &Path,
     xu: &[u8],
     sums: &[i32],
 ) {
-    use crate::simd::{dot_biased_i8_i32_batch, dot_i8_i32_batch};
+    use crate::simd::{dot_biased_i8_i32_batch, dot_biased_i8_i32_tile4x4, dot_i8_i32_batch};
 
     let rows = x.rows();
-    let cols = w.rows();
+    let row0 = row_range.start;
+    let cols = row_range.len();
     let width = x.cols();
 
-    let mut block_start = 0;
-    while block_start < cols {
-        let block_end = (block_start + GEMM_ROW_BLOCK).min(cols);
+    let mut block_start = row_range.start;
+    while block_start < row_range.end {
+        let block_end = (block_start + GEMM_ROW_BLOCK).min(row_range.end);
         let mut t = 0;
         while t < rows {
             let group = match path {
                 Path::PerRow => 1,
-                _ => match rows - t {
+                // The VNNI tile is 4 activation rows wide; larger groups
+                // would spill its 16 accumulators.
+                Path::Vnni => match rows - t {
+                    n if n >= 4 => 4,
+                    n if n >= 2 => 2,
+                    _ => 1,
+                },
+                Path::Maddubs => match rows - t {
                     n if n >= 8 => 8,
                     n if n >= 4 => 4,
                     n if n >= 2 => 2,
@@ -219,23 +244,25 @@ fn gemm_tiled_blocks(
                 },
             };
             match (path, group) {
-                (Path::Vnni, 8) => {
-                    let rows8: [&[u8]; 8] =
-                        std::array::from_fn(|k| &xu[(t + k) * width..(t + k + 1) * width]);
-                    for r in block_start..block_end {
-                        let o = dot_biased_i8_i32_batch::<8>(w.row(r), sums[r], rows8);
-                        for (k, v) in o.into_iter().enumerate() {
-                            out[(t + k) * cols + r] = v;
-                        }
-                    }
-                }
                 (Path::Vnni, 4) => {
                     let rows4: [&[u8]; 4] =
                         std::array::from_fn(|k| &xu[(t + k) * width..(t + k + 1) * width]);
-                    for r in block_start..block_end {
+                    let mut r = block_start;
+                    while r + 4 <= block_end {
+                        let wrows: [&[i8]; 4] = std::array::from_fn(|k| w.row(r + k));
+                        let wsums: [i32; 4] = std::array::from_fn(|k| sums[r + k]);
+                        let o = dot_biased_i8_i32_tile4x4(wrows, wsums, rows4);
+                        for (k, orow) in o.into_iter().enumerate() {
+                            for (tt, v) in orow.into_iter().enumerate() {
+                                out[(t + tt) * cols + (r + k - row0)] = v;
+                            }
+                        }
+                        r += 4;
+                    }
+                    for r in r..block_end {
                         let o = dot_biased_i8_i32_batch::<4>(w.row(r), sums[r], rows4);
                         for (k, v) in o.into_iter().enumerate() {
-                            out[(t + k) * cols + r] = v;
+                            out[(t + k) * cols + (r - row0)] = v;
                         }
                     }
                 }
@@ -245,7 +272,7 @@ fn gemm_tiled_blocks(
                     for r in block_start..block_end {
                         let o = dot_biased_i8_i32_batch::<2>(w.row(r), sums[r], rows2);
                         for (k, v) in o.into_iter().enumerate() {
-                            out[(t + k) * cols + r] = v;
+                            out[(t + k) * cols + (r - row0)] = v;
                         }
                     }
                 }
@@ -253,7 +280,7 @@ fn gemm_tiled_blocks(
                     let rows1: [&[u8]; 1] = [&xu[t * width..(t + 1) * width]];
                     for r in block_start..block_end {
                         let o = dot_biased_i8_i32_batch::<1>(w.row(r), sums[r], rows1);
-                        out[t * cols + r] = o[0];
+                        out[t * cols + (r - row0)] = o[0];
                     }
                 }
                 (Path::Maddubs, 8) => {
@@ -261,7 +288,7 @@ fn gemm_tiled_blocks(
                     for r in block_start..block_end {
                         let o = dot_i8_i32_batch::<8>(w.row(r), rows8);
                         for (k, v) in o.into_iter().enumerate() {
-                            out[(t + k) * cols + r] = v;
+                            out[(t + k) * cols + (r - row0)] = v;
                         }
                     }
                 }
@@ -270,7 +297,7 @@ fn gemm_tiled_blocks(
                     for r in block_start..block_end {
                         let o = dot_i8_i32_batch::<4>(w.row(r), rows4);
                         for (k, v) in o.into_iter().enumerate() {
-                            out[(t + k) * cols + r] = v;
+                            out[(t + k) * cols + (r - row0)] = v;
                         }
                     }
                 }
@@ -279,13 +306,13 @@ fn gemm_tiled_blocks(
                     for r in block_start..block_end {
                         let o = dot_i8_i32_batch::<2>(w.row(r), rows2);
                         for (k, v) in o.into_iter().enumerate() {
-                            out[(t + k) * cols + r] = v;
+                            out[(t + k) * cols + (r - row0)] = v;
                         }
                     }
                 }
                 _ => {
                     for r in block_start..block_end {
-                        out[t * cols + r] = dot_i8_i32(w.row(r), x.row(t));
+                        out[t * cols + (r - row0)] = dot_i8_i32(w.row(r), x.row(t));
                     }
                 }
             }
@@ -473,6 +500,7 @@ impl QuantLinear {
         gemm_tiled_flat(
             self.weight.data(),
             Some(self.weight.row_sums()),
+            0..self.out_features(),
             x,
             &mut flat,
         );
@@ -512,21 +540,57 @@ impl QuantLinear {
         acc: &mut Vec<i32>,
         out: &mut Vec<f32>,
     ) {
+        self.forward_batch_scaled_range_into(x, x_scales, 0..self.out_features(), acc, out);
+    }
+
+    /// [`QuantLinear::forward_batch_scaled_into`] restricted to output
+    /// rows `rows` — the batch-row-sharding entry point. `out` holds
+    /// `x.rows() × rows.len()` values with column `0` mapping to weight
+    /// row `rows.start`; stitching each shard's slab side by side
+    /// reproduces the full forward bit-for-bit (no dot product is ever
+    /// split, and the dequant epilogue is per-element).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_features()`,
+    /// `x_scales.len() != x.rows()`, or `rows` falls outside
+    /// `0..out_features()`.
+    pub fn forward_batch_scaled_range_into(
+        &self,
+        x: &Matrix<i8>,
+        x_scales: &[f32],
+        rows: std::ops::Range<usize>,
+        acc: &mut Vec<i32>,
+        out: &mut Vec<f32>,
+    ) {
         assert_eq!(x_scales.len(), x.rows(), "one scale per token row");
         assert_eq!(x.cols(), self.in_features(), "gemm shape");
+        assert!(
+            rows.start <= rows.end && rows.end <= self.out_features(),
+            "row range {rows:?} outside 0..{}",
+            self.out_features()
+        );
+        let cols = rows.len();
         acc.clear();
-        acc.resize(x.rows() * self.out_features(), 0);
-        gemm_tiled_flat(self.weight.data(), Some(self.weight.row_sums()), x, acc);
-        let cols = self.out_features();
+        acc.resize(x.rows() * cols, 0);
+        gemm_tiled_flat(
+            self.weight.data(),
+            Some(self.weight.row_sums()),
+            rows.clone(),
+            x,
+            acc,
+        );
         out.clear();
         out.resize(x.rows() * cols, 0.0);
+        let scales = &self.weight.row_scales()[rows.clone()];
+        let biases = &self.bias[rows];
         for (t, &x_scale) in x_scales.iter().enumerate() {
             let arow = &acc[t * cols..(t + 1) * cols];
             for (((o, &a), &ws), &b) in out[t * cols..(t + 1) * cols]
                 .iter_mut()
                 .zip(arow)
-                .zip(self.weight.row_scales())
-                .zip(&self.bias)
+                .zip(scales)
+                .zip(biases)
             {
                 *o = a as f32 * ws * x_scale + b;
             }

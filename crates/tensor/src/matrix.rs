@@ -4,12 +4,139 @@
 //! channel's dot product is a contiguous burst — [`Matrix::row`] is therefore
 //! the natural unit both for the functional math and for DMA byte
 //! accounting.
+//!
+//! A matrix either owns its buffer or is a zero-copy view into a
+//! memory-mapped checkpoint arena ([`Matrix::from_arena`]). The two are
+//! indistinguishable through the read API; the first mutation of a mapped
+//! matrix silently copies it to the heap (weights are never mutated at
+//! inference time, so the hot path stays zero-copy).
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::ShapeError;
+use crate::mmap::{ArenaError, MappedArena};
+
+/// Marker for element types that may be reinterpreted from raw mapped
+/// bytes: no padding, no invalid bit patterns, no drop glue.
+///
+/// # Safety
+///
+/// Implementors must guarantee every possible byte pattern of
+/// `size_of::<Self>()` bytes is a valid value of `Self`. That holds for
+/// the primitive numeric types implemented here and essentially nothing
+/// else; do not implement this for structs or enums.
+pub unsafe trait Pod: Copy + 'static {}
+
+// SAFETY: every bit pattern is a valid value for each primitive numeric
+// type below; none has padding or drop glue.
+unsafe impl Pod for i8 {}
+// SAFETY: see the i8 impl.
+unsafe impl Pod for u8 {}
+// SAFETY: see the i8 impl.
+unsafe impl Pod for i16 {}
+// SAFETY: see the i8 impl.
+unsafe impl Pod for u16 {}
+// SAFETY: see the i8 impl.
+unsafe impl Pod for i32 {}
+// SAFETY: see the i8 impl.
+unsafe impl Pod for u32 {}
+// SAFETY: see the i8 impl.
+unsafe impl Pod for i64 {}
+// SAFETY: see the i8 impl.
+unsafe impl Pod for u64 {}
+// SAFETY: every 32-bit pattern is a valid f32 (NaNs included).
+unsafe impl Pod for f32 {}
+// SAFETY: every 64-bit pattern is a valid f64 (NaNs included).
+unsafe impl Pod for f64 {}
+
+/// Backing storage: an owned buffer, or a typed window into a shared
+/// read-only arena.
+#[derive(Debug, Serialize, Deserialize)]
+enum Buf<T> {
+    /// Heap-owned elements.
+    Owned(Vec<T>),
+    /// `len` elements starting at `ptr`, which points into `arena`'s
+    /// bytes. Invariants (established by [`Matrix::from_arena`], the sole
+    /// constructor of this variant): the range is in bounds, `ptr` is
+    /// aligned for `T`, `T: Pod`, and the arena is never written.
+    Mapped {
+        /// Keeps the mapping alive for as long as this view exists.
+        arena: Arc<MappedArena>,
+        /// First element (aligned, in bounds — see variant docs).
+        ptr: *const T,
+        /// Element count.
+        len: usize,
+    },
+}
+
+// SAFETY: `Owned` is a Vec (Send iff T: Send); `Mapped` is an immutable
+// view into a read-only arena that is itself Send + Sync, and the raw
+// pointer is never written through, so moving the view across threads
+// cannot race.
+unsafe impl<T: Send> Send for Buf<T> {}
+// SAFETY: shared access only ever reads — the arena is `PROT_READ` and
+// `Owned` mutation requires `&mut self` — so `&Buf` is race-free.
+unsafe impl<T: Sync> Sync for Buf<T> {}
+
+impl<T> Buf<T> {
+    fn as_slice(&self) -> &[T] {
+        match self {
+            Buf::Owned(v) => v,
+            Buf::Mapped { ptr, len, .. } => {
+                // SAFETY: the variant invariants guarantee `ptr..ptr+len`
+                // is an in-bounds, aligned, initialized range of `T: Pod`
+                // values inside the arena, which the `arena` Arc keeps
+                // alive for the lifetime of `&self`.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Buf::Owned(v) => v.len(),
+            Buf::Mapped { len, .. } => *len,
+        }
+    }
+}
+
+impl<T: Copy> Buf<T> {
+    /// Copy-on-write escape hatch: returns the owned buffer, copying out
+    /// of the arena first if this is a mapped view.
+    fn make_owned(&mut self) -> &mut Vec<T> {
+        if let Buf::Mapped { .. } = self {
+            *self = Buf::Owned(self.as_slice().to_vec());
+        }
+        match self {
+            Buf::Owned(v) => v,
+            // make_owned above replaced the variant
+            Buf::Mapped { .. } => unreachable!("just converted to Owned"),
+        }
+    }
+
+    fn into_vec(self) -> Vec<T> {
+        match self {
+            Buf::Owned(v) => v,
+            Buf::Mapped { .. } => self.as_slice().to_vec(),
+        }
+    }
+}
+
+impl<T: Clone> Clone for Buf<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Buf::Owned(v) => Buf::Owned(v.clone()),
+            Buf::Mapped { arena, ptr, len } => Buf::Mapped {
+                arena: Arc::clone(arena),
+                ptr: *ptr,
+                len: *len,
+            },
+        }
+    }
+}
 
 /// A dense row-major `rows × cols` matrix.
 ///
@@ -22,11 +149,67 @@ use crate::error::ShapeError;
 /// assert_eq!(m.row(1), &[3, 4, 5]);
 /// assert_eq!(m.get(0, 2), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Matrix<T> {
     rows: usize,
     cols: usize,
-    data: Vec<T>,
+    data: Buf<T>,
+}
+
+impl<T: PartialEq> PartialEq for Matrix<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.data.as_slice() == other.data.as_slice()
+    }
+}
+
+impl<T: Eq> Eq for Matrix<T> {}
+
+impl<T: Pod> Matrix<T> {
+    /// Builds a zero-copy view of `rows × cols` elements starting
+    /// `byte_offset` bytes into `arena`. The matrix holds a reference to
+    /// the arena, so the mapping stays alive as long as any view does.
+    ///
+    /// # Errors
+    ///
+    /// [`ArenaError::OutOfBounds`] if the element range overruns the
+    /// arena, [`ArenaError::Misaligned`] if `byte_offset` lands on an
+    /// address not aligned for `T`.
+    pub fn from_arena(
+        rows: usize,
+        cols: usize,
+        arena: &Arc<MappedArena>,
+        byte_offset: usize,
+    ) -> Result<Self, ArenaError> {
+        let len = rows.checked_mul(cols).ok_or(ArenaError::OutOfBounds {
+            end: usize::MAX,
+            len: arena.len(),
+        })?;
+        let byte_len =
+            len.checked_mul(std::mem::size_of::<T>())
+                .ok_or(ArenaError::OutOfBounds {
+                    end: usize::MAX,
+                    len: arena.len(),
+                })?;
+        arena.check_range(byte_offset, byte_len, std::mem::align_of::<T>())?;
+        let ptr = arena.bytes()[byte_offset..].as_ptr() as *const T;
+        Ok(Matrix {
+            rows,
+            cols,
+            data: Buf::Mapped {
+                arena: Arc::clone(arena),
+                ptr,
+                len,
+            },
+        })
+    }
+
+    /// Whether this matrix still reads straight out of a checkpoint arena
+    /// (false once a mutation has forced the copy-on-write).
+    pub fn is_arena_view(&self) -> bool {
+        matches!(self.data, Buf::Mapped { .. })
+    }
 }
 
 impl<T: Copy + Default> Matrix<T> {
@@ -35,7 +218,7 @@ impl<T: Copy + Default> Matrix<T> {
         Matrix {
             rows,
             cols,
-            data: vec![T::default(); rows * cols],
+            data: Buf::Owned(vec![T::default(); rows * cols]),
         }
     }
 
@@ -47,7 +230,11 @@ impl<T: Copy + Default> Matrix<T> {
                 data.push(f(r, c));
             }
         }
-        Matrix { rows, cols, data }
+        Matrix {
+            rows,
+            cols,
+            data: Buf::Owned(data),
+        }
     }
 
     /// Wraps an existing row-major buffer.
@@ -59,7 +246,11 @@ impl<T: Copy + Default> Matrix<T> {
         if data.len() != rows * cols {
             return Err(ShapeError::new("from_vec", (rows, cols), (1, data.len())));
         }
-        Ok(Matrix { rows, cols, data })
+        Ok(Matrix {
+            rows,
+            cols,
+            data: Buf::Owned(data),
+        })
     }
 
     /// Number of rows.
@@ -84,7 +275,7 @@ impl<T: Copy + Default> Matrix<T> {
 
     /// Whether the matrix has no elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.data.len() == 0
     }
 
     /// Element at `(r, c)`.
@@ -97,7 +288,7 @@ impl<T: Copy + Default> Matrix<T> {
             r < self.rows && c < self.cols,
             "index ({r},{c}) out of bounds"
         );
-        self.data[r * self.cols + c]
+        self.data.as_slice()[r * self.cols + c]
     }
 
     /// Sets element at `(r, c)`.
@@ -110,7 +301,8 @@ impl<T: Copy + Default> Matrix<T> {
             r < self.rows && c < self.cols,
             "index ({r},{c}) out of bounds"
         );
-        self.data[r * self.cols + c] = v;
+        let idx = r * self.cols + c;
+        self.data.make_owned()[idx] = v;
     }
 
     /// Row `r` as a contiguous slice.
@@ -120,22 +312,23 @@ impl<T: Copy + Default> Matrix<T> {
     /// Panics if `r >= rows`.
     pub fn row(&self, r: usize) -> &[T] {
         assert!(r < self.rows, "row {r} out of bounds");
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        &self.data.as_slice()[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Mutable row `r`.
+    /// Mutable row `r` (copies a mapped matrix to the heap first).
     ///
     /// # Panics
     ///
     /// Panics if `r >= rows`.
     pub fn row_mut(&mut self, r: usize) -> &mut [T] {
         assert!(r < self.rows, "row {r} out of bounds");
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
+        let (start, end) = (r * self.cols, (r + 1) * self.cols);
+        &mut self.data.make_owned()[start..end]
     }
 
     /// Iterator over rows.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[T]> {
-        self.data.chunks_exact(self.cols)
+        self.data.as_slice().chunks_exact(self.cols)
     }
 
     /// Copies rows `[start, end)` into a new matrix.
@@ -151,7 +344,7 @@ impl<T: Copy + Default> Matrix<T> {
         Matrix {
             rows: end - start,
             cols: self.cols,
-            data: self.data[start * self.cols..end * self.cols].to_vec(),
+            data: Buf::Owned(self.data.as_slice()[start * self.cols..end * self.cols].to_vec()),
         }
     }
 
@@ -161,23 +354,28 @@ impl<T: Copy + Default> Matrix<T> {
     /// destination column) instead of per-element bounds-checked `get`
     /// calls — the source side, at least, streams contiguously.
     pub fn transposed(&self) -> Matrix<T> {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let mut data = vec![T::default(); self.rows * self.cols];
         for (r, row) in self.iter_rows().enumerate() {
             for (c, &v) in row.iter().enumerate() {
-                out.data[c * self.rows + r] = v;
+                data[c * self.rows + r] = v;
             }
         }
-        out
+        Matrix {
+            rows: self.cols,
+            cols: self.rows,
+            data: Buf::Owned(data),
+        }
     }
 
     /// Underlying row-major buffer.
     pub fn as_slice(&self) -> &[T] {
-        &self.data
+        self.data.as_slice()
     }
 
-    /// Consumes the matrix, returning its buffer.
+    /// Consumes the matrix, returning its buffer (copied to the heap if
+    /// it was a mapped view).
     pub fn into_vec(self) -> Vec<T> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Vertically stacks `self` on top of `other`.
@@ -193,12 +391,12 @@ impl<T: Copy + Default> Matrix<T> {
                 (other.rows, other.cols),
             ));
         }
-        let mut data = self.data.clone();
-        data.extend_from_slice(&other.data);
+        let mut data = self.data.as_slice().to_vec();
+        data.extend_from_slice(other.data.as_slice());
         Ok(Matrix {
             rows: self.rows + other.rows,
             cols: self.cols,
-            data,
+            data: Buf::Owned(data),
         })
     }
 }
@@ -229,7 +427,7 @@ impl Matrix<f32> {
     /// Panics if `factors.len() != cols`.
     pub fn scale_cols(&mut self, factors: &[f32]) {
         assert_eq!(factors.len(), self.cols, "one factor per column");
-        for row in self.data.chunks_exact_mut(self.cols) {
+        for row in self.data.make_owned().chunks_exact_mut(self.cols) {
             for (x, &f) in row.iter_mut().zip(factors) {
                 *x *= f;
             }
@@ -344,5 +542,48 @@ mod tests {
         let s = m.to_string();
         assert!(s.contains("[10x10]"));
         assert!(s.contains("..."));
+    }
+
+    #[test]
+    fn arena_view_reads_without_copying() {
+        let arena = MappedArena::from_bytes((0u8..24).map(|b| b as i8 as u8).collect());
+        let m = Matrix::<i8>::from_arena(4, 6, &arena, 0).unwrap();
+        assert!(m.is_arena_view());
+        assert_eq!(m.get(1, 2), 8);
+        assert_eq!(m.row(3), &[18, 19, 20, 21, 22, 23]);
+        // equality across backings
+        let owned = Matrix::from_fn(4, 6, |r, c| (r * 6 + c) as i8);
+        assert_eq!(m, owned);
+    }
+
+    #[test]
+    fn arena_view_copy_on_write() {
+        let arena = MappedArena::from_bytes(vec![1, 2, 3, 4]);
+        let mut m = Matrix::<i8>::from_arena(2, 2, &arena, 0).unwrap();
+        m.set(0, 0, 9);
+        assert!(!m.is_arena_view(), "mutation must detach from the arena");
+        assert_eq!(m.as_slice(), &[9, 2, 3, 4]);
+        // arena itself is untouched
+        assert_eq!(arena.bytes(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn arena_view_rejects_overrun_and_misalignment() {
+        let arena = MappedArena::from_bytes(vec![0; 16]);
+        assert!(Matrix::<i8>::from_arena(4, 5, &arena, 0).is_err());
+        assert!(Matrix::<i8>::from_arena(usize::MAX, 2, &arena, 0).is_err());
+        // f32 needs 4-alignment; some offset in 1..=4 is misaligned.
+        let misaligned = (1..=4).any(|off| Matrix::<f32>::from_arena(1, 2, &arena, off).is_err());
+        assert!(misaligned);
+    }
+
+    #[test]
+    fn arena_view_clone_shares_mapping() {
+        let arena = MappedArena::from_bytes(vec![5; 8]);
+        let m = Matrix::<i8>::from_arena(2, 4, &arena, 0).unwrap();
+        let c = m.clone();
+        assert!(c.is_arena_view());
+        assert_eq!(c, m);
+        assert_eq!(c.into_vec(), vec![5; 8]);
     }
 }

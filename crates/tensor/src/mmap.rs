@@ -1,0 +1,331 @@
+//! Read-only memory-mapped byte arenas for zero-copy weight loading.
+//!
+//! Quantized checkpoints (see `looplynx-model`'s `checkpoint` module) store
+//! their tensor payload in one page-aligned arena. Mapping that arena with
+//! `mmap(2)` instead of `read(2)` means model load touches no weight bytes
+//! up front: pages fault in lazily as the first decode step streams each
+//! matrix, and the page cache — not the process heap — owns the resident
+//! copy. [`Matrix::from_arena`](crate::matrix::Matrix::from_arena) builds
+//! zero-copy matrix views on top of an [`Arc<MappedArena>`].
+//!
+//! The crate vendors no `libc`, so the two syscall wrappers are declared
+//! by hand behind `#[cfg(unix)]`; every other platform (and any `mmap`
+//! failure) falls back to a plain heap read, which is bit-identical, just
+//! not lazy.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Errors from carving a typed slice out of an arena.
+///
+/// These are programming/corruption errors surfaced as values (not panics)
+/// so checkpoint loaders can map them to their own typed errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArenaError {
+    /// The requested byte range runs past the end of the arena.
+    OutOfBounds {
+        /// Requested end offset (bytes).
+        end: usize,
+        /// Arena length (bytes).
+        len: usize,
+    },
+    /// The start of the range is not aligned for the element type.
+    Misaligned {
+        /// Requested start offset (bytes).
+        offset: usize,
+        /// Required alignment (bytes).
+        align: usize,
+    },
+}
+
+impl std::fmt::Display for ArenaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArenaError::OutOfBounds { end, len } => {
+                write!(f, "arena slice ends at byte {end} but arena holds {len}")
+            }
+            ArenaError::Misaligned { offset, align } => {
+                write!(f, "arena offset {offset} not aligned to {align}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArenaError {}
+
+#[cfg(unix)]
+mod sys {
+    //! Hand-declared prototypes for the two syscalls we need. The
+    //! constants match Linux and the BSDs (including macOS) on 64-bit
+    //! targets, which is every `unix` target this workspace builds for.
+    use std::os::raw::{c_int, c_void};
+
+    /// Pages may be read.
+    pub const PROT_READ: c_int = 1;
+    /// Changes are private (we never write, but private is the
+    /// conservative choice: a concurrent writer cannot alter our view
+    /// beyond what the OS already permits for file-backed maps).
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// How the arena's bytes are backed.
+#[derive(Debug)]
+enum Backing {
+    /// A private read-only file mapping; unmapped on drop.
+    #[cfg(unix)]
+    Mapped {
+        /// Page-aligned base address returned by `mmap`.
+        ptr: *const u8,
+        /// Mapping length in bytes (non-zero).
+        len: usize,
+    },
+    /// Plain heap bytes (fallback path and `from_bytes`).
+    Heap(Vec<u8>),
+}
+
+/// An immutable byte arena, memory-mapped when the platform allows it.
+///
+/// The arena is shared via [`Arc`] by every matrix view carved out of it,
+/// so the mapping outlives all borrows of its bytes. The mapped variant is
+/// never written through — `PROT_READ` makes the kernel enforce what the
+/// type system promises.
+///
+/// # Example
+///
+/// ```
+/// use looplynx_tensor::mmap::MappedArena;
+///
+/// let arena = MappedArena::from_bytes(vec![1, 2, 3, 4]);
+/// assert_eq!(arena.bytes(), &[1, 2, 3, 4]);
+/// ```
+#[derive(Debug)]
+pub struct MappedArena {
+    backing: Backing,
+}
+
+// SAFETY: the mapped variant is a private, read-only mapping that is never
+// mutated through `ptr` (no `PROT_WRITE`), so shared references to its
+// bytes are valid from any thread; the heap variant is an ordinary Vec.
+unsafe impl Send for MappedArena {}
+// SAFETY: see the `Send` justification — the arena is immutable after
+// construction, so concurrent `&self` access cannot race.
+unsafe impl Sync for MappedArena {}
+
+impl MappedArena {
+    /// Maps `path` read-only, falling back to a heap read if `mmap` is
+    /// unavailable (non-unix) or fails. Empty files always use the heap
+    /// backing (`mmap` rejects zero-length mappings).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be opened or
+    /// (on the fallback path) read.
+    pub fn map_file(path: &Path) -> std::io::Result<Arc<Self>> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+
+        // Miri has no shim for file-backed mmap through hand-declared
+        // FFI, so interpreter runs take the (bit-identical) heap path.
+        #[cfg(all(unix, not(miri)))]
+        if len > 0 {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: we pass a null hint, a length matching the open
+            // file, and flags asking for a fresh private read-only
+            // mapping; the fd stays open across the call. `mmap` either
+            // returns a valid mapping of `len` bytes or MAP_FAILED
+            // (checked below).
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize != -1 && !ptr.is_null() {
+                return Ok(Arc::new(MappedArena {
+                    backing: Backing::Mapped {
+                        ptr: ptr as *const u8,
+                        len,
+                    },
+                }));
+            }
+            // fall through to the heap read on MAP_FAILED
+        }
+
+        let mut data = Vec::with_capacity(len);
+        file.read_to_end(&mut data)?;
+        Ok(Arc::new(MappedArena {
+            backing: Backing::Heap(data),
+        }))
+    }
+
+    /// Wraps heap bytes in an arena (testing and the non-mmap fallback).
+    pub fn from_bytes(data: Vec<u8>) -> Arc<Self> {
+        Arc::new(MappedArena {
+            backing: Backing::Heap(data),
+        })
+    }
+
+    /// The arena's bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { ptr, len } => {
+                // SAFETY: `ptr` is the live mapping created in `map_file`
+                // with exactly `len` readable bytes; it stays valid until
+                // `Drop` runs, which cannot happen while `&self` is
+                // borrowed.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Backing::Heap(v) => v,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { len, .. } => *len,
+            Backing::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the bytes come from a live `mmap` (false on the heap
+    /// fallback) — lets tests assert the zero-copy path actually engaged.
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { .. } => true,
+            Backing::Heap(_) => false,
+        }
+    }
+
+    /// Bounds- and alignment-checks a typed byte range, returning the
+    /// validated start offset. Helper for
+    /// [`Matrix::from_arena`](crate::matrix::Matrix::from_arena).
+    ///
+    /// # Errors
+    ///
+    /// [`ArenaError::OutOfBounds`] if `offset + byte_len` exceeds the
+    /// arena; [`ArenaError::Misaligned`] if the byte at `offset` is not
+    /// `align`-aligned in memory.
+    pub fn check_range(
+        &self,
+        offset: usize,
+        byte_len: usize,
+        align: usize,
+    ) -> Result<(), ArenaError> {
+        let end = offset
+            .checked_add(byte_len)
+            .ok_or(ArenaError::OutOfBounds {
+                end: usize::MAX,
+                len: self.len(),
+            })?;
+        if end > self.len() {
+            return Err(ArenaError::OutOfBounds {
+                end,
+                len: self.len(),
+            });
+        }
+        let addr = self.bytes().as_ptr() as usize + offset;
+        if !addr.is_multiple_of(align) {
+            return Err(ArenaError::Misaligned { offset, align });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for MappedArena {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: `ptr`/`len` describe the mapping `map_file`
+            // created; every view into it holds the owning Arc, so no
+            // slice derived from this arena can outlive this drop.
+            unsafe {
+                sys::munmap(ptr as *mut std::os::raw::c_void, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_arena_round_trips() {
+        let arena = MappedArena::from_bytes((0u8..64).collect());
+        assert_eq!(arena.len(), 64);
+        assert!(!arena.is_empty());
+        assert!(!arena.is_mapped());
+        assert_eq!(arena.bytes()[63], 63);
+    }
+
+    #[test]
+    fn map_file_reads_real_bytes() {
+        let path = std::env::temp_dir().join("looplynx_mmap_test.bin");
+        std::fs::write(&path, [7u8; 4096]).unwrap();
+        let arena = MappedArena::map_file(&path).unwrap();
+        assert_eq!(arena.len(), 4096);
+        assert!(arena.bytes().iter().all(|&b| b == 7));
+        #[cfg(all(unix, not(miri)))]
+        assert!(arena.is_mapped(), "unix should take the mmap path");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_heap() {
+        let path = std::env::temp_dir().join("looplynx_mmap_empty.bin");
+        std::fs::write(&path, []).unwrap();
+        let arena = MappedArena::map_file(&path).unwrap();
+        assert!(arena.is_empty());
+        assert!(!arena.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_range_rejects_overruns_and_misalignment() {
+        let arena = MappedArena::from_bytes(vec![0; 16]);
+        assert!(arena.check_range(0, 16, 1).is_ok());
+        assert!(matches!(
+            arena.check_range(1, 16, 1),
+            Err(ArenaError::OutOfBounds { end: 17, len: 16 })
+        ));
+        assert!(matches!(
+            arena.check_range(usize::MAX, 2, 1),
+            Err(ArenaError::OutOfBounds { .. })
+        ));
+        // A Vec<u8> is 1-aligned at minimum; offset 1 from a 4-aligned
+        // base must fail a 4-alignment check whichever way the allocator
+        // placed it — probe both offsets to find one misaligned.
+        let base = arena.bytes().as_ptr() as usize;
+        let off = (4 - base % 4) % 4 + 1; // first 4-misaligned offset
+        assert!(matches!(
+            arena.check_range(off, 4, 4),
+            Err(ArenaError::Misaligned { .. })
+        ));
+    }
+}

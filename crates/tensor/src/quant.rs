@@ -154,6 +154,31 @@ impl QuantizedMatrix {
         }
     }
 
+    /// Reassembles a matrix from checkpointed parts, trusting the cached
+    /// `row_sums` instead of rescanning the payload — the whole point of
+    /// a memory-mapped load is *not* to fault every weight page in at
+    /// construction time. Sums that disagree with the payload produce
+    /// wrong dequantized values, never unsoundness; round-trip tests in
+    /// the checkpoint layer guard the write side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_scales`/`row_sums` lengths don't match `data.rows()`
+    /// or any scale is non-positive.
+    pub fn from_parts(data: Matrix<i8>, row_scales: Vec<f32>, row_sums: Vec<i32>) -> Self {
+        assert_eq!(row_scales.len(), data.rows(), "one scale per row");
+        assert_eq!(row_sums.len(), data.rows(), "one sum per row");
+        assert!(
+            row_scales.iter().all(|&s| s > 0.0 && s.is_finite()),
+            "scales must be positive"
+        );
+        QuantizedMatrix {
+            data,
+            row_scales,
+            row_sums,
+        }
+    }
+
     /// The int8 weights.
     pub fn data(&self) -> &Matrix<i8> {
         &self.data

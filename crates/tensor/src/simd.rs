@@ -206,6 +206,144 @@ pub fn dot_biased_i8_i32_batch<const N: usize>(
     out
 }
 
+/// Register-blocked biased dot over a 4×4 weight-row × activation-row
+/// tile: `out[r][t] = Σ_i ws[r][i]·(xs[t][i] − 128)`, inputs in the same
+/// rebias form as [`dot_biased_i8_i32_batch`].
+///
+/// This is the throughput kernel of the tiled GEMM. The per-row batch
+/// kernel pays one weight load plus `N` activation loads for `N`
+/// `vpdpbusd`s per 64-byte chunk — more loads than MACs, so the two load
+/// ports gate it. The tile keeps 16 accumulators live and loads each
+/// weight chunk and each activation chunk exactly once for 16
+/// `vpdpbusd`s (8 loads per 16 MAC ops), which flips the bottleneck to
+/// the MAC pipes. Integer accumulation is exact in any order, so the
+/// tile result is bit-identical to 16 independent scalar dots.
+pub fn dot_biased_i8_i32_tile4x4(
+    ws: [&[i8]; 4],
+    w_row_sums: [i32; 4],
+    xs: [&[u8]; 4],
+) -> [[i32; 4]; 4] {
+    debug_assert!(
+        ws.iter().all(|w| w.len() == ws[0].len()) && xs.iter().all(|x| x.len() == ws[0].len()),
+        "dot_biased_i8_i32_tile4x4 operand length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        if ws[0].len() >= 64 && vnni512_available() {
+            // SAFETY: AVX512F/BW/VNNI support was just verified.
+            return unsafe { dot_biased_tile4x4_vnni512(ws, w_row_sums, xs) };
+        }
+    }
+    let mut out = [[0i32; 4]; 4];
+    for (orow, w) in out.iter_mut().zip(ws) {
+        for (o, x) in orow.iter_mut().zip(xs) {
+            *o = w
+                .iter()
+                .zip(x.iter())
+                .map(|(&wv, &xv)| wv as i32 * (xv as i32 - 128))
+                .sum();
+        }
+    }
+    // The scalar loop subtracts the bias per element; the SIMD path
+    // folds the same identity through w_row_sums.
+    let _ = w_row_sums;
+    out
+}
+
+/// The 512-bit VNNI kernel behind [`dot_biased_i8_i32_tile4x4`].
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX512F, AVX512BW and
+/// AVX512VNNI.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+unsafe fn dot_biased_tile4x4_vnni512(
+    ws: [&[i8]; 4],
+    w_row_sums: [i32; 4],
+    xs: [&[u8]; 4],
+) -> [[i32; 4]; 4] {
+    use std::arch::x86_64::{
+        __m512i, _mm512_add_epi32, _mm512_dpbusd_epi32, _mm512_extracti32x4_epi32,
+        _mm512_loadu_si512, _mm512_setzero_si512, _mm512_unpackhi_epi32, _mm512_unpackhi_epi64,
+        _mm512_unpacklo_epi32, _mm512_unpacklo_epi64, _mm_add_epi32, _mm_prefetch,
+        _mm_storeu_si128, _MM_HINT_T1,
+    };
+    let n = ws[0].len();
+    // 16 accumulators + 4 weight chunks + 1 activation chunk = 21 live
+    // zmm registers — comfortably inside the 32-register file once the
+    // 4×4 loops below unroll.
+    let mut acc = [[_mm512_setzero_si512(); 4]; 4];
+    let mut i = 0;
+    while i + 64 <= n {
+        let vw: [__m512i; 4] = std::array::from_fn(|r| {
+            // SAFETY: i + 64 <= n keeps every 64-byte load in bounds (the
+            // debug assertion above pins all eight lengths to ws[0]'s).
+            unsafe { _mm512_loadu_si512(ws[r].as_ptr().add(i) as *const _) }
+        });
+        for w in &ws {
+            // Weight rows stream from DRAM once per GEMM while the
+            // demand rate here far exceeds memory bandwidth. The GEMM
+            // block loop re-sweeps each 32-row block once per token
+            // group, so prefetching exactly one block ahead (32 rows ×
+            // the shared row length `n`, contiguous in the row-major
+            // weight matrix) pulls the next block into L2 while the
+            // current block's later sweeps run compute-bound out of
+            // cache. `wrapping_add` may point past the matrix — prefetch
+            // never dereferences, so any address is architecturally safe.
+            _mm_prefetch::<_MM_HINT_T1>(w.as_ptr().wrapping_add(i + 64 * n));
+        }
+        for (t, x) in xs.iter().enumerate() {
+            // SAFETY: same bounds as `vw` — x.len() == ws[0].len().
+            let vx = unsafe { _mm512_loadu_si512(x.as_ptr().add(i) as *const _) };
+            for (accr, &vwr) in acc.iter_mut().zip(&vw) {
+                accr[t] = _mm512_dpbusd_epi32(accr[t], vx, vwr);
+            }
+        }
+        i += 64;
+    }
+    // Horizontal reduction, four accumulators at a time: interleave-add
+    // pairs until each 128-bit lane holds one partial per accumulator,
+    // fold the four lanes, and store the four sums with one 128-bit
+    // store. Integer addition is associative, so the lane permutation
+    // changes nothing about the result — only the shuffle count (~15 ops
+    // for four sums vs ~32 for four scalar reduces).
+    let hsum4 = |a0: __m512i, a1: __m512i, a2: __m512i, a3: __m512i| -> [i32; 4] {
+        let s01 = _mm512_add_epi32(_mm512_unpacklo_epi32(a0, a1), _mm512_unpackhi_epi32(a0, a1));
+        let s23 = _mm512_add_epi32(_mm512_unpacklo_epi32(a2, a3), _mm512_unpackhi_epi32(a2, a3));
+        let v = _mm512_add_epi32(
+            _mm512_unpacklo_epi64(s01, s23),
+            _mm512_unpackhi_epi64(s01, s23),
+        );
+        let q = _mm_add_epi32(
+            _mm_add_epi32(
+                _mm512_extracti32x4_epi32(v, 0),
+                _mm512_extracti32x4_epi32(v, 1),
+            ),
+            _mm_add_epi32(
+                _mm512_extracti32x4_epi32(v, 2),
+                _mm512_extracti32x4_epi32(v, 3),
+            ),
+        );
+        let mut lanes = [0i32; 4];
+        // SAFETY: `lanes` is a 16-byte local, exactly one store wide.
+        unsafe { _mm_storeu_si128(lanes.as_mut_ptr() as *mut _, q) };
+        lanes
+    };
+    let mut out = [[0i32; 4]; 4];
+    for (r, (orow, accr)) in out.iter_mut().zip(acc).enumerate() {
+        let sums = hsum4(accr[0], accr[1], accr[2], accr[3]);
+        for (t, (o, s4)) in orow.iter_mut().zip(sums).enumerate() {
+            let mut s = s4;
+            for j in i..n {
+                s += ws[r][j] as i32 * xs[t][j] as i32;
+            }
+            *o = s - 128 * w_row_sums[r];
+        }
+    }
+    out
+}
+
 /// The 512-bit VNNI kernel behind [`dot_biased_i8_i32_batch`].
 ///
 /// # Safety
