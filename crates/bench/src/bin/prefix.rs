@@ -1,0 +1,29 @@
+//! Multi-turn chat-trace prefix-cache benchmark: prefill amplification
+//! and hit rate with the cache on vs off at equal arena bytes, written
+//! to `BENCH_prefix.json` (pass `--quick` for the CI-sized trace, and
+//! an optional output path as the other argument).
+
+use std::env;
+use std::fs;
+
+use looplynx_bench::prefix;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_prefix.json");
+    for arg in env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}; usage: prefix [--quick] [output.json]");
+                std::process::exit(2);
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+    let report = prefix::measure(quick);
+    print!("{}", prefix::render(&report));
+    let json = prefix::to_json(&report);
+    fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -32,7 +32,8 @@ use looplynx_core::router::RingMode;
 use looplynx_model::config::ModelConfig;
 use looplynx_model::gpt2::Gpt2Model;
 use looplynx_serve::{
-    serve_gateway_on, ArrivalProcess, GatewayConfig, GatewayRequest, ShedPolicy, Terminal,
+    serve_gateway_on, ArrivalProcess, EvictPolicyKind, GatewayConfig, GatewayRequest, ShedPolicy,
+    Terminal,
 };
 
 /// Injected fault intensities swept per scenario (fraction of
@@ -230,6 +231,7 @@ fn run_cell(model: &Gpt2Model, spec: &CellSpec<'_>) -> ChaosCell {
         e2e_deadline_ms: None,
         shed: ShedPolicy::Reject,
         prefill_chunk: None,
+        evict: EvictPolicyKind::YoungestFirst,
     };
     let mut backend = FaultyBackend::new(
         fresh_backend(model, spec.slots),

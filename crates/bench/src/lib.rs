@@ -22,7 +22,9 @@
 //! [`chaos`] (binary `chaos`) is the robustness gate: it replays
 //! bursty/overload traces through the fault-tolerant gateway under
 //! injected faults and verifies conservation, bit-exact completions,
-//! and graceful goodput degradation.
+//! and graceful goodput degradation. [`prefix`] (binary `prefix`)
+//! replays a multi-turn chat trace with the prefix cache on and off at
+//! equal arena bytes, reporting prefill amplification and hit rate.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -31,4 +33,5 @@ pub mod chaos;
 pub mod experiments;
 pub mod hotpath;
 pub mod paper;
+pub mod prefix;
 pub mod serve_functional;

@@ -353,6 +353,17 @@ pub trait InferenceBackend {
         false
     }
 
+    /// KV pages that preempting `slot` would actually return to the
+    /// free pool: pages the sequence holds *exclusively*. Pages shared
+    /// with the prefix cache or other sequences survive the preemption,
+    /// so victim selection should weigh this — not context length —
+    /// when the goal is relieving page pressure. Timing-only and
+    /// non-paged backends report 0.
+    fn reclaimable_pages(&self, slot: usize) -> usize {
+        let _ = slot;
+        0
+    }
+
     /// Evicts a resident sequence: frees its slot (and, on paged
     /// backends, every page it held) and returns the state needed to
     /// resume it. The scheduler keeps the request's produced tokens; the
@@ -691,8 +702,12 @@ impl FunctionalBackend {
     /// The engine itself treats pool exhaustion as a caller bug (it
     /// panics, which would poison this backend), so every KV-growing
     /// operation pre-checks here and returns with no state changed.
+    ///
+    /// The budget is [`DistributedGpt2::available_pages`]: free pages
+    /// plus cold prefix-cache pages, which the engine reclaims (LRU)
+    /// inside the grant — a full-but-idle cache never bounces work.
     fn check_pages(&self, needed: usize) -> Result<(), BackendError> {
-        let free = self.engine.free_pages();
+        let free = self.engine.available_pages();
         if needed > free {
             return Err(BackendError::PagesExhausted { needed, free });
         }
@@ -735,7 +750,6 @@ impl InferenceBackend for FunctionalBackend {
                 capacity: self.engine.slots(),
             });
         }
-        self.check_pages(self.engine.pages_for_tokens(prompt.len()))?;
         // lint: allow(determinism) — measured elapsed_ms only; tokens unaffected
         let start = Instant::now();
         let slot = self
@@ -744,10 +758,21 @@ impl InferenceBackend for FunctionalBackend {
             .ok_or(BackendError::SlotsExhausted {
                 capacity: self.engine.slots(),
             })?;
+        // Map any cached prefix into the fresh slot (a no-op while the
+        // cache is off); only the novel suffix needs pages and compute.
+        // Attaching allocates nothing, so an insufficient pool unwinds
+        // cleanly: release the slot and report typed pressure.
+        let hit = self.engine.prefix_attach(slot, prompt);
+        let suffix = &prompt[hit..];
+        let needed = self.engine.pages_needed(slot, suffix.len());
+        if let Err(e) = self.check_pages(needed) {
+            self.engine.release_slot(slot);
+            return Err(e);
+        }
         // A panic below (worker thread or host path) leaves the slot's KV
         // partially written; the backend poisons itself rather than serve
         // from a cache it cannot trust.
-        let logits = match catch_unwind(AssertUnwindSafe(|| self.engine.prefill_slot(slot, prompt)))
+        let logits = match catch_unwind(AssertUnwindSafe(|| self.engine.prefill_slot(slot, suffix)))
         {
             Ok(logits) => logits,
             Err(payload) => return Err(self.poison(payload)),
@@ -840,12 +865,18 @@ impl InferenceBackend for FunctionalBackend {
             .ok_or(BackendError::SlotsExhausted {
                 capacity: self.engine.slots(),
             })?;
+        // Map any cached prefix now (free — no pages, no compute): the
+        // mapped tokens count as already fed, so the chunk budget is
+        // spent only on the novel suffix. Cache-aware admission falls
+        // out for free: a strong hit turns a long prompt into a short
+        // one from the scheduler's point of view.
+        let hit = self.engine.prefix_attach(slot, prompt);
         // No pages claimed yet: each prefill_step grants only what its
         // chunk needs, which is what lets long prompts trickle in under
         // page pressure.
         self.pending[slot] = Some(PendingPrefill {
             prompt: prompt.to_vec(),
-            fed: 0,
+            fed: hit,
             sampler_seed,
         });
         Ok(slot)
@@ -919,6 +950,13 @@ impl InferenceBackend for FunctionalBackend {
         true
     }
 
+    fn reclaimable_pages(&self, slot: usize) -> usize {
+        if self.residents.get(slot).and_then(Option::as_ref).is_none() {
+            return 0;
+        }
+        self.engine.unshared_pages(slot)
+    }
+
     fn preempt(&mut self, slot: usize) -> Result<PreemptedSeq, BackendError> {
         self.check_poisoned()?;
         let resident = match self.residents.get_mut(slot).and_then(Option::take) {
@@ -926,7 +964,9 @@ impl InferenceBackend for FunctionalBackend {
             None => return Err(BackendError::SlotNotResident { slot }),
         };
         let context_len = self.engine.slot_pos(slot);
-        // Releasing the slot returns every page it held to the pool.
+        // Releasing the slot returns its exclusive pages to the pool
+        // (shared prefix pages survive their other holders) and, with
+        // the cache on, indexes the context for a cheap resume.
         self.engine.release_slot(slot);
         Ok(PreemptedSeq {
             context_len,
@@ -961,7 +1001,6 @@ impl InferenceBackend for FunctionalBackend {
                 capacity: self.engine.slots(),
             });
         }
-        self.check_pages(self.engine.pages_for_tokens(context.len()))?;
         // lint: allow(determinism) — measured elapsed_ms only; tokens unaffected
         let start = Instant::now();
         let slot = self
@@ -970,12 +1009,25 @@ impl InferenceBackend for FunctionalBackend {
             .ok_or(BackendError::SlotsExhausted {
                 capacity: self.engine.slots(),
             })?;
+        // The preemption registered the context's pages with the prefix
+        // cache, so a prompt resume often maps most of its KV straight
+        // back instead of re-prefilling it (a no-op while the cache is
+        // off). Attach allocates nothing: on page shortfall, unwind by
+        // releasing the slot and report typed pressure.
+        let hit = self.engine.prefix_attach(slot, context);
+        let rest = &context[hit..];
+        let needed = self.engine.pages_needed(slot, rest.len());
+        if let Err(e) = self.check_pages(needed) {
+            self.engine.release_slot(slot);
+            return Err(e);
+        }
         // Re-prefill rebuilds the KV cache bit-identically (int8 GEMM rows
         // accumulate independently, so one batched pass over the context
-        // equals the original prefill + decode history) and samples
-        // nothing: the sequence's sampler resumes exactly where it froze.
+        // equals the original prefill + decode history; shared pages hold
+        // the very bytes the original wrote) and samples nothing: the
+        // sequence's sampler resumes exactly where it froze.
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
-            self.engine.prefill_slot_chunk(slot, context, false)
+            self.engine.prefill_slot_chunk(slot, rest, false)
         })) {
             return Err(self.poison(payload));
         }

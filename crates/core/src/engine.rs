@@ -26,6 +26,7 @@ use looplynx_model::generate::Autoregressive;
 use looplynx_model::gpt2::Gpt2Model;
 use looplynx_model::kv_cache::LayerKvCache;
 use looplynx_model::paged::PagedKvArena;
+use looplynx_model::prefix::{PrefixIndex, PrefixIndexStats};
 use looplynx_tensor::activation::gelu_in_place;
 use looplynx_tensor::linear::QuantLinear;
 use looplynx_tensor::matrix::Matrix;
@@ -694,6 +695,21 @@ pub struct DistributedGpt2 {
     /// Long-lived workers, one per (node, row-shard); `Some` iff
     /// `threaded` and there is more than one worker's worth of jobs.
     pool: Option<WorkerPool>,
+    /// Content-addressed prefix cache (`None` = disabled, the default);
+    /// see [`DistributedGpt2::enable_prefix_cache`].
+    prefix_cache: Option<PrefixCacheState>,
+}
+
+/// Engine-side state of the content-addressed prefix cache: the index
+/// pairing hash chains with pinned arena pages, plus each resident
+/// slot's fed-token history (the ground truth the index registers —
+/// block tables alone don't say which tokens a page holds).
+#[derive(Debug, Clone, PartialEq)]
+struct PrefixCacheState {
+    index: PrefixIndex,
+    /// Tokens fed to each slot since acquisition (prefix-mapped tokens
+    /// included), indexed by slot. Cleared on acquire and release.
+    fed: Vec<Vec<u32>>,
 }
 
 impl DistributedGpt2 {
@@ -833,6 +849,7 @@ impl DistributedGpt2 {
             row_shards,
             attn_mode: AttnMode::default(),
             pool,
+            prefix_cache: None,
         })
     }
 
@@ -951,6 +968,144 @@ impl DistributedGpt2 {
         tokens.div_ceil(self.page_tokens())
     }
 
+    /// Turns on the content-addressed prefix cache: finished KV pages
+    /// are registered under hash-chained identities (see
+    /// [`looplynx_model::prefix`]) and later prompts sharing a prefix
+    /// map them read-only via [`DistributedGpt2::prefix_attach`] instead
+    /// of re-prefilling. Cold cached pages are reclaimed automatically
+    /// (LRU by last hit) whenever a grant would otherwise starve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot is already resident — histories of already-fed
+    /// sequences are unknown, so the cache must start with the arena.
+    pub fn enable_prefix_cache(&mut self) {
+        assert_eq!(
+            self.free_slots(),
+            self.slots(),
+            "enable the prefix cache before admitting sequences"
+        );
+        self.prefix_cache = Some(PrefixCacheState {
+            index: PrefixIndex::new(self.page_tokens()),
+            fed: vec![Vec::new(); self.slots()],
+        });
+    }
+
+    /// Whether the prefix cache is on.
+    pub fn prefix_cache_enabled(&self) -> bool {
+        self.prefix_cache.is_some()
+    }
+
+    /// Prefix-cache traffic counters, `None` while disabled.
+    pub fn prefix_stats(&self) -> Option<PrefixIndexStats> {
+        self.prefix_cache.as_ref().map(|c| c.index.stats())
+    }
+
+    /// Pages currently pinned by the prefix cache (0 while disabled).
+    pub fn cached_prefix_pages(&self) -> usize {
+        self.prefix_cache.as_ref().map_or(0, |c| c.index.len())
+    }
+
+    /// Pages a grant can draw on right now: free pages plus cached
+    /// pages held by nothing but the cache (evicting those frees them).
+    /// Backends pre-check *this* — not [`DistributedGpt2::free_pages`]
+    /// — so a full-but-cold cache never turns into spurious
+    /// page-exhaustion errors.
+    pub fn available_pages(&self) -> usize {
+        let free = self.nodes[0].arena.free_pages();
+        match &self.prefix_cache {
+            Some(c) => free + c.index.evictable_pages(self.nodes[0].arena.refcounts()),
+            None => free,
+        }
+    }
+
+    /// Pages of `slot` not shared with the cache or other slots — the
+    /// amount preempting `slot` would actually return to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn unshared_pages(&self, slot: usize) -> usize {
+        self.nodes[0].arena.unshared_pages(slot)
+    }
+
+    /// Maps the longest cached prefix of `prompt` into freshly acquired
+    /// `slot` and returns the token count covered (0 on a miss or while
+    /// the cache is off). The caller then prefills **only the suffix**
+    /// `&prompt[hit..]` — the mapped pages already hold the prefix's KV
+    /// rows, shared read-only (copy-on-write isolates any append into a
+    /// partially-filled boundary page). Mapping allocates nothing, so
+    /// it cannot fail on page pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` already has history (attach pairs with
+    /// acquisition) or `prompt` exceeds the slot capacity.
+    pub fn prefix_attach(&mut self, slot: usize, prompt: &[u32]) -> usize {
+        let Some(cache) = self.prefix_cache.as_mut() else {
+            return 0;
+        };
+        let m = cache.index.lookup(prompt);
+        if m.tokens == 0 {
+            return 0;
+        }
+        for n in &mut self.nodes {
+            n.arena.map_shared(slot, &m.pages, m.tokens);
+        }
+        cache.fed[slot].clear();
+        cache.fed[slot].extend_from_slice(&prompt[..m.tokens]);
+        m.tokens
+    }
+
+    /// Registers `slot`'s finished pages with the prefix index: every
+    /// full page, plus the final partial page as a chain terminator iff
+    /// `include_partial` (only safe once the slot stops appending).
+    /// Newly indexed pages get one cache pin on every node. No-op while
+    /// the cache is off.
+    fn prefix_register(&mut self, slot: usize, include_partial: bool) {
+        let Some(cache) = self.prefix_cache.as_mut() else {
+            return;
+        };
+        let fed = &cache.fed[slot];
+        let page_tokens = self.nodes[0].arena.page_tokens();
+        let len = if include_partial {
+            fed.len()
+        } else {
+            fed.len() - fed.len() % page_tokens
+        };
+        if len == 0 {
+            return;
+        }
+        let pages = self.nodes[0].arena.slot_pages(slot);
+        let newly = cache.index.register(&fed[..len], pages);
+        for page in newly {
+            for n in &mut self.nodes {
+                n.arena.retain_page(page);
+            }
+        }
+    }
+
+    /// Drops cold cache pins (LRU by last hit, sole-owner pages only)
+    /// until at least `needed` pages are free or nothing evictable
+    /// remains. Runs before every grant so cached-but-idle pages never
+    /// starve live sequences.
+    fn evict_cached_for(&mut self, needed: usize) {
+        while self.nodes[0].arena.free_pages() < needed {
+            let Some(cache) = self.prefix_cache.as_mut() else {
+                return;
+            };
+            let pages = cache.index.evict_lru(self.nodes[0].arena.refcounts());
+            if pages.is_empty() {
+                return;
+            }
+            for page in pages {
+                for n in &mut self.nodes {
+                    n.arena.release_page(page);
+                }
+            }
+        }
+    }
+
     /// Total int8 bytes of `node`'s KV page pools (occupancy-independent
     /// storage commitment; compare with [`DistributedGpt2::node_kv_bytes`]
     /// for live usage).
@@ -967,6 +1122,13 @@ impl DistributedGpt2 {
     /// [`DistributedGpt2::free_pages`] and surface a typed error instead
     /// of ever reaching this panic.
     fn reserve_for(&mut self, entries: &[(usize, usize)]) {
+        if self.prefix_cache.is_some() {
+            let needed = entries
+                .iter()
+                .map(|&(slot, additional)| self.nodes[0].arena.pages_needed(slot, additional))
+                .sum();
+            self.evict_cached_for(needed);
+        }
         for node in &mut self.nodes {
             node.arena
                 .try_reserve_batch(entries)
@@ -992,18 +1154,39 @@ impl DistributedGpt2 {
             acquired.iter().all(|&s| s == slot),
             "arenas out of lockstep"
         );
+        if let Some(cache) = self.prefix_cache.as_mut() {
+            cache.fed[slot].clear();
+        }
         Some(slot)
     }
 
-    /// Returns `slot` to the free list on every node.
+    /// Returns `slot` to the free list on every node and reports how
+    /// many pages actually came free (shared pages survive their other
+    /// holders — a cache pin or another slot's mapping keeps them
+    /// resident, so the count can be less than the table length).
+    ///
+    /// With the prefix cache on, the slot's pages are indexed first
+    /// (full pages plus the final partial as a terminator), so a
+    /// sequence's KV outlives it for future prompts sharing the prefix.
     ///
     /// # Panics
     ///
     /// Panics if `slot` is out of range or not in use.
-    pub fn release_slot(&mut self, slot: usize) {
-        for n in &mut self.nodes {
-            n.arena.release(slot);
+    pub fn release_slot(&mut self, slot: usize) -> usize {
+        self.prefix_register(slot, true);
+        if let Some(cache) = self.prefix_cache.as_mut() {
+            cache.fed[slot].clear();
         }
+        let freed: Vec<usize> = self
+            .nodes
+            .iter_mut()
+            .map(|n| n.arena.release(slot))
+            .collect();
+        debug_assert!(
+            freed.iter().all(|&f| f == freed[0]),
+            "arenas out of lockstep"
+        );
+        freed[0]
     }
 
     /// Tokens processed by the sequence resident in `slot`.
@@ -1043,6 +1226,10 @@ impl DistributedGpt2 {
     /// Resets the single-sequence surface: clears slot 0's caches on every
     /// node and its position.
     pub fn reset(&mut self) {
+        if let Some(cache) = self.prefix_cache.as_mut() {
+            // Reset discards the sequence, so nothing gets registered.
+            cache.fed[0].clear();
+        }
         for n in &mut self.nodes {
             if n.arena.in_use(0) {
                 n.arena.release(0);
@@ -1175,6 +1362,9 @@ impl DistributedGpt2 {
         }
         for node in &mut self.nodes {
             node.arena.advance(slot, 1);
+        }
+        if let Some(cache) = self.prefix_cache.as_mut() {
+            cache.fed[slot].push(token);
         }
         if !want_logits {
             return None;
@@ -1348,6 +1538,14 @@ impl DistributedGpt2 {
         for node in &mut self.nodes {
             node.arena.advance(slot, b);
         }
+        if self.prefix_cache.is_some() {
+            if let Some(cache) = self.prefix_cache.as_mut() {
+                cache.fed[slot].extend_from_slice(prompt);
+            }
+            // Full prompt pages are final the moment the chunk lands —
+            // index them now so concurrent admissions can share them.
+            self.prefix_register(slot, false);
+        }
 
         if !want_logits {
             return None;
@@ -1476,6 +1674,11 @@ impl DistributedGpt2 {
         for node in &mut self.nodes {
             for &slot in &slots {
                 node.arena.advance(slot, 1);
+            }
+        }
+        if let Some(cache) = self.prefix_cache.as_mut() {
+            for &(slot, token) in entries {
+                cache.fed[slot].push(token);
             }
         }
 

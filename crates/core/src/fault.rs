@@ -317,6 +317,10 @@ impl<B: InferenceBackend> InferenceBackend for FaultyBackend<B> {
         self.inner.supports_preemption()
     }
 
+    fn reclaimable_pages(&self, slot: usize) -> usize {
+        self.inner.reclaimable_pages(slot)
+    }
+
     /// Never injected: preemption *frees* resources, and vetoing the
     /// scheduler's escape hatch under pressure would deadlock recovery.
     fn preempt(&mut self, slot: usize) -> Result<PreemptedSeq, BackendError> {

@@ -12,3 +12,10 @@ fn offenders() {
     let _ = (m, s);
     let _ = std::time::SystemTime::now();
 }
+
+fn randomly_keyed_hashing() -> u64 {
+    use std::collections::hash_map::{DefaultHasher, RandomState};
+    use std::hash::{BuildHasher, Hasher};
+    let h: DefaultHasher = RandomState::new().build_hasher();
+    h.finish()
+}

@@ -76,14 +76,18 @@ const PANIC_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"
 const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
 
 /// Identifiers that betray nondeterminism in the bit-exact crates:
-/// wall-clock types, hash-order collections, entropy-seeded RNGs.
-const NONDETERMINISM_IDENTS: [&str; 6] = [
+/// wall-clock types, hash-order collections, entropy-seeded RNGs, and
+/// randomly-keyed hashers (the prefix index must chain a seeded hash —
+/// `RandomState`-keyed digests change across runs).
+const NONDETERMINISM_IDENTS: [&str; 8] = [
     "Instant",
     "SystemTime",
     "HashMap",
     "HashSet",
     "thread_rng",
     "from_entropy",
+    "DefaultHasher",
+    "RandomState",
 ];
 
 fn panic_free_applies(path: &str) -> bool {

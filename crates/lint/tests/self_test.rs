@@ -65,8 +65,9 @@ fn determinism_fires_on_negative_fixture() {
         .filter(|f| f.rule == RULE_DETERMINISM)
         .collect();
     assert!(
-        rules_hit.len() >= 4,
-        "Instant, SystemTime, HashMap and HashSet must all be flagged: {rules_hit:?}"
+        rules_hit.len() >= 6,
+        "Instant, SystemTime, HashMap, HashSet, DefaultHasher and \
+         RandomState must all be flagged: {rules_hit:?}"
     );
 }
 

@@ -232,6 +232,15 @@ impl Gpt2Model {
     /// [`Gpt2Model::prefill`] on a fresh model — the model's own cache is
     /// untouched.
     ///
+    /// **Suffix-only contract**: processing starts at the slot's current
+    /// position, so `prompt` is whatever the KV cache does *not* already
+    /// hold. Because int8 GEMM rows accumulate independently and
+    /// attention reads the cache as-is, prefilling `[a, b]` then `[c]`
+    /// is bit-identical to prefilling `[a, b, c]` in one pass — this is
+    /// what lets a prefix cache map shared KV pages for `[a, b]` and
+    /// feed only the novel `[c]` here (the engine-level counterpart is
+    /// `looplynx-core`'s `prefill_slot_chunk`).
+    ///
     /// # Panics
     ///
     /// Panics if `prompt` is empty, the slot would overflow its capacity,
@@ -349,6 +358,34 @@ mod tests {
         let logits = m.prefill(&[1, 2, 3]);
         assert_eq!(logits.len(), m.config().vocab);
         assert_eq!(m.seq_len(), 3);
+    }
+
+    #[test]
+    fn prefill_slot_is_suffix_only_and_split_invariant() {
+        // The prefix-cache contract: prefilling a prompt in two calls
+        // (the cached prefix, then the novel suffix) must be bit-equal
+        // to one pass — final logits AND every cached byte.
+        let m = model();
+        let prompt: Vec<u32> = (0..11).map(|i| (i * 7 + 3) % 50).collect();
+
+        let mut whole = m.slot_arena(1, 32);
+        let s_whole = whole.acquire().unwrap();
+        let one_pass = m.prefill_slot(&mut whole, s_whole, &prompt);
+
+        let mut split = m.slot_arena(1, 32);
+        let s_split = split.acquire().unwrap();
+        m.prefill_slot(&mut split, s_split, &prompt[..7]);
+        let two_pass = m.prefill_slot(&mut split, s_split, &prompt[7..]);
+
+        assert_eq!(one_pass, two_pass);
+        assert_eq!(split.pos(s_split), whole.pos(s_whole));
+        for l in 0..m.config().layers {
+            assert_eq!(
+                whole.layer(s_whole, l),
+                split.layer(s_split, l),
+                "layer {l} caches diverged across the split"
+            );
+        }
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`paged`] — the paged (block-table) multi-sequence KV allocator
 //!   ([`paged::PagedKvArena`]): fixed-size pages granted on demand, so
 //!   resident concurrency is bounded by *actual* context, not worst-case.
+//! * [`prefix`] — content-addressed prefix index over paged KV
+//!   ([`prefix::PrefixIndex`]): hash-chained page identities so repeated
+//!   prompt prefixes share cached pages instead of re-prefilling.
 //! * [`attention`] — causal multi-head attention over the cache.
 //! * [`block`] — one transformer block (single-token, batched-prefill and
 //!   batched-decode paths).
@@ -59,6 +62,7 @@ pub mod generate;
 pub mod gpt2;
 pub mod kv_cache;
 pub mod paged;
+pub mod prefix;
 pub mod sampler;
 pub mod tokenizer;
 pub mod weights;

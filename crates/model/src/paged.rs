@@ -42,6 +42,31 @@
 //! *where* bytes live but not one arithmetic operation. Paged decode is
 //! therefore byte-identical to the contiguous arena by construction — and
 //! by the property suites in `tests/paged_exact.rs`.
+//!
+//! # Sharing and copy-on-write
+//!
+//! Pages carry a **reference count** so one physical page can back the
+//! same token span in many readers at once — the substrate of the
+//! engine-level prefix cache ([`crate::prefix`] holds the
+//! content-addressing). Three kinds of reference exist: a slot's page
+//! table entry (granted pages start at count 1), an extra table entry
+//! from [`PagedKvArena::map_shared`] (a second sequence mapping a cached
+//! prefix), and a cache pin from [`PagedKvArena::retain_page`]. A page
+//! returns to the free list only when its count reaches zero, and
+//! [`PagedKvArena::release`] reports how many pages a release actually
+//! freed so callers can audit conservation.
+//!
+//! Shared pages are strictly read-only: attention iterates them through
+//! [`PagedLayerView`] without writing, and the only writer,
+//! [`PagedKvArena::append_at`], requires exclusive ownership. The one
+//! legal write into shared territory is appending to a partially-filled
+//! boundary page, and [`PagedKvArena::try_reserve`] handles it by
+//! **copy-on-write**: it counts one extra page, copies the shared page's
+//! bytes across every layer pool into a fresh page, swaps the slot's
+//! table entry, and drops one reference on the original — after which
+//! the append is an ordinary exclusive write. The fork allocates from
+//! the same descending free list as any grant, so replayed schedules
+//! still produce identical page tables.
 
 use serde::{Deserialize, Serialize};
 
@@ -112,6 +137,9 @@ pub struct PagedKvArena {
     /// Free page indices, sorted descending so `pop()` yields the lowest
     /// free index (deterministic allocation order).
     free: Vec<usize>,
+    /// References per page: table entries holding it (grants and shared
+    /// mappings) plus cache pins. Zero exactly when the page is free.
+    refcount: Vec<u32>,
     slots: Vec<PagedSlot>,
 }
 
@@ -163,6 +191,7 @@ impl PagedKvArena {
                 })
                 .collect(),
             free: (0..pages).rev().collect(),
+            refcount: vec![0; pages],
             slots: (0..slots)
                 .map(|_| PagedSlot {
                     table: Vec::new(),
@@ -245,22 +274,154 @@ impl PagedKvArena {
         Some(slot)
     }
 
-    /// Returns `slot` to the free list and its pages to the pool. Also
+    /// Returns `slot` to the free list and drops one reference on each of
+    /// its pages; pages whose count reaches zero return to the pool. Also
     /// the eviction primitive: a preempted sequence releases exactly like
-    /// a finished one and is later rebuilt by re-prefill.
+    /// a finished one and is later rebuilt by re-prefill. Returns how many
+    /// pages were actually freed (shared pages survive their other
+    /// holders), so double-release bugs cannot hide inside aggregate
+    /// free-page counts.
     ///
     /// # Panics
     ///
     /// Panics if `slot` is out of range or not in use.
-    pub fn release(&mut self, slot: usize) {
+    pub fn release(&mut self, slot: usize) -> usize {
         let state = &mut self.slots[slot];
         assert!(state.in_use, "slot {slot} not in use");
         state.in_use = false;
         state.pos = 0;
-        self.free.append(&mut state.table);
+        let mut freed = 0;
+        for page in state.table.drain(..) {
+            assert!(self.refcount[page] > 0, "page {page} already free");
+            self.refcount[page] -= 1;
+            if self.refcount[page] == 0 {
+                self.free.push(page);
+                freed += 1;
+            }
+        }
         // Restore descending order so future grants stay lowest-first
         // regardless of release order (deterministic allocation).
         self.free.sort_unstable_by(|a, b| b.cmp(a));
+        self.debug_assert_conserved();
+        freed
+    }
+
+    /// Pool conservation: every page is either free or referenced, never
+    /// both, never neither. Debug builds re-check after every lifecycle
+    /// transition so a double-free of a shared page can never pass
+    /// silently.
+    fn debug_assert_conserved(&self) {
+        debug_assert_eq!(
+            self.free.len() + self.refcount.iter().filter(|&&r| r > 0).count(),
+            self.pages,
+            "page pool not conserved: free + referenced != total"
+        );
+        debug_assert!(
+            self.free.iter().all(|&p| self.refcount[p] == 0),
+            "a free page still carries references"
+        );
+    }
+
+    /// Reference count of `page` (0 = free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn page_refcount(&self, page: usize) -> u32 {
+        self.refcount[page]
+    }
+
+    /// The per-page reference counts, indexed by page — the snapshot the
+    /// prefix cache's eviction bookkeeping reads.
+    pub fn refcounts(&self) -> &[u32] {
+        &self.refcount
+    }
+
+    /// Pages in `slot`'s table that only it references — what a
+    /// preemption of this slot would actually return to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn unshared_pages(&self, slot: usize) -> usize {
+        self.slots[slot]
+            .table
+            .iter()
+            .filter(|&&p| self.refcount[p] == 1)
+            .count()
+    }
+
+    /// Adds a cache pin to a live page (reference count +1). The caller —
+    /// the prefix cache — promises to balance it with
+    /// [`PagedKvArena::release_page`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range or free (a free page has no
+    /// content to pin).
+    pub fn retain_page(&mut self, page: usize) {
+        assert!(self.refcount[page] > 0, "cannot pin free page {page}");
+        self.refcount[page] += 1;
+    }
+
+    /// Drops one reference on `page`; when the count reaches zero the
+    /// page returns to the free list. Returns whether this call freed it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range or already free.
+    pub fn release_page(&mut self, page: usize) -> bool {
+        assert!(self.refcount[page] > 0, "page {page} already free");
+        self.refcount[page] -= 1;
+        if self.refcount[page] > 0 {
+            return false;
+        }
+        self.free.push(page);
+        self.free.sort_unstable_by(|a, b| b.cmp(a));
+        self.debug_assert_conserved();
+        true
+    }
+
+    /// Maps already-populated pages into a freshly acquired `slot` as a
+    /// shared read-only prefix covering `tokens` tokens: each page gains a
+    /// reference, the slot's table adopts them in order, and its position
+    /// jumps to `tokens` as if it had appended them itself. The caller
+    /// guarantees the pages hold exactly the KV bytes a prefill of those
+    /// tokens would have produced (the prefix cache verifies token spans
+    /// before handing pages out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range, not in use, or has any history
+    /// (mapping goes under a sequence, never into one); if `tokens`
+    /// exceeds the slot capacity or does not fit `pages`'s span; or if
+    /// any page is out of range or free.
+    pub fn map_shared(&mut self, slot: usize, pages: &[usize], tokens: usize) {
+        let state = &self.slots[slot];
+        assert!(state.in_use, "slot {slot} not in use");
+        assert!(
+            state.table.is_empty() && state.pos == 0,
+            "slot {slot} already has history; shared prefixes map under a fresh sequence"
+        );
+        assert!(
+            tokens <= self.capacity,
+            "shared prefix overflows capacity {}",
+            self.capacity
+        );
+        assert_eq!(
+            pages.len(),
+            pages_for(tokens, self.page_tokens),
+            "page list does not match the token span"
+        );
+        for &page in pages {
+            assert!(self.refcount[page] > 0, "cannot share free page {page}");
+        }
+        for &page in pages {
+            self.refcount[page] += 1;
+            self.slots[slot].table.push(page);
+        }
+        self.slots[slot].pos = tokens;
+        self.debug_assert_conserved();
     }
 
     /// Tokens processed by the sequence in `slot`.
@@ -281,7 +442,9 @@ impl PagedKvArena {
         self.slots[slot].table.len() * self.page_tokens
     }
 
-    /// Pages a grant for `additional` more tokens in `slot` would need.
+    /// Pages a grant for `additional` more tokens in `slot` would need —
+    /// including the extra page a copy-on-write fork of a shared boundary
+    /// page costs (see [`PagedKvArena::try_reserve`]).
     ///
     /// # Panics
     ///
@@ -289,10 +452,30 @@ impl PagedKvArena {
     pub fn pages_needed(&self, slot: usize, additional: usize) -> usize {
         let state = &self.slots[slot];
         pages_for(state.pos + additional, self.page_tokens).saturating_sub(state.table.len())
+            + usize::from(self.needs_cow(slot, additional))
+    }
+
+    /// Whether appending `additional` tokens to `slot` would write into a
+    /// shared page — only ever the partially-filled boundary page of a
+    /// mapped prefix, since fully-written pages are never appended again.
+    fn needs_cow(&self, slot: usize, additional: usize) -> bool {
+        let state = &self.slots[slot];
+        if additional == 0 {
+            return false;
+        }
+        let first = state.pos / self.page_tokens;
+        first < state.table.len() && self.refcount[state.table[first]] > 1
     }
 
     /// Grants pages so `slot` can hold `additional` more tokens. Grants
     /// are all-or-nothing: on [`PagesExhausted`] nothing was modified.
+    ///
+    /// When the append would land inside a **shared** boundary page (a
+    /// mapped prefix ending mid-page), the grant also forks that page
+    /// copy-on-write: one extra page is claimed, the shared page's bytes
+    /// are copied across every layer pool, the slot's table entry swaps
+    /// to the copy, and one reference on the original is dropped. The
+    /// slot then owns its whole writable frontier exclusively.
     ///
     /// # Panics
     ///
@@ -313,11 +496,46 @@ impl PagedKvArena {
                 free: self.free.len(),
             });
         }
-        for _ in 0..needed {
+        if self.needs_cow(slot, additional) {
+            self.cow_fork(slot);
+        }
+        let grow = pages_for(self.slots[slot].pos + additional, self.page_tokens)
+            - self.slots[slot].table.len();
+        for _ in 0..grow {
             let page = self.free.pop().expect("free count checked above");
+            debug_assert_eq!(self.refcount[page], 0, "free page was referenced");
+            self.refcount[page] = 1;
             self.slots[slot].table.push(page);
         }
+        self.debug_assert_conserved();
         Ok(())
+    }
+
+    /// Copy-on-write fork of `slot`'s boundary page: claims a free page,
+    /// copies the boundary page's bytes (keys, values, both scale planes)
+    /// in every layer pool, swaps the table entry and drops one reference
+    /// on the shared original. Caller has verified a free page exists.
+    fn cow_fork(&mut self, slot: usize) {
+        let idx = self.slots[slot].pos / self.page_tokens;
+        let src = self.slots[slot].table[idx];
+        let dst = self.free.pop().expect("caller checked a free page exists");
+        debug_assert_eq!(self.refcount[dst], 0, "free page was referenced");
+        let cells = self.heads * self.page_tokens;
+        let bytes = cells * self.d_head;
+        for pool in &mut self.pools {
+            pool.keys
+                .copy_within(src * bytes..(src + 1) * bytes, dst * bytes);
+            pool.values
+                .copy_within(src * bytes..(src + 1) * bytes, dst * bytes);
+            pool.key_scales
+                .copy_within(src * cells..(src + 1) * cells, dst * cells);
+            pool.value_scales
+                .copy_within(src * cells..(src + 1) * cells, dst * cells);
+        }
+        self.refcount[dst] = 1;
+        self.refcount[src] -= 1;
+        debug_assert!(self.refcount[src] > 0, "fork of an exclusive page");
+        self.slots[slot].table[idx] = dst;
     }
 
     /// Grants pages for a *batch* of `(slot, additional)` requests,
@@ -396,6 +614,10 @@ impl PagedKvArena {
             .get(t / pt)
             .unwrap_or_else(|| panic!("token {t} of slot {slot} has no granted page"));
         let local = t % pt;
+        debug_assert_eq!(
+            self.refcount[page], 1,
+            "append into shared page {page} — reserve must copy-on-write first"
+        );
         let pool = &mut self.pools[layer];
         for h in 0..heads {
             let cell = (page * heads + h) * pt + local;
@@ -825,6 +1047,154 @@ mod tests {
     fn releasing_free_slot_panics() {
         let mut a = PagedKvArena::new(1, 4, 1, 1, 8, 2, 4);
         a.release(0);
+    }
+
+    #[test]
+    fn release_reports_freed_pages_and_conserves_pool() {
+        let mut a = PagedKvArena::new(1, 4, 1, 2, 16, 4, 8);
+        let s = a.acquire().unwrap();
+        feed(&mut a, s, 1, 9); // 3 pages
+        assert_eq!(a.release(s), 3, "exclusive pages all free on release");
+        assert_eq!(a.free_pages(), 8);
+    }
+
+    #[test]
+    fn shared_pages_survive_one_release_and_free_on_the_last() {
+        let mut a = PagedKvArena::new(2, 4, 2, 3, 16, 4, 8);
+        let s0 = a.acquire().unwrap();
+        feed(&mut a, s0, 5, 8); // exactly 2 full pages
+        let pages = a.slot_pages(s0).to_vec();
+        // Pin both pages as a cache would, then map them under s1.
+        for &p in &pages {
+            a.retain_page(p);
+        }
+        let s1 = a.acquire().unwrap();
+        a.map_shared(s1, &pages, 8);
+        assert_eq!(a.pos(s1), 8);
+        for &p in &pages {
+            assert_eq!(a.page_refcount(p), 3, "owner + pin + shared mapping");
+        }
+        // Owner leaves: nothing freed, s1 still reads identical bytes.
+        assert_eq!(a.release(s0), 0);
+        for l in 0..2 {
+            let m = a.materialize(s1, l);
+            assert_eq!(m.len(), 8);
+        }
+        // Shared reader leaves: still pinned by the cache.
+        assert_eq!(a.release(s1), 0);
+        // Cache unpins: pages finally free.
+        assert!(a.release_page(pages[0]));
+        assert!(a.release_page(pages[1]));
+        assert_eq!(a.free_pages(), 8);
+    }
+
+    #[test]
+    fn unshared_page_count_sees_through_sharing() {
+        let mut a = PagedKvArena::new(1, 4, 1, 2, 16, 4, 8);
+        let s0 = a.acquire().unwrap();
+        feed(&mut a, s0, 2, 8); // 2 pages
+        let pages = a.slot_pages(s0).to_vec();
+        for &p in &pages {
+            a.retain_page(p);
+        }
+        assert_eq!(a.unshared_pages(s0), 0, "every page pinned by the cache");
+        let s1 = a.acquire().unwrap();
+        a.map_shared(s1, &pages, 8);
+        a.try_reserve(s1, 4).unwrap(); // grows one exclusive page
+        assert_eq!(a.unshared_pages(s1), 1);
+    }
+
+    #[test]
+    fn cow_fork_splits_partial_boundary_page_bitwise() {
+        // Fill 6 tokens (1.5 pages of 4), share both pages into s1, then
+        // append through the boundary: the fork must copy the 2 valid
+        // boundary tokens bit-exactly and leave the original untouched.
+        let mut a = PagedKvArena::new(2, 4, 2, 2, 16, 4, 8);
+        let s0 = a.acquire().unwrap();
+        feed(&mut a, s0, 9, 6);
+        let pages = a.slot_pages(s0).to_vec();
+        for &p in &pages {
+            a.retain_page(p);
+        }
+        let before: Vec<LayerKvCache> = (0..2).map(|l| a.materialize(s0, l)).collect();
+
+        let s1 = a.acquire().unwrap();
+        a.map_shared(s1, &pages, 6);
+        // Appending one token needs no new span page but must COW the
+        // boundary page.
+        assert_eq!(a.pages_needed(s1, 1), 1, "COW page counted");
+        let free_before = a.free_pages();
+        a.try_reserve(s1, 1).unwrap();
+        assert_eq!(a.free_pages(), free_before - 1);
+        assert_ne!(a.slot_pages(s1)[1], pages[1], "boundary page forked");
+        assert_eq!(a.slot_pages(s1)[0], pages[0], "full page still shared");
+        assert_eq!(a.page_refcount(pages[1]), 2, "owner + pin, mapping gone");
+
+        // Continue the sequence in s1 identically to a lone arena.
+        let n = a.heads() * 4;
+        for t in 6..9 {
+            a.try_reserve(s1, 1).unwrap();
+            let (k, v) = tok(9, t, n);
+            for l in 0..a.layers() {
+                a.append_at(s1, l, t, &k, &v);
+            }
+            a.advance(s1, 1);
+        }
+        let mut fresh = PagedKvArena::new(2, 4, 2, 2, 16, 4, 8);
+        let f = fresh.acquire().unwrap();
+        feed(&mut fresh, f, 9, 9);
+        for (l, kept) in before.iter().enumerate() {
+            assert_eq!(
+                a.materialize(s1, l),
+                fresh.materialize(f, l),
+                "layer {l}: COW continuation diverged"
+            );
+            assert_eq!(
+                &a.materialize(s0, l),
+                kept,
+                "layer {l}: original mutated by the fork"
+            );
+        }
+    }
+
+    #[test]
+    fn map_shared_at_page_boundary_needs_no_cow() {
+        let mut a = PagedKvArena::new(1, 4, 1, 2, 16, 4, 8);
+        let s0 = a.acquire().unwrap();
+        feed(&mut a, s0, 3, 4); // exactly one full page
+        let pages = a.slot_pages(s0).to_vec();
+        a.retain_page(pages[0]);
+        let s1 = a.acquire().unwrap();
+        a.map_shared(s1, &pages, 4);
+        assert_eq!(a.pages_needed(s1, 1), 1, "just the new span page");
+        a.try_reserve(s1, 1).unwrap();
+        assert_eq!(a.slot_pages(s1)[0], pages[0], "boundary-aligned share kept");
+    }
+
+    #[test]
+    #[should_panic(expected = "already has history")]
+    fn map_shared_into_running_sequence_panics() {
+        let mut a = PagedKvArena::new(1, 4, 1, 2, 16, 4, 8);
+        let s0 = a.acquire().unwrap();
+        feed(&mut a, s0, 3, 4);
+        let pages = a.slot_pages(s0).to_vec();
+        a.retain_page(pages[0]);
+        let s1 = a.acquire().unwrap();
+        feed(&mut a, s1, 4, 1);
+        a.map_shared(s1, &pages, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already free")]
+    fn double_release_of_cache_pin_panics() {
+        let mut a = PagedKvArena::new(1, 4, 1, 1, 16, 4, 8);
+        let s = a.acquire().unwrap();
+        feed(&mut a, s, 1, 4);
+        let page = a.slot_pages(s)[0];
+        a.retain_page(page);
+        a.release(s);
+        assert!(a.release_page(page));
+        let _ = a.release_page(page);
     }
 
     #[test]

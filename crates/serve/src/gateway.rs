@@ -66,6 +66,93 @@ pub enum ShedPolicy {
     Preempt,
 }
 
+/// One preemption candidate as an [`EvictPolicy`] sees it. The gateway
+/// builds these from its residents; policies never touch the backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvictCandidate {
+    /// Admission ordinal: larger = became resident more recently
+    /// (resumes count as fresh admissions, matching the pre-policy
+    /// youngest-first behavior).
+    pub admit_seq: u64,
+    /// Serving-clock time this resident last produced a token (its
+    /// admission time until then).
+    pub last_used_ms: f64,
+    /// KV pages preempting it would actually free —
+    /// [`InferenceBackend::reclaimable_pages`], so pages shared with a
+    /// prefix cache or other sequences don't count.
+    pub reclaimable_pages: usize,
+}
+
+/// Picks the preemption victim under page pressure. Implementations
+/// must be deterministic pure functions of the candidate list — the
+/// bit-exactness wall replays runs and expects identical choices.
+pub trait EvictPolicy {
+    /// Index of the victim within `candidates` (never empty).
+    fn pick(&self, candidates: &[EvictCandidate]) -> usize;
+}
+
+/// The original oracle: evict the most recently admitted resident (it
+/// has the least sunk prefill work). Exactly reproduces the behavior
+/// before victim selection became a policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct YoungestFirst;
+
+impl EvictPolicy for YoungestFirst {
+    fn pick(&self, candidates: &[EvictCandidate]) -> usize {
+        let (idx, _) = candidates
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| c.admit_seq)
+            // lint: allow(panic_free) — candidates is never empty (gateway invariant)
+            .expect("at least one candidate");
+        idx
+    }
+}
+
+/// Pressure-aware selection: evict whoever frees the most exclusive
+/// pages (that is what actually relieves page pressure — a resident
+/// riding a shared prefix returns almost nothing), breaking ties toward
+/// the least recently used, then the oldest admission.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LruReclaim;
+
+impl EvictPolicy for LruReclaim {
+    fn pick(&self, candidates: &[EvictCandidate]) -> usize {
+        let (idx, _) = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                b.reclaimable_pages
+                    .cmp(&a.reclaimable_pages)
+                    .then(a.last_used_ms.total_cmp(&b.last_used_ms))
+                    .then(a.admit_seq.cmp(&b.admit_seq))
+            })
+            // lint: allow(panic_free) — candidates is never empty (gateway invariant)
+            .expect("at least one candidate");
+        idx
+    }
+}
+
+/// Serializable selector for the gateway's [`EvictPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictPolicyKind {
+    /// [`YoungestFirst`] — the default oracle.
+    YoungestFirst,
+    /// [`LruReclaim`] — frees the most unshared pages per eviction.
+    LruReclaim,
+}
+
+impl EvictPolicyKind {
+    /// Dispatches to the policy this kind names.
+    #[must_use]
+    pub fn pick(self, candidates: &[EvictCandidate]) -> usize {
+        match self {
+            EvictPolicyKind::YoungestFirst => YoungestFirst.pick(candidates),
+            EvictPolicyKind::LruReclaim => LruReclaim.pick(candidates),
+        }
+    }
+}
+
 /// Gateway policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GatewayConfig {
@@ -94,6 +181,13 @@ pub struct GatewayConfig {
     /// perturb tokens: any chunking is bit-identical to one-pass
     /// prefill.
     pub prefill_chunk: Option<usize>,
+    /// Which resident the [`ShedPolicy::Preempt`] path evicts under
+    /// page pressure. [`EvictPolicyKind::YoungestFirst`] is the
+    /// default; [`EvictPolicyKind::LruReclaim`] frees the most
+    /// unshared pages per eviction, which matters once a prefix cache
+    /// makes residents share pages. Victim choice never changes any
+    /// completed request's tokens — only which request waits.
+    pub evict: EvictPolicyKind,
 }
 
 impl GatewayConfig {
@@ -138,6 +232,7 @@ impl Default for GatewayConfig {
             retry_backoff_ms: 1.0,
             shed: ShedPolicy::Reject,
             prefill_chunk: None,
+            evict: EvictPolicyKind::YoungestFirst,
         }
     }
 }
@@ -391,6 +486,12 @@ struct ActiveReq {
     /// `produced` when this residency began — the progress marker the
     /// bounce guard compares against at the next preemption.
     produced_at_admit: usize,
+    /// Ordinal of this residency (resumes get a fresh one) — what
+    /// [`YoungestFirst`] ranks by.
+    admit_seq: u64,
+    /// Serving-clock time of the last produced token (admission time
+    /// until then) — what [`LruReclaim`] breaks ties by.
+    last_used_ms: f64,
 }
 
 /// A request whose prompt is being fed in chunks: the slot is claimed,
@@ -438,6 +539,8 @@ struct Run<'a, B: InferenceBackend> {
     retries: u64,
     degraded: u64,
     preemptions: u64,
+    /// Monotone residency counter feeding [`ActiveReq::admit_seq`].
+    admits: u64,
 }
 
 impl<B: InferenceBackend> Run<'_, B> {
@@ -653,6 +756,7 @@ impl<B: InferenceBackend> Run<'_, B> {
                 continue;
             }
 
+            self.admits += 1;
             let entry = ActiveReq {
                 slot: outcome.slot,
                 first_token_ms: self.clock,
@@ -662,6 +766,8 @@ impl<B: InferenceBackend> Run<'_, B> {
                 e2e_deadline_at,
                 bounces: 0,
                 produced_at_admit: 1,
+                admit_seq: self.admits,
+                last_used_ms: self.clock,
                 gr,
             };
             if entry.produced >= entry.target {
@@ -728,9 +834,20 @@ impl<B: InferenceBackend> Run<'_, B> {
         if !self.backend.supports_preemption() {
             return false;
         }
-        let Some(a) = self.active.pop() else {
+        if self.active.is_empty() {
             return false;
-        };
+        }
+        let candidates: Vec<EvictCandidate> = self
+            .active
+            .iter()
+            .map(|a| EvictCandidate {
+                admit_seq: a.admit_seq,
+                last_used_ms: a.last_used_ms,
+                reclaimable_pages: self.backend.reclaimable_pages(a.slot),
+            })
+            .collect();
+        let victim = self.cfg.evict.pick(&candidates);
+        let a = self.active.remove(victim);
         let seq = match self.backend.preempt(a.slot) {
             Ok(seq) => seq,
             Err(e) => {
@@ -826,6 +943,7 @@ impl<B: InferenceBackend> Run<'_, B> {
             match resumed {
                 Ok(outcome) => {
                     self.clock = start + outcome.elapsed_ms;
+                    self.admits += 1;
                     self.active.push(ActiveReq {
                         slot: outcome.slot,
                         first_token_ms: p.first_token_ms,
@@ -835,6 +953,8 @@ impl<B: InferenceBackend> Run<'_, B> {
                         e2e_deadline_at: p.e2e_deadline_at,
                         bounces: p.bounces,
                         produced_at_admit: p.produced,
+                        admit_seq: self.admits,
+                        last_used_ms: self.clock,
                         gr: p.gr,
                     });
                 }
@@ -908,6 +1028,7 @@ impl<B: InferenceBackend> Run<'_, B> {
                         self.terminate(&p.gr, Terminal::TimedOut(TimeoutPhase::FirstToken));
                         continue;
                     }
+                    self.admits += 1;
                     let entry = ActiveReq {
                         slot: p.slot,
                         first_token_ms: self.clock,
@@ -917,6 +1038,8 @@ impl<B: InferenceBackend> Run<'_, B> {
                         e2e_deadline_at: p.e2e_deadline_at,
                         bounces: 0,
                         produced_at_admit: 1,
+                        admit_seq: self.admits,
+                        last_used_ms: self.clock,
                         gr: p.gr,
                     };
                     if entry.produced >= entry.target {
@@ -1000,6 +1123,7 @@ impl<B: InferenceBackend> Run<'_, B> {
         self.occupancy.add(self.active.len() as f64);
         for (i, a) in self.active.iter_mut().enumerate() {
             a.produced += 1;
+            a.last_used_ms = self.clock;
             if let Some(tokens) = &outcome.tokens {
                 a.tokens.push(tokens[i]);
             }
@@ -1080,6 +1204,7 @@ pub fn serve_gateway_on<B: InferenceBackend>(
         retries: 0,
         degraded: 0,
         preemptions: 0,
+        admits: 0,
     };
 
     while !run.pending.is_empty()
@@ -1511,6 +1636,81 @@ mod tests {
                 report.serving.output_tokens(r.id),
                 baseline.serving.output_tokens(r.id),
                 "request {} diverged across preemption",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn evict_policies_rank_candidates_as_documented() {
+        let candidates = [
+            EvictCandidate {
+                admit_seq: 3,
+                last_used_ms: 40.0,
+                reclaimable_pages: 1,
+            },
+            EvictCandidate {
+                admit_seq: 7,
+                last_used_ms: 40.0,
+                reclaimable_pages: 1,
+            },
+            EvictCandidate {
+                admit_seq: 5,
+                last_used_ms: 10.0,
+                reclaimable_pages: 4,
+            },
+        ];
+        // Youngest-first: largest admission ordinal, regardless of pages.
+        assert_eq!(YoungestFirst.pick(&candidates), 1);
+        // LruReclaim: the most exclusive pages wins outright.
+        assert_eq!(LruReclaim.pick(&candidates), 2);
+        // Page tie → least recently used; full tie → oldest admission.
+        let tied = [
+            EvictCandidate {
+                admit_seq: 9,
+                last_used_ms: 25.0,
+                reclaimable_pages: 2,
+            },
+            EvictCandidate {
+                admit_seq: 4,
+                last_used_ms: 12.0,
+                reclaimable_pages: 2,
+            },
+            EvictCandidate {
+                admit_seq: 2,
+                last_used_ms: 12.0,
+                reclaimable_pages: 2,
+            },
+        ];
+        assert_eq!(LruReclaim.pick(&tied), 2);
+    }
+
+    #[test]
+    fn lru_reclaim_policy_serves_oversubscribed_pool_bit_identically() {
+        // Same oversubscription as the youngest-first test, but victims
+        // are chosen by reclaimable pages. Scheduling changes; tokens
+        // must not (per-request samplers are schedule-invariant).
+        let reqs = prompted_workload(8, 17);
+        let offered = GatewayRequest::from_workload(&reqs);
+
+        let (_m1, mut roomy) = functional_backend(8);
+        let baseline = serve_gateway_on(&mut roomy, &offered, &no_deadline_cfg());
+
+        let (_m2, mut tight) = paged_backend(8, 12);
+        let cfg = GatewayConfig {
+            shed: ShedPolicy::Preempt,
+            evict: EvictPolicyKind::LruReclaim,
+            ..no_deadline_cfg()
+        };
+        let report = serve_gateway_on(&mut tight, &offered, &cfg);
+        assert!(report.is_conserved(&offered));
+        assert_eq!(report.counts().completed, 8, "{report}");
+        assert!(report.preemptions > 0, "tight pool must preempt: {report}");
+        for r in &reqs {
+            assert_eq!(
+                report.serving.output_tokens(r.id),
+                baseline.serving.output_tokens(r.id),
+                "request {} diverged under LruReclaim eviction",
                 r.id
             );
         }

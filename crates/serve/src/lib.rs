@@ -64,8 +64,8 @@ pub use batcher::{
     serve_continuous, serve_continuous_on, serve_sequential, serve_sequential_on, ServeConfig,
 };
 pub use gateway::{
-    serve_gateway_on, GatewayConfig, GatewayReport, GatewayRequest, RejectReason, ShedPolicy,
-    Terminal, TimeoutPhase,
+    serve_gateway_on, EvictPolicy, EvictPolicyKind, GatewayConfig, GatewayReport, GatewayRequest,
+    RejectReason, ShedPolicy, Terminal, TimeoutPhase,
 };
 pub use metrics::{GeneratedOutput, ServingReport};
 pub use request::{Request, RequestMetrics};

@@ -17,7 +17,8 @@ use looplynx_core::router::RingMode;
 use looplynx_model::config::ModelConfig;
 use looplynx_model::gpt2::Gpt2Model;
 use looplynx_serve::{
-    serve_gateway_on, ArrivalProcess, GatewayConfig, GatewayRequest, ShedPolicy, Terminal,
+    serve_gateway_on, ArrivalProcess, EvictPolicyKind, GatewayConfig, GatewayRequest, ShedPolicy,
+    Terminal,
 };
 
 const SLOTS: usize = 4;
@@ -60,6 +61,7 @@ fn gateway_cfg() -> GatewayConfig {
         retry_backoff_ms: 0.5,
         shed: ShedPolicy::Reject,
         prefill_chunk: None,
+        evict: EvictPolicyKind::YoungestFirst,
     }
 }
 
